@@ -1,0 +1,46 @@
+//! Architecture description graph (ADG) for OverGen overlays.
+//!
+//! The ADG is the paper's representation of a spatial accelerator (§II-A,
+//! Figure 2c): a graph whose nodes are processing elements, switches,
+//! synchronization ports, and — the paper's key extension (§IV) — *memory
+//! stream engines* (DMA, scratchpads, recurrence/generate/register engines)
+//! that participate in the spatial topology rather than sitting behind a
+//! fixed crossbar.
+//!
+//! A [`SysAdg`] pairs one accelerator ADG (replicated per tile) with the
+//! system-level parameters the unified DSE explores: tile count, L2 banks
+//! and capacity, NoC bandwidth (§III-B).
+//!
+//! # Example
+//!
+//! ```
+//! use overgen_adg::{Adg, AdgNode, PeNode, InPortNode, OutPortNode, DmaNode};
+//! use overgen_ir::{FuCap, Op, DataType};
+//!
+//! let mut adg = Adg::new();
+//! let dma = adg.add_node(AdgNode::Dma(DmaNode { bw_bytes: 16 }));
+//! let ip = adg.add_node(AdgNode::InPort(InPortNode::with_width(8)));
+//! let pe = adg.add_node(AdgNode::Pe(PeNode::with_caps([FuCap::new(Op::Add, DataType::I64)])));
+//! let op = adg.add_node(AdgNode::OutPort(OutPortNode::with_width(8)));
+//! adg.add_edge(dma, ip)?;
+//! adg.add_edge(ip, pe)?;
+//! adg.add_edge(pe, op)?;
+//! adg.add_edge(op, dma)?;
+//! assert!(adg.validate().is_ok());
+//! # Ok::<(), overgen_adg::AdgError>(())
+//! ```
+
+mod graph;
+mod node;
+mod summary;
+mod system;
+mod topology;
+
+pub use graph::{Adg, AdgError, NodeId};
+pub use node::{
+    AdgNode, DmaNode, GenNode, InPortNode, NodeKind, OutPortNode, PeNode, RecNode, RegNode,
+    SpadNode, SwitchNode,
+};
+pub use summary::AdgSummary;
+pub use system::{SysAdg, SystemParams};
+pub use topology::{mesh, MeshSpec};

@@ -1,0 +1,274 @@
+use std::collections::BTreeSet;
+
+use overgen_ir::{DataType, FuCap, Op};
+
+use crate::node::*;
+use crate::{Adg, NodeId};
+
+/// Specification of a mesh-style accelerator fabric, the "hand-designed
+/// mesh-based accelerator overlay" used as the paper's *General Overlay*
+/// (Q1) and as the DSE seed.
+///
+/// The generated topology places a `(rows+1) x (cols+1)` switch grid with a
+/// `rows x cols` PE grid in the interstices (each PE fed by its north-west
+/// switch and feeding its south-east switch), input ports on the north edge
+/// and output ports on the south edge — the canonical DSAGEN/DySER layout.
+/// With `rows = 4, cols = 6` this yields the paper's 24 PEs / 35 switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshSpec {
+    /// PE grid rows.
+    pub rows: usize,
+    /// PE grid columns.
+    pub cols: usize,
+    /// Capabilities of every PE.
+    pub caps: BTreeSet<FuCap>,
+    /// Number of input ports (north edge).
+    pub in_ports: usize,
+    /// Number of output ports (south edge).
+    pub out_ports: usize,
+    /// Width of each port in bytes.
+    pub port_width_bytes: u16,
+    /// DMA engine bandwidth (bytes/cycle).
+    pub dma_bw: u16,
+    /// Scratchpads to instantiate.
+    pub spads: Vec<SpadNode>,
+    /// Instantiate a generate engine.
+    pub with_gen: bool,
+    /// Instantiate a recurrence engine.
+    pub with_rec: bool,
+    /// Instantiate a register engine.
+    pub with_reg: bool,
+}
+
+impl MeshSpec {
+    /// Full capability set: every op at every datatype (the general
+    /// overlay's "about 52% LUT overhead" datapath).
+    pub fn full_caps() -> BTreeSet<FuCap> {
+        let mut caps = BTreeSet::new();
+        for op in Op::ALL {
+            for dt in DataType::ALL {
+                caps.insert(FuCap::new(op, dt));
+            }
+        }
+        caps
+    }
+
+    /// The paper's General Overlay accelerator: 24 PEs, 35 switches, full
+    /// FU coverage, 512-bit (64 B) vector ports totalling 224 B in / 160 B
+    /// out, one 32 KiB indirect-capable scratchpad, and all stream engines.
+    pub fn general() -> Self {
+        MeshSpec {
+            rows: 4,
+            cols: 6,
+            caps: Self::full_caps(),
+            in_ports: 7,
+            out_ports: 5,
+            port_width_bytes: 32,
+            dma_bw: 64,
+            spads: vec![SpadNode {
+                capacity_kb: 32,
+                bw_bytes: 32,
+                indirect: true,
+            }],
+            with_gen: true,
+            with_rec: true,
+            with_reg: true,
+        }
+    }
+}
+
+impl Default for MeshSpec {
+    /// A small 2x2 fabric suitable for unit tests and quickstarts.
+    fn default() -> Self {
+        MeshSpec {
+            rows: 2,
+            cols: 2,
+            caps: [
+                FuCap::new(Op::Add, DataType::I64),
+                FuCap::new(Op::Sub, DataType::I64),
+                FuCap::new(Op::Mul, DataType::I64),
+            ]
+            .into_iter()
+            .collect(),
+            in_ports: 3,
+            out_ports: 2,
+            port_width_bytes: 8,
+            dma_bw: 16,
+            spads: vec![SpadNode {
+                capacity_kb: 8,
+                bw_bytes: 16,
+                indirect: false,
+            }],
+            with_gen: true,
+            with_rec: true,
+            with_reg: true,
+        }
+    }
+}
+
+/// Build a mesh accelerator ADG from a [`MeshSpec`].
+pub fn mesh(spec: &MeshSpec) -> Adg {
+    let mut g = Adg::new();
+    let srows = spec.rows + 1;
+    let scols = spec.cols + 1;
+
+    // Switch grid.
+    let mut sw = vec![vec![NodeId::from_index(0); scols]; srows];
+    for (r, row) in sw.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            let _ = (r, c);
+            *slot = g.add_node(AdgNode::Switch(SwitchNode {}));
+        }
+    }
+    // Bidirectional neighbour links.
+    for r in 0..srows {
+        for c in 0..scols {
+            if c + 1 < scols {
+                g.add_edge(sw[r][c], sw[r][c + 1]).unwrap();
+                g.add_edge(sw[r][c + 1], sw[r][c]).unwrap();
+            }
+            if r + 1 < srows {
+                g.add_edge(sw[r][c], sw[r + 1][c]).unwrap();
+                g.add_edge(sw[r + 1][c], sw[r][c]).unwrap();
+            }
+        }
+    }
+
+    // PE grid: fed by NW switch, feeding SE switch.
+    for r in 0..spec.rows {
+        for c in 0..spec.cols {
+            let pe = g.add_node(AdgNode::Pe(PeNode::with_caps(spec.caps.iter().copied())));
+            g.add_edge(sw[r][c], pe).unwrap();
+            g.add_edge(sw[r][c + 1], pe).unwrap();
+            g.add_edge(pe, sw[r + 1][c + 1]).unwrap();
+            g.add_edge(pe, sw[r + 1][c]).unwrap();
+        }
+    }
+
+    // Ports on north / south edges. Vector ports are multi-lane: a port of
+    // `w` bytes attaches to ~w/8 edge switches so its lanes can spread into
+    // the fabric (DSAGEN-style vector port interfaces).
+    let lanes = (usize::from(spec.port_width_bytes) / 8).clamp(1, scols);
+    let mut in_ports = Vec::new();
+    for i in 0..spec.in_ports {
+        let ip = g.add_node(AdgNode::InPort(InPortNode::with_width(
+            spec.port_width_bytes,
+        )));
+        for l in 0..lanes {
+            g.add_edge(ip, sw[0][(i + l) % scols]).unwrap();
+        }
+        in_ports.push(ip);
+    }
+    let mut out_ports = Vec::new();
+    for i in 0..spec.out_ports {
+        let op = g.add_node(AdgNode::OutPort(OutPortNode::with_width(
+            spec.port_width_bytes,
+        )));
+        for l in 0..lanes {
+            g.add_edge(sw[srows - 1][(i + l) % scols], op).unwrap();
+        }
+        out_ports.push(op);
+    }
+
+    // Stream engines. The baseline topology wires every engine to every
+    // port (the "fixed fully-connected memory" of Figure 4a); the spatial
+    // memory DSE then specialises this.
+    let dma = g.add_node(AdgNode::Dma(DmaNode {
+        bw_bytes: spec.dma_bw,
+    }));
+    for &ip in &in_ports {
+        g.add_edge(dma, ip).unwrap();
+    }
+    for &op in &out_ports {
+        g.add_edge(op, dma).unwrap();
+    }
+    for spad in &spec.spads {
+        let sp = g.add_node(AdgNode::Spad(*spad));
+        for &ip in &in_ports {
+            g.add_edge(sp, ip).unwrap();
+        }
+        for &op in &out_ports {
+            g.add_edge(op, sp).unwrap();
+        }
+    }
+    if spec.with_gen {
+        let gen = g.add_node(AdgNode::Gen(GenNode {
+            bw_bytes: spec.port_width_bytes,
+        }));
+        for &ip in &in_ports {
+            g.add_edge(gen, ip).unwrap();
+        }
+    }
+    if spec.with_rec {
+        let rec = g.add_node(AdgNode::Rec(RecNode {
+            bw_bytes: spec.port_width_bytes,
+        }));
+        for &ip in &in_ports {
+            g.add_edge(rec, ip).unwrap();
+        }
+        for &op in &out_ports {
+            g.add_edge(op, rec).unwrap();
+        }
+    }
+    if spec.with_reg {
+        let reg = g.add_node(AdgNode::Reg(RegNode { bw_bytes: 8 }));
+        for &op in &out_ports {
+            g.add_edge(op, reg).unwrap();
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdgSummary, NodeKind};
+
+    #[test]
+    fn default_mesh_is_valid() {
+        let g = mesh(&MeshSpec::default());
+        g.validate().unwrap();
+        assert_eq!(g.count_kind(NodeKind::Pe), 4);
+        assert_eq!(g.count_kind(NodeKind::Switch), 9);
+        assert_eq!(g.count_kind(NodeKind::InPort), 3);
+    }
+
+    #[test]
+    fn general_matches_table_iii() {
+        let g = mesh(&MeshSpec::general());
+        g.validate().unwrap();
+        let s = AdgSummary::of(&g);
+        assert_eq!(s.pes, 24);
+        assert_eq!(s.switches, 35);
+        assert_eq!(s.in_port_bw, 224);
+        assert_eq!(s.out_port_bw, 160);
+        assert_eq!(s.int_add, 24 * 2 * 4); // add + sub per PE per int dtype
+        assert_eq!(s.int_mul, 24 * 4);
+        assert_eq!(s.flt_sqrt, 24 * 2); // f32 + f64 sqrt per PE
+        assert_eq!(s.spad_caps_kb, vec![32]);
+        assert!(s.spad_indirect[0]);
+        assert_eq!((s.gen, s.rec, s.reg), (1, 1, 1));
+        // switch radix should be in a plausible mesh range (Table III
+        // reports 4.69; our PEs take two ingress/egress switch links each,
+        // pushing the average somewhat higher)
+        assert!(
+            s.avg_switch_radix > 4.0 && s.avg_switch_radix < 9.0,
+            "avg radix {}",
+            s.avg_switch_radix
+        );
+    }
+
+    #[test]
+    fn ports_always_fed_and_drained() {
+        for spec in [MeshSpec::default(), MeshSpec::general()] {
+            let g = mesh(&spec);
+            for ip in g.nodes_of_kind(NodeKind::InPort) {
+                assert!(!g.preds(ip).is_empty());
+            }
+            for op in g.nodes_of_kind(NodeKind::OutPort) {
+                assert!(!g.succs(op).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Runs the ablation studies DESIGN.md calls out beyond the paper's own
+//! figures: one-hot bypass end-to-end, reuse-aware placement value, and
+//! MLP-vs-analytic resource model fidelity.
+
+fn main() {
+    println!("Ablation 1: stream-table one-hot bypass (Figure 11, end-to-end)\n");
+    println!("{}", overgen_bench::experiments::ablations::one_hot_bypass());
+    println!("Ablation 2: reuse-aware array placement (value of spatial memories)\n");
+    println!("{}", overgen_bench::experiments::ablations::placement_value());
+    println!("Ablation 3: MLP vs analytic resource model\n");
+    println!("{}", overgen_bench::experiments::ablations::mlp_vs_analytic());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 (Q1): overall performance comparison.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig13::run();
+    print!("{}", overgen_bench::experiments::fig13::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 14 (Q2): effect of tuned kernels.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig14::run();
+    print!("{}", overgen_bench::experiments::fig14::render(&rows));
+}

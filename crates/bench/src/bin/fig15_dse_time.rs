@@ -1,0 +1,6 @@
+//! Regenerates Figure 15 (Q3): DSE and synthesis time comparison.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig15::run();
+    print!("{}", overgen_bench::experiments::fig15::render(&rows));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 16 (Q4): FPGA resource breakdown per suite.
+
+fn main() {
+    for suite in overgen_ir::Suite::ALL {
+        let (ov, hls) = overgen_bench::experiments::fig16::run_suite(suite);
+        print!("{}", overgen_bench::experiments::fig16::render(suite, &ov, &hls));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 17 (Q5): leave-one-out flexibility evaluation.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig17::run();
+    print!("{}", overgen_bench::experiments::fig17::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 18 (Q6): incremental design optimization.
+
+fn main() {
+    let steps = overgen_bench::experiments::fig18::run();
+    print!("{}", overgen_bench::experiments::fig18::render(&steps));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 19 (Q7): effects of DRAM channels.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig19::run();
+    print!("{}", overgen_bench::experiments::fig19::render(&rows));
+}

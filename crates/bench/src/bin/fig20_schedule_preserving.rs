@@ -1,0 +1,6 @@
+//! Regenerates Figure 20 (Q8): schedule-preserving transform ablation.
+
+fn main() {
+    let rows = overgen_bench::experiments::fig20::run();
+    print!("{}", overgen_bench::experiments::fig20::render(&rows));
+}

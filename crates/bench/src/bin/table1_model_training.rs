@@ -1,0 +1,8 @@
+//! Regenerates Table I: resource-model training dataset + quality.
+//! Pass `--full` for the paper-scale sample counts (slow).
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let o = overgen_bench::experiments::table1::run(full);
+    print!("{}", overgen_bench::experiments::table1::render(&o));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II: workload specification.
+
+fn main() {
+    let rows = overgen_bench::experiments::table2::run();
+    print!("{}", overgen_bench::experiments::table2::render(&rows));
+}

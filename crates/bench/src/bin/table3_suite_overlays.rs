@@ -1,0 +1,6 @@
+//! Regenerates Table III: suite-specific overlay specifications.
+
+fn main() {
+    let cols = overgen_bench::experiments::table3::run();
+    print!("{}", overgen_bench::experiments::table3::render(&cols));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table IV: HLS initiation-interval optimization.
+
+fn main() {
+    let rows = overgen_bench::experiments::table4::run();
+    print!("{}", overgen_bench::experiments::table4::render(&rows));
+}

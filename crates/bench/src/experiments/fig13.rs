@@ -1,0 +1,101 @@
+//! Figure 13 (Q1): overall performance comparison — per-workload speedups
+//! over untuned AutoDSE for Tuned-AD, general-OG, suite-OG, and w/l-OG,
+//! plus per-suite geomeans.
+
+use overgen::Overlay;
+use overgen_ir::Suite;
+use overgen_workloads as workloads;
+
+use crate::harness::{autodse, geomean, og_seconds, suite_overlay, workload_overlay};
+use crate::table::{ratio, Table};
+
+/// One workload's normalized results (all speedups over untuned AutoDSE).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload name.
+    pub name: String,
+    /// Suite.
+    pub suite: Suite,
+    /// Tuned AutoDSE speedup.
+    pub tuned_ad: f64,
+    /// General overlay speedup (None when the kernel does not map).
+    pub general_og: Option<f64>,
+    /// Suite overlay speedup.
+    pub suite_og: Option<f64>,
+    /// Workload overlay speedup.
+    pub wl_og: Option<f64>,
+}
+
+/// Run the full experiment, returning per-workload rows.
+pub fn run() -> Vec<Row> {
+    let general = Overlay::general();
+    let mut rows = Vec::new();
+    for suite in Suite::ALL {
+        let sov = suite_overlay(suite);
+        for k in workloads::suite(suite) {
+            let name = k.name().to_string();
+            let base = autodse(&name, false, 1).expect("baseline").best.seconds;
+            let tuned = autodse(&name, true, 1).expect("tuned").best.seconds;
+            let wov = workload_overlay(&k);
+            let spd = |s: Option<f64>| s.map(|s| base / s);
+            rows.push(Row {
+                name: name.clone(),
+                suite,
+                tuned_ad: base / tuned,
+                general_og: spd(og_seconds(&general, &name, true)),
+                suite_og: spd(og_seconds(&sov, &name, true)),
+                wl_og: spd(og_seconds(&wov, &name, true)),
+            });
+        }
+    }
+    rows
+}
+
+/// Per-suite geomean of one column.
+pub fn suite_geomean(rows: &[Row], suite: Suite, col: impl Fn(&Row) -> Option<f64>) -> f64 {
+    let xs: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.suite == suite)
+        .filter_map(col)
+        .collect();
+    geomean(&xs)
+}
+
+/// Render the figure as a table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "workload", "suite", "Tuned-AD", "AutoDSE", "general-OG", "suite-OG", "w/l-OG",
+    ]);
+    let fmt = |v: Option<f64>| v.map(ratio).unwrap_or_else(|| "-".into());
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            r.suite.to_string(),
+            ratio(r.tuned_ad),
+            "1.00x".into(),
+            fmt(r.general_og),
+            fmt(r.suite_og),
+            fmt(r.wl_og),
+        ]);
+    }
+    let mut out = String::from(
+        "Figure 13: Overall Performance Comparison (speedup over untuned AutoDSE)\n\n",
+    );
+    out.push_str(&t.to_string());
+    out.push('\n');
+    let mut g = Table::new(["suite", "Tuned-AD", "general-OG", "suite-OG", "w/l-OG", "paper suite-OG"]);
+    let paper = [("dsp", 1.21), ("machsuite", 1.13), ("vision", 1.25)];
+    for (i, suite) in Suite::ALL.into_iter().enumerate() {
+        g.row([
+            suite.to_string(),
+            ratio(suite_geomean(rows, suite, |r| Some(r.tuned_ad))),
+            ratio(suite_geomean(rows, suite, |r| r.general_og)),
+            ratio(suite_geomean(rows, suite, |r| r.suite_og)),
+            ratio(suite_geomean(rows, suite, |r| r.wl_og)),
+            ratio(paper[i].1),
+        ]);
+    }
+    out.push_str("Geomeans per suite:\n");
+    out.push_str(&g.to_string());
+    out
+}

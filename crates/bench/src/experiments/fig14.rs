@@ -1,0 +1,77 @@
+//! Figure 14 (Q2): effect of kernel tuning across frameworks — speedup of
+//! each framework's tuned variant over *vanilla (untuned) AutoDSE*, for the
+//! nine tuning-sensitive workloads.
+
+use crate::harness::{autodse, og_seconds, workload_overlay};
+use crate::table::{ratio, Table};
+use overgen_workloads as workloads;
+
+/// One workload's tuning comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// Untuned AutoDSE seconds (the normaliser).
+    pub autodse_untuned: f64,
+    /// Tuned AutoDSE speedup over untuned AutoDSE.
+    pub autodse_tuned_speedup: f64,
+    /// Whether the HLS side was actually tuned for this kernel.
+    pub hls_tuned_exists: bool,
+    /// w/l-OverGen (untuned kernel) speedup over untuned AutoDSE.
+    pub og_untuned_speedup: Option<f64>,
+    /// w/l-OverGen with OverGen kernel tuning.
+    pub og_tuned_speedup: Option<f64>,
+    /// Whether the OverGen side has a tuned variant.
+    pub og_tuned_exists: bool,
+}
+
+/// Run over the nine tuning-sensitive kernels (Figure 14's x-axis).
+pub fn run() -> Vec<Row> {
+    workloads::TUNING_SENSITIVE
+        .iter()
+        .map(|name| {
+            let base = autodse(name, false, 1).expect("baseline").best.seconds;
+            let tuned = autodse(name, true, 1).expect("tuned").best.seconds;
+            let overlay = workload_overlay(&workloads::by_name(name).expect("exists"));
+            let og_plain = og_seconds(&overlay, name, false);
+            let og_tuned = og_seconds(&overlay, name, true);
+            Row {
+                name: name.to_string(),
+                autodse_untuned: base,
+                autodse_tuned_speedup: base / tuned,
+                hls_tuned_exists: workloads::hls_tuned(name).is_some(),
+                og_untuned_speedup: og_plain.map(|s| base / s),
+                og_tuned_speedup: og_tuned.map(|s| base / s),
+                og_tuned_exists: workloads::og_tuned(name).is_some(),
+            }
+        })
+        .collect()
+}
+
+/// Render.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "workload",
+        "AutoDSE (tuned)",
+        "w/l-OG (untuned)",
+        "w/l-OG (tuned)",
+        "HLS tuned?",
+        "OG tuned?",
+    ]);
+    let f = |v: Option<f64>| v.map(ratio).unwrap_or_else(|| "-".into());
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            ratio(r.autodse_tuned_speedup),
+            f(r.og_untuned_speedup),
+            f(r.og_tuned_speedup),
+            if r.hls_tuned_exists { "yes" } else { "no" }.into(),
+            if r.og_tuned_exists { "yes" } else { "no" }.into(),
+        ]);
+    }
+    format!(
+        "Figure 14: Effect of tuned kernels (speedup over vanilla AutoDSE)\n\n{t}\n\
+         Takeaway check: HLS should gain much more from tuning than OverGen\n\
+         (the paper: 7 kernels need HLS tuning, only 4 need OverGen tuning).\n"
+    )
+}

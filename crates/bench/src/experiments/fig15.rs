@@ -1,0 +1,90 @@
+//! Figure 15 (Q3): DSE + synthesis time — AutoDSE per application vs. one
+//! OverGen suite overlay, in (simulated) hours.
+
+use overgen::generation_hours;
+use overgen_ir::Suite;
+use overgen_workloads as workloads;
+
+use crate::harness::{autodse, suite_overlay};
+use crate::table::Table;
+
+/// One suite's time accounting.
+#[derive(Debug, Clone)]
+pub struct SuiteTimes {
+    /// Suite.
+    pub suite: Suite,
+    /// (kernel, dse hours, synth hours) per application for AutoDSE.
+    pub autodse: Vec<(String, f64, f64)>,
+    /// OverGen: (dse hours, synth+pnr hours).
+    pub overgen: (f64, f64),
+}
+
+impl SuiteTimes {
+    /// Total AutoDSE hours across the suite's applications.
+    pub fn autodse_total(&self) -> f64 {
+        self.autodse.iter().map(|(_, d, s)| d + s).sum()
+    }
+
+    /// Total OverGen hours (one-time, per suite).
+    pub fn overgen_total(&self) -> f64 {
+        self.overgen.0 + self.overgen.1
+    }
+}
+
+/// Run the experiment for all three suites.
+pub fn run() -> Vec<SuiteTimes> {
+    Suite::ALL
+        .into_iter()
+        .map(|suite| {
+            let autodse_rows = workloads::suite(suite)
+                .iter()
+                .map(|k| {
+                    let r = autodse(k.name(), false, 1).expect("autodse runs");
+                    (k.name().to_string(), r.dse_hours, r.synth_hours)
+                })
+                .collect();
+            let overlay = suite_overlay(suite);
+            let dse_hours = overlay.dse.as_ref().map(|d| d.dse_hours).unwrap_or(0.0);
+            let total = generation_hours(&overlay);
+            SuiteTimes {
+                suite,
+                autodse: autodse_rows,
+                overgen: (dse_hours, total - dse_hours),
+            }
+        })
+        .collect()
+}
+
+/// Render.
+pub fn render(rows: &[SuiteTimes]) -> String {
+    let mut out = String::from("Figure 15: DSE and synthesis time comparison (hours)\n\n");
+    let paper_totals = [("dsp", 52.6), ("machsuite", 69.2), ("vision", 92.8)];
+    for (i, s) in rows.iter().enumerate() {
+        let mut t = Table::new(["kernel", "dse (h)", "synth (h)", "total (h)"]);
+        for (name, d, sy) in &s.autodse {
+            t.row([
+                name.clone(),
+                format!("{d:.1}"),
+                format!("{sy:.1}"),
+                format!("{:.1}", d + sy),
+            ]);
+        }
+        t.row([
+            "OverGen suite".into(),
+            format!("{:.1}", s.overgen.0),
+            format!("{:.1}", s.overgen.1),
+            format!("{:.1}", s.overgen_total()),
+        ]);
+        out.push_str(&format!(
+            "{} — AutoDSE total {:.1} h (paper: {} h); OverGen suite {:.1} h ({:.0}% of AutoDSE)\n{}\n",
+            s.suite,
+            s.autodse_total(),
+            paper_totals[i].1,
+            s.overgen_total(),
+            100.0 * s.overgen_total() / s.autodse_total(),
+            t
+        ));
+    }
+    out.push_str("Paper takeaway: OverGen's one-time suite DSE uses ~47% of AutoDSE's combined time.\n");
+    out
+}

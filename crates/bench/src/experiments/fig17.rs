@@ -1,0 +1,113 @@
+//! Figure 17 (Q5): "leave-one-out" flexibility — generate a MachSuite
+//! overlay without one workload, then map that workload onto it; report
+//! relative performance vs. the full suite overlay, compile-time speedup
+//! over the HLS flow, and reconfiguration-time speedup over FPGA
+//! reflashing.
+
+use overgen_ir::Suite;
+use overgen_model::{TimeModel, XCVU9P};
+use overgen_workloads as workloads;
+
+use crate::harness::{autodse, domain_overlay, og_seconds, suite_overlay};
+use crate::table::Table;
+
+/// One left-out workload's results.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The left-out workload.
+    pub name: String,
+    /// Its run time on the leave-one-out overlay relative to the full
+    /// suite overlay (1.0 = no loss). `None` when it fails to map.
+    pub relative_perf: Option<f64>,
+    /// Compile-time speedup vs. the HLS flow for a new application.
+    pub compile_speedup: Option<f64>,
+    /// Reconfiguration-time speedup vs. FPGA bitstream reflash.
+    pub reconfig_speedup: Option<f64>,
+}
+
+/// Run the MachSuite leave-one-out study.
+pub fn run() -> Vec<Row> {
+    let suite = Suite::MachSuite;
+    let full = suite_overlay(suite);
+    let all = workloads::suite(suite);
+    let time = TimeModel::default();
+    let mut rows = Vec::new();
+    for leave in &all {
+        let name = leave.name().to_string();
+        let rest: Vec<_> = all
+            .iter()
+            .filter(|k| k.name() != name)
+            .cloned()
+            .collect();
+        let overlay = domain_overlay(&rest, 0x100 + rows.len() as u64);
+        let loo = og_seconds(&overlay, &name, true);
+        let full_secs = og_seconds(&full, &name, true);
+        let (compile_speedup, reconfig_speedup) = match overlay.compile(leave) {
+            Ok(app) => {
+                let hls = autodse(&name, false, 1).expect("autodse runs");
+                let hls_compile_s = time.hls_flow_hours(&hls.best.resources, &XCVU9P) * 3600.0;
+                let reconf = overlay.reconfig_seconds(&app);
+                (
+                    Some(hls_compile_s / app.compile_seconds),
+                    Some(time.fpga_reconfig_seconds / reconf),
+                )
+            }
+            Err(_) => (None, None),
+        };
+        rows.push(Row {
+            name,
+            relative_perf: match (loo, full_secs) {
+                (Some(l), Some(f)) => Some(f / l),
+                _ => None,
+            },
+            compile_speedup,
+            reconfig_speedup,
+        });
+    }
+    rows
+}
+
+/// Render.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "left-out",
+        "perf vs suite-OG",
+        "compile speedup o/ HLS",
+        "reconfig speedup o/ FPGA",
+    ]);
+    let pct = |v: Option<f64>| {
+        v.map(|x| format!("{:.0}%", x * 100.0))
+            .unwrap_or_else(|| "unmapped".into())
+    };
+    let mag = |v: Option<f64>| {
+        v.map(|x| format!("{x:.0}x")).unwrap_or_else(|| "-".into())
+    };
+    let mut perf = Vec::new();
+    let mut comp = Vec::new();
+    let mut reconf = Vec::new();
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            pct(r.relative_perf),
+            mag(r.compile_speedup),
+            mag(r.reconfig_speedup),
+        ]);
+        if let Some(p) = r.relative_perf {
+            perf.push(p);
+        }
+        if let Some(c) = r.compile_speedup {
+            comp.push(c);
+        }
+        if let Some(x) = r.reconfig_speedup {
+            reconf.push(x);
+        }
+    }
+    format!(
+        "Figure 17: Leave-one-out flexibility (MachSuite)\n\n{t}\n\
+         geomeans: perf {:.0}% (paper ~50.5%), compile {:.0}x (paper ~10^4x), \
+         reconfig {:.0}x (paper ~54000x)\n",
+        crate::harness::geomean(&perf) * 100.0,
+        crate::harness::geomean(&comp),
+        crate::harness::geomean(&reconf),
+    )
+}

@@ -1,0 +1,87 @@
+//! Figure 19 (Q7): effect of DRAM channel count — speedup of 2- and
+//! 4-channel configurations over single-channel, for both AutoDSE and the
+//! OverGen workload overlays (the paper runs this part in RTL simulation).
+
+use overgen_adg::SysAdg;
+use overgen_sim::SimConfig;
+use overgen_workloads as workloads;
+
+use crate::harness::{autodse, og_seconds_with, workload_overlay};
+use crate::table::{ratio, Table};
+
+/// One workload's channel sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// AutoDSE speedups for [2, 4] channels over 1.
+    pub autodse: [f64; 2],
+    /// OverGen workload-overlay speedups for [2, 4] channels over 1.
+    pub overgen: [Option<f64>; 2],
+}
+
+/// Run the sweep for all 19 workloads.
+pub fn run() -> Vec<Row> {
+    workloads::all()
+        .iter()
+        .map(|k| {
+            let name = k.name().to_string();
+            let a1 = autodse(&name, false, 1).expect("runs").best.seconds;
+            let a2 = autodse(&name, false, 2).expect("runs").best.seconds;
+            let a4 = autodse(&name, false, 4).expect("runs").best.seconds;
+
+            let overlay = workload_overlay(k);
+            let og_at = |channels: u32| -> Option<f64> {
+                // Same overlay hardware, more DRAM channels at run time.
+                let mut o = overlay.clone();
+                o.sys_adg = SysAdg::new(
+                    o.sys_adg.adg.clone(),
+                    overgen_adg::SystemParams {
+                        dram_channels: channels,
+                        ..o.sys_adg.sys
+                    },
+                );
+                og_seconds_with(&o, &name, true, &SimConfig::default())
+            };
+            let o1 = og_at(1);
+            let o2 = og_at(2);
+            let o4 = og_at(4);
+            let spd = |base: Option<f64>, x: Option<f64>| match (base, x) {
+                (Some(b), Some(v)) => Some(b / v),
+                _ => None,
+            };
+            Row {
+                name,
+                autodse: [a1 / a2, a1 / a4],
+                overgen: [spd(o1, o2), spd(o1, o4)],
+            }
+        })
+        .collect()
+}
+
+/// Render.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["workload", "ad-2", "ad-4", "og-2", "og-4"]);
+    let f = |v: Option<f64>| v.map(ratio).unwrap_or_else(|| "-".into());
+    let mut ad_gain = Vec::new();
+    let mut og_gain = Vec::new();
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            ratio(r.autodse[0]),
+            ratio(r.autodse[1]),
+            f(r.overgen[0]),
+            f(r.overgen[1]),
+        ]);
+        ad_gain.push(r.autodse[1]);
+        if let Some(g) = r.overgen[1] {
+            og_gain.push(g);
+        }
+    }
+    format!(
+        "Figure 19: Effects of DRAM channels (speedup over 1 channel)\n\n{t}\n\
+         mean 4-channel gains: AutoDSE {:.0}% (paper ~25%), OverGen {:.0}% (paper ~19%)\n",
+        (crate::harness::geomean(&ad_gain) - 1.0) * 100.0,
+        (crate::harness::geomean(&og_gain) - 1.0) * 100.0,
+    )
+}

@@ -1,0 +1,100 @@
+//! Figure 20 (Q8): do schedule-preserving transformations improve the DSE?
+//! Convergence (estimated IPC vs. simulated hours) with and without them,
+//! per suite.
+
+use overgen_dse::Dse;
+use overgen_ir::Suite;
+use overgen_workloads as workloads;
+
+use crate::harness::{dse_config, dse_iters, seed};
+use crate::table::Table;
+
+/// One suite's two convergence curves.
+#[derive(Debug, Clone)]
+pub struct Curves {
+    /// Suite.
+    pub suite: Suite,
+    /// (hours, best estimated IPC) with preserving transforms.
+    pub preserved: Vec<(f64, f64)>,
+    /// Without.
+    pub non_preserved: Vec<(f64, f64)>,
+    /// Final DSE hours (with, without).
+    pub hours: (f64, f64),
+    /// Final estimated IPC (with, without).
+    pub final_ipc: (f64, f64),
+}
+
+/// Run both DSE modes per suite. Simulated annealing is noisy, so each
+/// mode runs over a small seed ensemble and the median-final run is
+/// reported (the paper's curves are likewise single representative runs).
+pub fn run() -> Vec<Curves> {
+    const SEEDS: u64 = 3;
+    Suite::ALL
+        .into_iter()
+        .map(|suite| {
+            let domain = workloads::suite(suite);
+            let run_mode = |preserving: bool| {
+                let mut runs: Vec<_> = (0..SEEDS)
+                    .map(|i| {
+                        let mut cfg =
+                            dse_config(dse_iters(), seed() ^ 0xF16_20 ^ suite as u64 ^ (i << 8));
+                        cfg.schedule_preserving = preserving;
+                        Dse::new(domain.clone(), cfg).run()
+                    })
+                    .collect();
+                runs.sort_by(|a, b| a.objective.total_cmp(&b.objective));
+                runs.swap_remove(runs.len() / 2) // median by final objective
+            };
+            let with = run_mode(true);
+            let without = run_mode(false);
+            Curves {
+                suite,
+                preserved: with.history.clone(),
+                non_preserved: without.history.clone(),
+                hours: (with.dse_hours, without.dse_hours),
+                final_ipc: (with.objective, without.objective),
+            }
+        })
+        .collect()
+}
+
+/// Sample a curve at `n` evenly spaced points for plotting as text.
+fn sample(curve: &[(f64, f64)], n: usize) -> Vec<(f64, f64)> {
+    if curve.is_empty() {
+        return Vec::new();
+    }
+    (0..n)
+        .map(|i| curve[(i * (curve.len() - 1)) / (n - 1).max(1)])
+        .collect()
+}
+
+/// Render.
+pub fn render(rows: &[Curves]) -> String {
+    let mut out = String::from(
+        "Figure 20: The effects of schedule-preserving transforms (est. IPC vs DSE hours)\n\n",
+    );
+    for c in rows {
+        let mut t = Table::new(["point", "preserved (h, ipc)", "non-preserved (h, ipc)"]);
+        let p = sample(&c.preserved, 8);
+        let np = sample(&c.non_preserved, 8);
+        for i in 0..p.len().max(np.len()) {
+            let fmt = |v: Option<&(f64, f64)>| {
+                v.map(|(h, ipc)| format!("{h:.2}h {ipc:.1}"))
+                    .unwrap_or_default()
+            };
+            t.row([format!("{i}"), fmt(p.get(i)), fmt(np.get(i))]);
+        }
+        out.push_str(&format!(
+            "{}: final IPC {:.1} vs {:.1} ({:.2}x, paper 1.09x); DSE hours {:.2} vs {:.2} ({:.0}% saved, paper ~15%)\n{}\n",
+            c.suite,
+            c.final_ipc.0,
+            c.final_ipc.1,
+            c.final_ipc.0 / c.final_ipc.1.max(1e-9),
+            c.hours.0,
+            c.hours.1,
+            100.0 * (1.0 - c.hours.0 / c.hours.1.max(1e-9)),
+            t
+        ));
+    }
+    out
+}

@@ -1,0 +1,15 @@
+//! One module per paper table/figure (see DESIGN.md section 4 for the index).
+
+pub mod ablations;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;

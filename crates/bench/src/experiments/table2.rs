@@ -1,0 +1,91 @@
+//! Table II: workload specification — size, datatype, and best-DFG shape
+//! (#ivp, #ovp, #arr, and multiply/add/divide scalar-op counts).
+
+use overgen_compiler::{compile_variants, CompileOptions};
+use overgen_ir::{Op, Suite};
+use overgen_mdfg::Mdfg;
+use overgen_workloads as workloads;
+
+use crate::table::Table;
+
+/// One workload row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// Suite.
+    pub suite: Suite,
+    /// Datatype label.
+    pub dtype: String,
+    /// Input value ports.
+    pub ivp: usize,
+    /// Output value ports.
+    pub ovp: usize,
+    /// Array nodes.
+    pub arr: usize,
+    /// Scalar multiply / add / divide-class ops in the best DFG.
+    pub mad: (u32, u32, u32),
+    /// Unroll of the best DFG.
+    pub unroll: u32,
+}
+
+fn scalar_ops(m: &Mdfg, class: &[Op]) -> u32 {
+    m.nodes()
+        .filter_map(|(_, n)| n.as_inst())
+        .filter(|i| class.contains(&i.op))
+        .map(|i| i.lanes)
+        .sum()
+}
+
+/// Run: compile every workload at its suite's Table II unroll and report
+/// the best (widest scheduled-shape) DFG statistics.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for k in workloads::all() {
+        let unroll = workloads::table_unroll(k.suite());
+        let vs = compile_variants(
+            &k,
+            &CompileOptions {
+                max_unroll: unroll,
+                ..Default::default()
+            },
+        )
+        .expect("workload compiles");
+        let best = &vs[0];
+        rows.push(Row {
+            name: k.name().to_string(),
+            suite: k.suite(),
+            dtype: k.dtype().to_string(),
+            ivp: best.input_stream_count(),
+            ovp: best.output_stream_count(),
+            arr: best.array_count(),
+            mad: (
+                scalar_ops(best, &[Op::Mul]),
+                scalar_ops(best, &[Op::Add, Op::Sub, Op::Min, Op::Max]),
+                scalar_ops(best, &[Op::Div, Op::Sqrt, Op::Shr, Op::Shl]),
+            ),
+            unroll: best.unroll(),
+        });
+    }
+    rows
+}
+
+/// Render the table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new([
+        "Workload", "Suite", "Type", "#ivp", "#ovp", "#arr", "#m,a,d", "unroll",
+    ]);
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            r.suite.to_string(),
+            r.dtype.clone(),
+            r.ivp.to_string(),
+            r.ovp.to_string(),
+            r.arr.to_string(),
+            format!("{},{},{}", r.mad.0, r.mad.1, r.mad.2),
+            r.unroll.to_string(),
+        ]);
+    }
+    format!("Table II: Workload specification (best DFG per suite unroll)\n\n{t}")
+}

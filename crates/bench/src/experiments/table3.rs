@@ -1,0 +1,119 @@
+//! Table III: specification of suite-specific overlays — the system and
+//! accelerator parameters the DSE chose per suite, next to the paper's.
+
+use overgen_adg::AdgSummary;
+use overgen_ir::Suite;
+
+use crate::harness::suite_overlay;
+use crate::table::Table;
+
+/// One suite's generated specification.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Suite.
+    pub suite: Suite,
+    /// Chosen system parameters.
+    pub tiles: u32,
+    /// L2 banks.
+    pub l2_banks: u32,
+    /// NoC bandwidth (bytes).
+    pub noc_bw: u32,
+    /// Accelerator summary.
+    pub accel: AdgSummary,
+}
+
+/// Generate the three suite overlays and summarise them.
+pub fn run() -> Vec<Column> {
+    Suite::ALL
+        .into_iter()
+        .map(|suite| {
+            let overlay = suite_overlay(suite);
+            Column {
+                suite,
+                tiles: overlay.sys_adg.sys.tiles,
+                l2_banks: overlay.sys_adg.sys.l2_banks,
+                noc_bw: overlay.sys_adg.sys.noc_bw_bytes,
+                accel: overlay.summary(),
+            }
+        })
+        .collect()
+}
+
+/// Render the table (rows = spec fields, columns = suites, as the paper).
+pub fn render(cols: &[Column]) -> String {
+    let mut t = Table::new(
+        std::iter::once("Spec.".to_string())
+            .chain(cols.iter().map(|c| c.suite.to_string()))
+            .chain(std::iter::once("paper (Mach/Vitis/DSP)".to_string())),
+    );
+    let field = |t: &mut Table, name: &str, f: &dyn Fn(&Column) -> String, paper: &str| {
+        let mut row = vec![name.to_string()];
+        row.extend(cols.iter().map(f));
+        row.push(paper.to_string());
+        t.row(row);
+    };
+    field(&mut t, "Tile Count", &|c| c.tiles.to_string(), "10/13/7");
+    field(&mut t, "L2 #Bank", &|c| c.l2_banks.to_string(), "16/16/8");
+    field(&mut t, "NoC B/W (Byte)", &|c| c.noc_bw.to_string(), "64/64/64");
+    field(&mut t, "PEs", &|c| c.accel.pes.to_string(), "20/16/10");
+    field(&mut t, "Switches", &|c| c.accel.switches.to_string(), "17/11/27");
+    field(
+        &mut t,
+        "Avg. Radix",
+        &|c| format!("{:.2}", c.accel.avg_switch_radix),
+        "2.9/2.61/2.85",
+    );
+    field(
+        &mut t,
+        "Int +/x/÷",
+        &|c| format!("{}/{}/{}", c.accel.int_add, c.accel.int_mul, c.accel.int_div),
+        "16,14,0 | 16,15,13 | 0,0,0",
+    );
+    field(
+        &mut t,
+        "Flt +/x/÷/sqrt",
+        &|c| {
+            format!(
+                "{}/{}/{}/{}",
+                c.accel.flt_add, c.accel.flt_mul, c.accel.flt_div, c.accel.flt_sqrt
+            )
+        },
+        "4,4,0,0 | 0,0,0,0 | 6,6,5,2",
+    );
+    field(
+        &mut t,
+        "Spad Cap (KB)",
+        &|c| {
+            if c.accel.spad_caps_kb.is_empty() {
+                "-".into()
+            } else {
+                c.accel
+                    .spad_caps_kb
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        },
+        "64 | - | 8,32",
+    );
+    field(
+        &mut t,
+        "GEN/REC/REG",
+        &|c| format!("{}/{}/{}", c.accel.gen, c.accel.rec, c.accel.reg),
+        "0/0/0 | 0/0/0 | 0/1/0",
+    );
+    field(
+        &mut t,
+        "In Ports B/W (B)",
+        &|c| c.accel.in_port_bw.to_string(),
+        "160/112/152",
+    );
+    field(
+        &mut t,
+        "Out Ports B/W (B)",
+        &|c| c.accel.out_port_bw.to_string(),
+        "96/48/104",
+    );
+    format!("Table III: Specification of Suite Specific Overlays\n\n{t}")
+}

@@ -1,0 +1,80 @@
+//! Table IV: HLS initiation-interval optimization — untuned vs. tuned II
+//! for the seven pathological kernels, with the cause column.
+
+use overgen_hls::initiation_interval;
+use overgen_workloads as workloads;
+
+use crate::table::Table;
+
+/// One kernel's II row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub name: String,
+    /// Cause (paper's grouping).
+    pub cause: &'static str,
+    /// Untuned II.
+    pub untuned: u32,
+    /// Tuned II.
+    pub tuned: u32,
+}
+
+/// The seven Table IV kernels with their causes.
+pub const KERNELS: [(&str, &str); 7] = [
+    ("cholesky", "Var. Loop TC"),
+    ("crs", "Var. Loop TC"),
+    ("fft", "Var. Loop TC"),
+    ("bgr2grey", "Ineff. Strided Access"),
+    ("blur", "Ineff. Strided Access"),
+    ("channel-ext", "Ineff. Strided Access"),
+    ("stencil-3d", "Ineff. Strided Access"),
+];
+
+/// Run the experiment.
+pub fn run() -> Vec<Row> {
+    KERNELS
+        .iter()
+        .map(|(name, cause)| {
+            let plain = workloads::by_name(name).expect("workload exists");
+            let tuned = workloads::hls_tuned(name).expect("tuned variant exists");
+            Row {
+                name: name.to_string(),
+                cause,
+                untuned: initiation_interval(&plain),
+                tuned: initiation_interval(&tuned),
+            }
+        })
+        .collect()
+}
+
+/// Render the table (paper values inline for comparison).
+pub fn render(rows: &[Row]) -> String {
+    let paper: std::collections::BTreeMap<&str, (u32, u32)> = [
+        ("cholesky", (10, 5)),
+        ("crs", (4, 2)),
+        ("fft", (2, 1)),
+        ("bgr2grey", (9, 1)),
+        ("blur", (6, 1)),
+        ("channel-ext", (8, 1)),
+        ("stencil-3d", (6, 1)),
+    ]
+    .into();
+    let mut t = Table::new([
+        "Workload",
+        "Cause",
+        "Untuned II",
+        "Tuned II",
+        "Paper (untuned/tuned)",
+    ]);
+    for r in rows {
+        let p = paper[r.name.as_str()];
+        t.row([
+            r.name.clone(),
+            r.cause.to_string(),
+            r.untuned.to_string(),
+            r.tuned.to_string(),
+            format!("{}/{}", p.0, p.1),
+        ]);
+    }
+    format!("Table IV: HLS Initiation Interval (II) Optimization\n\n{t}")
+}

@@ -1,0 +1,166 @@
+//! Shared experiment machinery: overlay generation per scope, AutoDSE
+//! baselines, and end-to-end run-time measurement.
+
+use overgen::{generate, GenerateConfig, Overlay};
+use overgen_compiler::CompileOptions;
+use overgen_dse::{DseConfig, SystemDseConfig};
+use overgen_hls::{explore, AutoDseConfig, AutoDseResult};
+use overgen_ir::{Kernel, Suite};
+use overgen_sim::SimConfig;
+use overgen_workloads as workloads;
+
+/// Spatial-DSE iterations per generated overlay (env `OVERGEN_DSE_ITERS`).
+pub fn dse_iters() -> usize {
+    std::env::var("OVERGEN_DSE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Global experiment seed (env `OVERGEN_SEED`).
+pub fn seed() -> u64 {
+    std::env::var("OVERGEN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2022)
+}
+
+/// DSE configuration used by all experiments.
+pub fn dse_config(iterations: usize, seed: u64) -> DseConfig {
+    DseConfig {
+        iterations,
+        seed,
+        schedule_preserving: true,
+        system: SystemDseConfig::default(),
+        compile: CompileOptions::default(),
+        weights: Default::default(),
+        mutations_per_step: 2,
+    }
+}
+
+/// Generate the suite-specialised overlay (Table III columns).
+pub fn suite_overlay(suite: Suite) -> Overlay {
+    let domain = workloads::suite(suite);
+    generate(
+        &domain,
+        &GenerateConfig {
+            dse: dse_config(dse_iters(), seed() ^ suite as u64),
+        },
+    )
+}
+
+/// Generate a workload-specialised overlay.
+pub fn workload_overlay(kernel: &Kernel) -> Overlay {
+    generate(
+        &[kernel.clone()],
+        &GenerateConfig {
+            dse: dse_config(dse_iters(), seed() ^ hash_name(kernel.name())),
+        },
+    )
+}
+
+/// Generate an overlay for an arbitrary domain subset.
+pub fn domain_overlay(domain: &[Kernel], salt: u64) -> Overlay {
+    generate(
+        domain,
+        &GenerateConfig {
+            dse: dse_config(dse_iters(), seed() ^ salt),
+        },
+    )
+}
+
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    })
+}
+
+/// AutoDSE run for a kernel; `tuned` selects the manually tuned variant
+/// when one exists.
+pub fn autodse(name: &str, tuned: bool, dram_channels: u32) -> Option<AutoDseResult> {
+    let kernel = if tuned {
+        workloads::hls_tuned(name).or_else(|| workloads::by_name(name))?
+    } else {
+        workloads::by_name(name)?
+    };
+    Some(explore(
+        &kernel,
+        &AutoDseConfig {
+            dram_channels,
+            ..Default::default()
+        },
+    ))
+}
+
+/// End-to-end OverGen seconds for a kernel on an overlay. When
+/// `allow_og_tuning`, the OverGen-tuned variant is also tried and the
+/// faster one wins (the paper's convention for the main comparison).
+/// Returns `None` when no variant schedules.
+pub fn og_seconds(overlay: &Overlay, name: &str, allow_og_tuning: bool) -> Option<f64> {
+    og_seconds_with(overlay, name, allow_og_tuning, &SimConfig::default())
+}
+
+/// [`og_seconds`] with a custom simulator configuration (Q7 uses this for
+/// DRAM-channel sweeps).
+pub fn og_seconds_with(
+    overlay: &Overlay,
+    name: &str,
+    allow_og_tuning: bool,
+    sim: &SimConfig,
+) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    let mut consider = |k: &Kernel| {
+        if let Ok(app) = overlay.compile(k) {
+            let secs = overlay
+                .execute_with(&app, sim)
+                .seconds(overlay.fmax_mhz());
+            best = Some(best.map_or(secs, |b: f64| b.min(secs)));
+        }
+    };
+    consider(&workloads::by_name(name)?);
+    if allow_og_tuning {
+        if let Some(t) = workloads::og_tuned(name) {
+            consider(&t);
+        }
+    }
+    best
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.max(1e-300).ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn autodse_runs_for_all_workloads() {
+        for k in workloads::all() {
+            let r = autodse(k.name(), false, 1).unwrap();
+            assert!(r.best.seconds > 0.0, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn general_overlay_runs_most_workloads() {
+        let overlay = Overlay::general();
+        let mut ran = 0;
+        for k in workloads::all() {
+            if og_seconds(&overlay, k.name(), false).is_some() {
+                ran += 1;
+            }
+        }
+        assert!(ran >= 15, "only {ran}/19 ran on the general overlay");
+    }
+}

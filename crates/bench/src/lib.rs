@@ -1,0 +1,18 @@
+//! Experiment harness reproducing every table and figure of the OverGen
+//! paper's evaluation (§VIII). One binary per table/figure lives in
+//! `src/bin/`; shared machinery (overlay generation, AutoDSE runs, text
+//! tables) lives here so the criterion micro-benches and the binaries stay
+//! consistent.
+//!
+//! Scale knobs (environment variables):
+//!
+//! - `OVERGEN_DSE_ITERS`: spatial-DSE iterations per overlay (default 60;
+//!   the paper-scale runs used in EXPERIMENTS.md set 200+).
+//! - `OVERGEN_SEED`: RNG seed (default 2022).
+
+pub mod experiments;
+pub mod harness;
+pub mod table;
+
+pub use harness::*;
+pub use table::Table;

@@ -1,0 +1,73 @@
+//! The decoupled-spatial compiler of the OverGen reproduction.
+//!
+//! Mirrors the paper's §II-B/§IV-B compiler responsibilities:
+//!
+//! 1. **Slicing**: the innermost loop body is split into memory-access
+//!    streams and computational instructions (the generic transformation).
+//! 2. **Reuse analysis**: every stream is annotated with data traffic,
+//!    footprint, stationary reuse, and recurrent reuse; every referenced
+//!    array becomes an array node with a placement preference.
+//! 3. **Variant generation**: instead of recompiling during DSE, the
+//!    compiler pre-generates a set of mDFGs per region using different
+//!    transformations (unroll degrees, recurrence vs. memory round-trip
+//!    accumulation) — the DSE later picks whichever schedules best
+//!    (paper §III-A, "Overlay Generation").
+//!
+//! # Example
+//!
+//! ```
+//! use overgen_ir::{KernelBuilder, DataType, Suite, expr};
+//! use overgen_compiler::{compile_variants, CompileOptions};
+//!
+//! let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+//!     .array_input("a", 1024).array_input("b", 1024).array_output("c", 1024)
+//!     .loop_const("i", 1024)
+//!     .assign("c", expr::idx("i"),
+//!             expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
+//!     .build().unwrap();
+//! let variants = compile_variants(&k, &CompileOptions::default())?;
+//! assert!(!variants.is_empty());
+//! // variant 0 is the most aggressive (widest) one
+//! assert!(variants[0].unroll() >= variants.last().unwrap().unroll());
+//! # Ok::<(), overgen_compiler::CompileError>(())
+//! ```
+
+mod lower;
+mod reuse;
+mod variants;
+
+pub use lower::{lower, LowerChoices};
+pub use reuse::{analyze_ref, array_footprint_bytes, RefAnalysis};
+pub use variants::{compile_variants, CompileOptions};
+
+use std::fmt;
+
+/// Errors from compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The kernel region cannot be decoupled (no `config` pragma).
+    NotConfigured,
+    /// The unroll degree does not divide into the innermost trip count.
+    BadUnroll {
+        /// Requested degree.
+        unroll: u32,
+    },
+    /// Internal graph construction failed.
+    Graph(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotConfigured => {
+                write!(f, "kernel lacks `#pragma dsa config`; nothing to offload")
+            }
+            CompileError::BadUnroll { unroll } => {
+                write!(f, "unroll degree {unroll} incompatible with innermost loop")
+            }
+            CompileError::Graph(m) => write!(f, "mDFG construction failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}

@@ -1,0 +1,47 @@
+//! Unified system + accelerator design-space exploration (paper §V).
+//!
+//! One DSE iteration (Figure 6):
+//!
+//! 1. the **spatial DSE** proposes `ADG*` by mutating the current ADG —
+//!    with a mix of random transformations and *schedule-preserving*
+//!    transformations (node collapsing, edge-delay preservation,
+//!    module-capability pruning, §V-B) that keep prior compilations valid;
+//! 2. every workload's pre-generated mDFG variants are (re)scheduled onto
+//!    `ADG*`, preferring cheap schedule repair over full scheduling; a
+//!    workload with no schedulable variant invalidates `ADG*`;
+//! 3. the nested **system DSE** exhaustively picks tile count, L2
+//!    banks/capacity and NoC bandwidth for `ADG*` under the FPGA resource
+//!    budget;
+//! 4. simulated annealing accepts or rejects, favouring estimated
+//!    performance first and resources-per-accelerator second.
+//!
+//! Simulated DSE wall-clock (Figure 15/20's x-axis) is accounted through
+//! [`overgen_model::TimeModel`]: full schedules are expensive, repairs are
+//! cheap — which is exactly why schedule-preserving transformations reduce
+//! DSE time (Q8).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use overgen_dse::{Dse, DseConfig};
+//! use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+//!
+//! let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+//!     .array_input("a", 4096).array_input("b", 4096).array_output("c", 4096)
+//!     .loop_const("i", 4096)
+//!     .assign("c", expr::idx("i"),
+//!             expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
+//!     .build().unwrap();
+//! let result = Dse::new(vec![k], DseConfig { iterations: 50, ..Default::default() }).run();
+//! println!("estimated IPC {:.1}", result.objective);
+//! ```
+
+mod engine;
+mod system;
+mod transforms;
+
+pub use engine::{Dse, DseConfig, DseResult, DseStats};
+pub use system::{system_dse, SystemDseConfig};
+pub use transforms::{
+    capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx,
+};

@@ -1,0 +1,621 @@
+//! ADG transformations: random mutations plus the schedule-preserving
+//! transformations of §V-B.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use overgen_adg::{Adg, AdgNode, InPortNode, NodeId, NodeKind, OutPortNode, PeNode, SwitchNode};
+use overgen_ir::{DataType, FuCap, Op};
+use overgen_scheduler::Schedule;
+
+/// Context a mutation may consult: the capability pool relevant to the
+/// domain and (optionally) the live schedules for preserving transforms.
+pub struct TransformCtx<'a> {
+    /// Capabilities the domain's kernels actually use (mutation pool).
+    pub cap_pool: &'a [FuCap],
+    /// Live schedules (for schedule-preserving guidance); empty slice when
+    /// preserving transformations are disabled.
+    pub schedules: &'a mut [Schedule],
+    /// Whether schedule-preserving transformations are enabled.
+    pub preserving: bool,
+}
+
+/// What a mutation did (for logging / statistics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Added a PE with the given capability count.
+    AddPe,
+    /// Removed a PE.
+    RemovePe,
+    /// Added a switch splitting an edge.
+    AddSwitch,
+    /// Removed a switch (collapsed when preserving).
+    RemoveSwitch,
+    /// Added a fabric edge.
+    AddEdge,
+    /// Removed a fabric edge.
+    RemoveEdge,
+    /// Added a capability to a PE.
+    AddCap,
+    /// Pruned unused capabilities (preserving) or removed a random one.
+    RemoveCap,
+    /// Doubled / halved a port width.
+    ResizePort,
+    /// Doubled / halved a scratchpad capacity or bandwidth.
+    ResizeSpad,
+    /// Doubled / halved an engine bandwidth.
+    ResizeEngineBw,
+    /// Removed a stream engine.
+    RemoveEngine,
+    /// Changed a PE's delay-FIFO depth.
+    ResizeDelayFifo,
+    /// Nothing applicable (identity).
+    Noop,
+}
+
+/// Apply one random mutation to `adg`, preserving schedules when
+/// `ctx.preserving` (routes in `ctx.schedules` are rewritten in place).
+pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let choice = rng.gen_range(0..14u32);
+    match choice {
+        0 => add_pe(adg, ctx, rng),
+        1 => remove_pe(adg, ctx, rng),
+        2 => add_switch(adg, rng),
+        3 => remove_switch(adg, ctx, rng),
+        4 => add_edge(adg, rng),
+        5 => remove_edge(adg, ctx, rng),
+        6 => add_cap(adg, ctx, rng),
+        7 => {
+            if ctx.preserving {
+                capability_pruning(adg, ctx.schedules)
+            } else {
+                remove_random_cap(adg, rng)
+            }
+        }
+        8 => resize_port(adg, ctx, rng),
+        9 => resize_spad(adg, rng),
+        10 => resize_engine_bw(adg, rng),
+        11 => add_engine(adg, rng),
+        12 => remove_engine(adg, ctx, rng),
+        _ => resize_delay_fifo(adg, rng),
+    }
+}
+
+/// Add a memory stream engine (scratchpad or extra DMA) wired to every
+/// port — the §IV spatial-memory design space: "multiple smaller
+/// scratchpads or a single unified scratchpad".
+fn add_engine(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let node = if rng.gen_bool(0.6) {
+        AdgNode::Spad(overgen_adg::SpadNode {
+            capacity_kb: [8u32, 16, 32, 64][rng.gen_range(0..4)],
+            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3)],
+            indirect: rng.gen_bool(0.4),
+        })
+    } else {
+        AdgNode::Dma(overgen_adg::DmaNode {
+            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3)],
+        })
+    };
+    let is_spad = matches!(node, AdgNode::Spad(_));
+    let e = adg.add_node(node);
+    for ip in adg.nodes_of_kind(NodeKind::InPort) {
+        let _ = adg.add_edge(e, ip);
+    }
+    for op in adg.nodes_of_kind(NodeKind::OutPort) {
+        let _ = adg.add_edge(op, e);
+    }
+    if is_spad {
+        Mutation::ResizeSpad
+    } else {
+        Mutation::ResizeEngineBw
+    }
+}
+
+/// Remove an unused (when preserving) extra engine; always keeps at least
+/// one DMA.
+fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let mut engines = adg.nodes_of_kind(NodeKind::Spad);
+    let dmas = adg.nodes_of_kind(NodeKind::Dma);
+    if dmas.len() > 1 {
+        engines.extend(dmas);
+    }
+    if ctx.preserving {
+        let used: std::collections::BTreeSet<NodeId> = ctx
+            .schedules
+            .iter()
+            .flat_map(|s| s.stream_engines.values().copied())
+            .chain(ctx.schedules.iter().flat_map(|s| s.assignment.values().copied()))
+            .collect();
+        engines.retain(|e| !used.contains(e));
+    }
+    let Some(victim) = pick(&engines, rng) else {
+        return Mutation::Noop;
+    };
+    adg.remove_node(victim);
+    Mutation::RemoveEngine
+}
+
+fn pick<T: Copy>(v: &[T], rng: &mut StdRng) -> Option<T> {
+    if v.is_empty() {
+        None
+    } else {
+        Some(v[rng.gen_range(0..v.len())])
+    }
+}
+
+fn used_nodes(schedules: &[Schedule]) -> std::collections::BTreeSet<NodeId> {
+    let mut s = std::collections::BTreeSet::new();
+    for sched in schedules {
+        s.extend(sched.used_adg_nodes());
+    }
+    s
+}
+
+fn used_edges(schedules: &[Schedule]) -> std::collections::BTreeSet<(NodeId, NodeId)> {
+    let mut s = std::collections::BTreeSet::new();
+    for sched in schedules {
+        s.extend(sched.used_adg_edges());
+    }
+    s
+}
+
+fn add_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let switches = adg.nodes_of_kind(NodeKind::Switch);
+    let (Some(sin), Some(sout)) = (pick(&switches, rng), pick(&switches, rng)) else {
+        return Mutation::Noop;
+    };
+    // Sample 1-4 capabilities from the pool.
+    let n = rng.gen_range(1..=4usize.min(ctx.cap_pool.len().max(1)));
+    let caps: Vec<FuCap> = (0..n)
+        .filter_map(|_| pick(ctx.cap_pool, rng))
+        .collect();
+    if caps.is_empty() {
+        return Mutation::Noop;
+    }
+    let pe = adg.add_node(AdgNode::Pe(PeNode::with_caps(caps)));
+    let _ = adg.add_edge(sin, pe);
+    let _ = adg.add_edge(pe, sout);
+    Mutation::AddPe
+}
+
+fn remove_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let mut pes = adg.nodes_of_kind(NodeKind::Pe);
+    if ctx.preserving {
+        let used = used_nodes(ctx.schedules);
+        pes.retain(|p| !used.contains(p));
+    }
+    if pes.len() <= 1 {
+        return Mutation::Noop;
+    }
+    let Some(victim) = pick(&pes, rng) else {
+        return Mutation::Noop;
+    };
+    adg.remove_node(victim);
+    Mutation::RemovePe
+}
+
+fn add_switch(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    // Split a switch-to-switch edge with a new switch.
+    let edges: Vec<(NodeId, NodeId)> = adg
+        .edges()
+        .filter(|(a, b)| {
+            adg.kind(*a) == Some(NodeKind::Switch) && adg.kind(*b) == Some(NodeKind::Switch)
+        })
+        .collect();
+    let Some((a, b)) = pick(&edges, rng) else {
+        return Mutation::Noop;
+    };
+    let sw = adg.add_node(AdgNode::Switch(SwitchNode {}));
+    let _ = adg.add_edge(a, sw);
+    let _ = adg.add_edge(sw, b);
+    // keep the original edge: extra routing flexibility
+    Mutation::AddSwitch
+}
+
+fn remove_switch(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let switches = adg.nodes_of_kind(NodeKind::Switch);
+    if switches.len() <= 2 {
+        return Mutation::Noop;
+    }
+    let Some(victim) = pick(&switches, rng) else {
+        return Mutation::Noop;
+    };
+    if ctx.preserving {
+        collapse_node(adg, ctx.schedules, victim)
+    } else {
+        adg.remove_node(victim);
+        Mutation::RemoveSwitch
+    }
+}
+
+/// Node collapsing (§V-B, Figure 7a): delete a routing node and add direct
+/// edges for every schedule route that passed through it, rewriting those
+/// routes. Edge-delay preservation (Figure 7b) bumps the delay-FIFO depth
+/// of destination PEs whose operand paths shortened.
+pub fn collapse_node(adg: &mut Adg, schedules: &mut [Schedule], victim: NodeId) -> Mutation {
+    if adg.kind(victim) != Some(NodeKind::Switch) {
+        return Mutation::Noop;
+    }
+    // Collect (prev, next) pairs of routes through the victim.
+    let mut bridges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut shortened_dsts: Vec<NodeId> = Vec::new();
+    for sched in schedules.iter_mut() {
+        for path in sched.routes.values_mut() {
+            while let Some(pos) = path.iter().position(|n| *n == victim) {
+                if pos == 0 || pos + 1 >= path.len() {
+                    // victim at an end: route is broken beyond repair here
+                    // (cannot happen for switches, which are interior).
+                    break;
+                }
+                let prev = path[pos - 1];
+                let next = path[pos + 1];
+                bridges.push((prev, next));
+                path.remove(pos);
+                if let Some(dst) = path.last().copied() {
+                    shortened_dsts.push(dst);
+                }
+            }
+        }
+    }
+    adg.remove_node(victim);
+    for (a, b) in bridges {
+        // Direct hardware connection preserving the route (ignore
+        // duplicates).
+        let _ = adg.add_edge(a, b);
+    }
+    // Edge-delay preservation: operand paths into these PEs shortened by
+    // one hop; grow their delay FIFOs so balance is maintained.
+    for dst in shortened_dsts {
+        if let Some(pe) = adg.node_mut(dst).and_then(AdgNode::as_pe_mut) {
+            pe.delay_fifo_depth = pe.delay_fifo_depth.saturating_add(1).min(16);
+        }
+    }
+    Mutation::RemoveSwitch
+}
+
+fn add_edge(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let fabric: Vec<NodeId> = adg
+        .nodes()
+        .filter(|(_, n)| n.kind().is_fabric())
+        .map(|(id, _)| id)
+        .collect();
+    for _ in 0..8 {
+        let (Some(a), Some(b)) = (pick(&fabric, rng), pick(&fabric, rng)) else {
+            return Mutation::Noop;
+        };
+        if a != b && adg.add_edge(a, b).is_ok() {
+            return Mutation::AddEdge;
+        }
+    }
+    Mutation::Noop
+}
+
+fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let mut edges: Vec<(NodeId, NodeId)> = adg
+        .edges()
+        .filter(|(a, b)| {
+            adg.kind(*a) == Some(NodeKind::Switch) && adg.kind(*b) == Some(NodeKind::Switch)
+        })
+        .collect();
+    if ctx.preserving {
+        let used = used_edges(ctx.schedules);
+        edges.retain(|e| !used.contains(e));
+    }
+    let Some((a, b)) = pick(&edges, rng) else {
+        return Mutation::Noop;
+    };
+    adg.remove_edge(a, b);
+    Mutation::RemoveEdge
+}
+
+fn add_cap(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let pes = adg.nodes_of_kind(NodeKind::Pe);
+    let (Some(pe), Some(cap)) = (pick(&pes, rng), pick(ctx.cap_pool, rng)) else {
+        return Mutation::Noop;
+    };
+    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
+        p.caps.insert(cap);
+        Mutation::AddCap
+    } else {
+        Mutation::Noop
+    }
+}
+
+fn remove_random_cap(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let pes = adg.nodes_of_kind(NodeKind::Pe);
+    let Some(pe) = pick(&pes, rng) else {
+        return Mutation::Noop;
+    };
+    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
+        if p.caps.len() > 1 {
+            let caps: Vec<FuCap> = p.caps.iter().copied().collect();
+            let c = caps[rng.gen_range(0..caps.len())];
+            p.caps.remove(&c);
+            return Mutation::RemoveCap;
+        }
+    }
+    Mutation::Noop
+}
+
+/// Module-capability pruning (§V-B): drop a capability no mapped schedule
+/// needs. Schedules only record hardware ids, so pruning is restricted to
+/// PEs no schedule touches at all — and proceeds one capability at a time
+/// (one random cap of one random unused PE per invocation), giving the
+/// annealer the chance to reject harmful prunes instead of devastating the
+/// spare-capacity pool in one step.
+pub fn capability_pruning(adg: &mut Adg, schedules: &[Schedule]) -> Mutation {
+    let used = used_nodes(schedules);
+    let mut candidates: Vec<(NodeId, FuCap)> = Vec::new();
+    for pe in adg.nodes_of_kind(NodeKind::Pe) {
+        if used.contains(&pe) {
+            continue;
+        }
+        if let Some(p) = adg.node(pe).and_then(AdgNode::as_pe) {
+            if p.caps.len() > 1 {
+                // drop the most expensive spare capability first
+                if let Some(c) = p.caps.iter().copied().max_by_key(cheapness) {
+                    candidates.push((pe, c));
+                }
+            }
+        }
+    }
+    // deterministic pick: the globally most expensive spare capability
+    let Some((pe, cap)) = candidates.into_iter().max_by_key(|(_, c)| cheapness(c)) else {
+        return Mutation::Noop;
+    };
+    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
+        p.caps.remove(&cap);
+        Mutation::RemoveCap
+    } else {
+        Mutation::Noop
+    }
+}
+
+/// Order key: cheaper capabilities first.
+fn cheapness(c: &FuCap) -> (u8, u32) {
+    let class = match c.op.class() {
+        overgen_ir::OpClass::Logic => 0,
+        overgen_ir::OpClass::AddLike => 1,
+        overgen_ir::OpClass::MulLike => 2,
+        overgen_ir::OpClass::DivLike => 3,
+    };
+    (class, c.dtype.bits())
+}
+
+fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+    let mut ports = adg.nodes_of_kind(NodeKind::InPort);
+    ports.extend(adg.nodes_of_kind(NodeKind::OutPort));
+    let Some(port) = pick(&ports, rng) else {
+        return Mutation::Noop;
+    };
+    let grow = rng.gen_bool(0.5);
+    let shrink_blocked = ctx.preserving && used_nodes(ctx.schedules).contains(&port);
+    match adg.node_mut(port) {
+        Some(AdgNode::InPort(InPortNode { width_bytes, .. }))
+        | Some(AdgNode::OutPort(OutPortNode { width_bytes, .. })) => {
+            if grow {
+                *width_bytes = (*width_bytes * 2).min(64);
+            } else if !shrink_blocked && *width_bytes > 2 {
+                *width_bytes /= 2;
+            } else {
+                return Mutation::Noop;
+            }
+            Mutation::ResizePort
+        }
+        _ => Mutation::Noop,
+    }
+}
+
+fn resize_spad(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let spads = adg.nodes_of_kind(NodeKind::Spad);
+    let Some(sp) = pick(&spads, rng) else {
+        return Mutation::Noop;
+    };
+    let grow = rng.gen_bool(0.5);
+    if let Some(AdgNode::Spad(s)) = adg.node_mut(sp) {
+        if grow {
+            s.capacity_kb = (s.capacity_kb * 2).min(512);
+        } else if s.capacity_kb > 2 {
+            s.capacity_kb /= 2;
+        }
+        if rng.gen_bool(0.2) {
+            s.indirect = !s.indirect;
+        }
+        Mutation::ResizeSpad
+    } else {
+        Mutation::Noop
+    }
+}
+
+fn resize_engine_bw(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let mut engines = adg.nodes_of_kind(NodeKind::Dma);
+    engines.extend(adg.nodes_of_kind(NodeKind::Spad));
+    engines.extend(adg.nodes_of_kind(NodeKind::Gen));
+    engines.extend(adg.nodes_of_kind(NodeKind::Rec));
+    let Some(e) = pick(&engines, rng) else {
+        return Mutation::Noop;
+    };
+    let grow = rng.gen_bool(0.5);
+    let node = adg.node_mut(e);
+    let bw: Option<&mut u16> = match node {
+        Some(AdgNode::Dma(d)) => Some(&mut d.bw_bytes),
+        Some(AdgNode::Spad(s)) => Some(&mut s.bw_bytes),
+        Some(AdgNode::Gen(g)) => Some(&mut g.bw_bytes),
+        Some(AdgNode::Rec(r)) => Some(&mut r.bw_bytes),
+        _ => None,
+    };
+    if let Some(bw) = bw {
+        if grow {
+            *bw = (*bw * 2).min(128);
+        } else if *bw > 4 {
+            *bw /= 2;
+        }
+        Mutation::ResizeEngineBw
+    } else {
+        Mutation::Noop
+    }
+}
+
+fn resize_delay_fifo(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+    let pes = adg.nodes_of_kind(NodeKind::Pe);
+    let Some(pe) = pick(&pes, rng) else {
+        return Mutation::Noop;
+    };
+    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
+        if rng.gen_bool(0.5) {
+            p.delay_fifo_depth = p.delay_fifo_depth.saturating_add(1).min(16);
+        } else if p.delay_fifo_depth > 1 {
+            p.delay_fifo_depth -= 1;
+        }
+        Mutation::ResizeDelayFifo
+    } else {
+        Mutation::Noop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
+    use overgen_compiler::{lower, LowerChoices};
+    use overgen_ir::{expr, KernelBuilder, Suite};
+    use overgen_scheduler::schedule;
+    use rand::SeedableRng;
+
+    fn pool() -> Vec<FuCap> {
+        vec![
+            FuCap::new(Op::Add, DataType::I64),
+            FuCap::new(Op::Mul, DataType::I64),
+        ]
+    }
+
+    fn scheduled_setup() -> (overgen_mdfg::Mdfg, SysAdg, Schedule) {
+        let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+            .array_input("a", 64)
+            .array_input("b", 64)
+            .array_output("c", 64)
+            .loop_const("i", 64)
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+            )
+            .build()
+            .unwrap();
+        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        (mdfg, sys, sched)
+    }
+
+    #[test]
+    fn mutations_keep_graph_valid_often() {
+        let caps = pool();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut adg = mesh(&MeshSpec::default());
+        let mut schedules = Vec::new();
+        let mut ctx = TransformCtx {
+            cap_pool: &caps,
+            schedules: &mut schedules,
+            preserving: false,
+        };
+        for _ in 0..200 {
+            random_mutation(&mut adg, &mut ctx, &mut rng);
+        }
+        // The graph can transiently be invalid (that is what DSE rejection
+        // handles) but must never panic and must keep at least one PE.
+        assert!(adg.count_kind(NodeKind::Pe) >= 1);
+    }
+
+    #[test]
+    fn collapse_rewrites_routes_and_preserves_validity() {
+        let (mdfg, mut sys, sched) = scheduled_setup();
+        // Find a switch used by some route interior.
+        let mut victim = None;
+        for path in sched.routes.values() {
+            for n in &path[1..path.len().saturating_sub(1)] {
+                if sys.adg.kind(*n) == Some(NodeKind::Switch) {
+                    victim = Some(*n);
+                    break;
+                }
+            }
+        }
+        let Some(victim) = victim else {
+            // All routes are adjacent; nothing to collapse.
+            return;
+        };
+        let mut schedules = vec![sched];
+        collapse_node(&mut sys.adg, &mut schedules, victim);
+        // victim gone, routes no longer reference it, links exist.
+        assert!(!sys.adg.contains(victim));
+        for path in schedules[0].routes.values() {
+            assert!(!path.contains(&victim));
+            for w in path.windows(2) {
+                assert!(sys.adg.has_edge(w[0], w[1]), "bridge edge missing");
+            }
+        }
+        // The schedule must still be repairable as-is (intact fast path).
+        let (re, outcome) = overgen_scheduler::repair(&schedules[0], &mdfg, &sys).unwrap();
+        assert_eq!(outcome, overgen_scheduler::RepairOutcome::Intact);
+        let _ = re;
+    }
+
+    #[test]
+    fn preserving_remove_pe_spares_used_ones() {
+        let (_mdfg, mut sys, sched) = scheduled_setup();
+        let used = sched.used_adg_nodes();
+        let caps = pool();
+        let mut schedules = vec![sched];
+        let mut ctx = TransformCtx {
+            cap_pool: &caps,
+            schedules: &mut schedules,
+            preserving: true,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            remove_pe(&mut sys.adg, &mut ctx, &mut rng);
+        }
+        for pe in used {
+            if sys.adg.kind(pe) == Some(NodeKind::Pe) || ctx.schedules[0].assignment.values().any(|a| *a == pe) {
+                assert!(sys.adg.contains(pe) || sys.adg.kind(pe).is_none());
+            }
+        }
+        // every PE referenced by the schedule still exists
+        for (_, hw) in ctx.schedules[0].assignment.iter() {
+            assert!(sys.adg.contains(*hw));
+        }
+    }
+
+    #[test]
+    fn capability_pruning_shrinks_unused_pes_only() {
+        let (_mdfg, mut sys, sched) = scheduled_setup();
+        let used = sched.used_adg_nodes();
+        let before: usize = sys
+            .adg
+            .nodes()
+            .filter_map(|(_, n)| n.as_pe().map(|p| p.caps.len()))
+            .sum();
+        capability_pruning(&mut sys.adg, &[sched.clone()]);
+        let after: usize = sys
+            .adg
+            .nodes()
+            .filter_map(|(_, n)| n.as_pe().map(|p| p.caps.len()))
+            .sum();
+        assert!(after < before, "pruning had no effect");
+        // used PEs untouched
+        for pe in sys.adg.nodes_of_kind(NodeKind::Pe) {
+            if used.contains(&pe) {
+                let n = sys.adg.node(pe).unwrap().as_pe().unwrap();
+                assert_eq!(n.caps.len(), 3, "used PE was pruned");
+            }
+        }
+    }
+
+    #[test]
+    fn cheapness_ordering() {
+        assert!(
+            cheapness(&FuCap::new(Op::And, DataType::I8))
+                < cheapness(&FuCap::new(Op::Div, DataType::F64))
+        );
+    }
+}

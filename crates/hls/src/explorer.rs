@@ -1,0 +1,238 @@
+//! The AutoDSE-style bottleneck-guided explorer.
+//!
+//! AutoDSE's key idea (Sohrabizadeh et al.): instead of searching the full
+//! pragma cross-product, identify the current bottleneck and push only the
+//! pragma that relieves it, re-evaluating with the Merlin/HLS toolchain at
+//! every step. Each candidate evaluation costs real tool time, which is
+//! what Figure 15 accounts.
+
+use overgen_ir::Kernel;
+use overgen_model::resources::{FpgaDevice, XCVU9P};
+use overgen_model::TimeModel;
+
+use crate::design::{evaluate, HlsDesign, HlsPragmas};
+
+/// Explorer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoDseConfig {
+    /// Device budget.
+    pub device: FpgaDevice,
+    /// Fraction of the device one kernel may use.
+    pub budget_frac: f64,
+    /// Maximum candidates evaluated before stopping.
+    pub max_candidates: usize,
+    /// Minimum relative improvement to keep pushing a direction.
+    pub min_gain: f64,
+    /// Maximum pragma factor Merlin explores (coarse-grained parallel
+    /// factors beyond ~8-16 rarely close timing or route on the VCU118).
+    pub max_factor: u32,
+    /// DRAM channels available.
+    pub dram_channels: u32,
+    /// Time model for candidate-evaluation accounting.
+    pub time: TimeModel,
+}
+
+impl Default for AutoDseConfig {
+    fn default() -> Self {
+        AutoDseConfig {
+            device: XCVU9P,
+            budget_frac: 0.75,
+            max_candidates: 24,
+            min_gain: 0.03,
+            max_factor: 8,
+            dram_channels: 1,
+            time: TimeModel::default(),
+        }
+    }
+}
+
+/// Result of one AutoDSE run on one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoDseResult {
+    /// Best design found.
+    pub best: HlsDesign,
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Simulated DSE hours (Merlin candidate evaluations).
+    pub dse_hours: f64,
+    /// Simulated synthesis + P&R hours for the final design.
+    pub synth_hours: f64,
+    /// Whether the pre-built result database short-circuited exploration.
+    pub from_database: bool,
+}
+
+impl AutoDseResult {
+    /// Total hours: exploration plus final implementation (Figure 15 bars).
+    pub fn total_hours(&self) -> f64 {
+        self.dse_hours + self.synth_hours
+    }
+}
+
+/// Kernels whose best configuration is in AutoDSE's pre-built database
+/// (the paper names `gemm`).
+const DATABASE: [(&str, HlsPragmas); 1] = [(
+    "gemm",
+    HlsPragmas {
+        unroll: 16,
+        partition: 16,
+    },
+)];
+
+/// Run the bottleneck-guided exploration for one kernel.
+pub fn explore(kernel: &Kernel, cfg: &AutoDseConfig) -> AutoDseResult {
+    let time = &cfg.time;
+
+    if let Some((_, pragmas)) = DATABASE.iter().find(|(n, _)| *n == kernel.name()) {
+        let best = evaluate(kernel, pragmas, &cfg.device, cfg.dram_channels);
+        let synth_hours = time.hls_flow_hours(&best.resources, &cfg.device);
+        return AutoDseResult {
+            best,
+            candidates: 1,
+            dse_hours: time.hls_candidate_hours,
+            synth_hours,
+            from_database: true,
+        };
+    }
+
+    let mut pragmas = HlsPragmas::default();
+    let mut best = evaluate(kernel, &pragmas, &cfg.device, cfg.dram_channels);
+    let mut candidates = 1usize;
+
+    while candidates < cfg.max_candidates {
+        // Identify the bottleneck: would doubling unroll or partition help
+        // more? (AutoDSE evaluates the candidate the bottleneck analysis
+        // proposes; we charge one candidate per evaluation.)
+        let try_unroll = HlsPragmas {
+            unroll: pragmas.unroll * 2,
+            ..pragmas
+        };
+        let try_partition = HlsPragmas {
+            partition: pragmas.partition * 2,
+            ..pragmas
+        };
+        // Compute and memory parallelism are coupled (unroll needs ports);
+        // the bottleneck analysis also proposes relieving both at once.
+        let try_both = HlsPragmas {
+            unroll: pragmas.unroll * 2,
+            partition: pragmas.partition * 2,
+        };
+        let du = evaluate(kernel, &try_unroll, &cfg.device, cfg.dram_channels);
+        let dp = evaluate(kernel, &try_partition, &cfg.device, cfg.dram_channels);
+        let db = evaluate(kernel, &try_both, &cfg.device, cfg.dram_channels);
+        candidates += 3;
+
+        let mut options = [(try_unroll, du), (try_partition, dp), (try_both, db)];
+        options.sort_by(|a, b| a.1.seconds.total_cmp(&b.1.seconds));
+        let (cand_pragmas, cand) = options.into_iter().next().expect("non-empty");
+        let fits = cfg.device.fits(&cand.resources, cfg.budget_frac);
+        let within_caps = cand_pragmas.unroll <= cfg.max_factor
+            && cand_pragmas.partition <= cfg.max_factor;
+        let gain = (best.seconds - cand.seconds) / best.seconds;
+        if !fits || !within_caps || gain < cfg.min_gain {
+            break;
+        }
+        pragmas = cand_pragmas;
+        best = cand;
+    }
+
+    let synth_hours = time.hls_flow_hours(&best.resources, &cfg.device);
+    AutoDseResult {
+        best,
+        candidates,
+        dse_hours: candidates as f64 * time.hls_candidate_hours,
+        synth_hours,
+        from_database: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+
+    fn vecadd() -> Kernel {
+        KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+            .array_input("a", 65536)
+            .array_input("b", 65536)
+            .array_output("c", 65536)
+            .loop_const("i", 65536)
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn gemm_like(name: &str) -> Kernel {
+        KernelBuilder::new(name, Suite::MachSuite, DataType::I64)
+            .array_input("a", 64 * 64)
+            .array_input("b", 64 * 64)
+            .array_output("c", 64 * 64)
+            .loop_const("i", 64)
+            .loop_const("j", 64)
+            .loop_const("k", 64)
+            .accum(
+                "c",
+                expr::idx_scaled("i", 64) + expr::idx("j"),
+                expr::load("a", expr::idx_scaled("i", 64) + expr::idx("k"))
+                    * expr::load("b", expr::idx_scaled("k", 64) + expr::idx("j")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn explorer_improves_over_baseline() {
+        let r = explore(&vecadd(), &AutoDseConfig::default());
+        let base = evaluate(&vecadd(), &HlsPragmas::default(), &XCVU9P, 1);
+        assert!(r.best.seconds < base.seconds);
+        assert!(r.candidates > 1);
+        assert!(r.total_hours() > r.synth_hours);
+    }
+
+    #[test]
+    fn database_shortcuts_gemm() {
+        let r = explore(&gemm_like("gemm"), &AutoDseConfig::default());
+        assert!(r.from_database);
+        assert_eq!(r.candidates, 1);
+        // the same structure without the database name explores longer
+        let r2 = explore(&gemm_like("notgemm"), &AutoDseConfig::default());
+        assert!(!r2.from_database);
+        assert!(r2.dse_hours > r.dse_hours);
+    }
+
+    #[test]
+    fn respects_resource_budget() {
+        // vecadd's on-chip buffers already cost ~16% of BRAM at unroll 1,
+        // so a 30% budget leaves little headroom for pragma growth.
+        let tight = AutoDseConfig {
+            budget_frac: 0.30,
+            ..Default::default()
+        };
+        let loose = AutoDseConfig::default();
+        let rt = explore(&vecadd(), &tight);
+        let rl = explore(&vecadd(), &loose);
+        assert!(tight.device.fits(&rt.best.resources, 0.30));
+        assert!(rl.best.resources.lut >= rt.best.resources.lut);
+    }
+
+    #[test]
+    fn dse_hours_scale_with_candidates() {
+        let r = explore(&vecadd(), &AutoDseConfig::default());
+        let expected = r.candidates as f64 * TimeModel::default().hls_candidate_hours;
+        assert!((r.dse_hours - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_kernel_hours_in_paper_magnitude() {
+        // Figure 15: AutoDSE totals ~10 h per kernel.
+        let r = explore(&gemm_like("mm"), &AutoDseConfig::default());
+        assert!(
+            r.total_hours() > 2.0 && r.total_hours() < 25.0,
+            "hours {}",
+            r.total_hours()
+        );
+    }
+}

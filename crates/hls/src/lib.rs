@@ -1,0 +1,43 @@
+//! The AutoDSE / HLS baseline of the OverGen evaluation.
+//!
+//! The paper compares against AutoDSE (Merlin Compiler + Vitis HLS), a
+//! bottleneck-guided explorer over HLS pragmas. Neither tool exists in a
+//! pure-Rust offline environment, so this crate provides an analytic
+//! substitute that reproduces the *behaviours* the paper measures:
+//!
+//! - a **pipeline model** ([`design`]): cycles from loop trip counts,
+//!   initiation interval, pipeline depth, and an AXI/DRAM bandwidth bound;
+//! - an **initiation-interval analysis** ([`ii`]) encoding the two HLS
+//!   pathologies of Table IV — variable loop trip counts and small-stride
+//!   ("inefficient strided") access — and their disappearance under manual
+//!   kernel tuning;
+//! - an **AutoDSE-style explorer** ([`explorer`]): repeatedly identify the
+//!   bottleneck (compute vs. memory), double the corresponding pragma
+//!   (unroll / array partition), re-evaluate, and account simulated
+//!   Merlin/Vivado candidate-evaluation time — plus the pre-built result
+//!   database shortcut the paper mentions for `gemm`.
+//!
+//! # Example
+//!
+//! ```
+//! use overgen_hls::{explore, AutoDseConfig};
+//! use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+//!
+//! let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+//!     .array_input("a", 4096).array_input("b", 4096).array_output("c", 4096)
+//!     .loop_const("i", 4096)
+//!     .assign("c", expr::idx("i"),
+//!             expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
+//!     .build().unwrap();
+//! let result = explore(&k, &AutoDseConfig::default());
+//! assert!(result.best.cycles > 0.0);
+//! assert!(result.dse_hours > 0.0);
+//! ```
+
+pub mod design;
+pub mod explorer;
+pub mod ii;
+
+pub use design::{evaluate, HlsDesign, HlsPragmas};
+pub use explorer::{explore, AutoDseConfig, AutoDseResult};
+pub use ii::initiation_interval;

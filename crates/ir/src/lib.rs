@@ -1,0 +1,49 @@
+//! Kernel intermediate representation for the OverGen reproduction.
+//!
+//! The original OverGen framework consumes C annotated with `#pragma dsa`
+//! hints through an LLVM-based compiler. This crate provides the equivalent
+//! substrate for a pure-Rust environment: a typed IR of affine loop nests
+//! over declared arrays, with the two pragmas the paper defines
+//! (`#pragma dsa config` and `#pragma dsa decouple`) represented as kernel
+//! attributes.
+//!
+//! Everything downstream (the decoupled-spatial compiler, the reuse
+//! analysis, the HLS baseline's initiation-interval analysis) operates on
+//! this IR.
+//!
+//! # Example
+//!
+//! A vector addition, the paper's Figure 2 example:
+//!
+//! ```
+//! use overgen_ir::{KernelBuilder, DataType, Suite, expr};
+//!
+//! let n = 1024;
+//! let kernel = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+//!     .array_input("a", n)
+//!     .array_input("b", n)
+//!     .array_output("c", n)
+//!     .loop_const("i", n)
+//!     .assign("c", expr::idx("i"), expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
+//!     .build()
+//!     .expect("valid kernel");
+//! assert_eq!(kernel.body().len(), 1);
+//! ```
+
+mod affine;
+mod dtype;
+mod expression;
+mod kernel;
+mod loops;
+mod op;
+mod stmt;
+
+pub use affine::AffineExpr;
+pub use dtype::DataType;
+pub use expression::{expr_ops as expr, ArrayRef, Expr, IndexExpr};
+pub use kernel::{
+    ArrayDecl, ArrayKind, BuildError, Kernel, KernelBuilder, KernelTraits, Pragmas, Suite, Tuning,
+};
+pub use loops::{Loop, LoopNest, TripCount};
+pub use op::{FuCap, Op, OpClass};
+pub use stmt::Stmt;

@@ -1,0 +1,41 @@
+//! Memory-enhanced dataflow graph (mDFG) for the OverGen reproduction.
+//!
+//! A plain decoupled-spatial DFG captures computation and streams; the
+//! paper's §IV enhancement adds **array nodes** — first-class data-structure
+//! nodes with footprint/traffic/reuse annotations on the streams that
+//! consume or produce them. This is the information that lets the spatial
+//! scheduler decide *which* scratchpad (if any) should hold an array, and
+//! lets the DSE reason about memory and bandwidth provisioning.
+//!
+//! The compiler crate constructs mDFGs; this crate defines their structure
+//! and the reuse arithmetic of §IV-B (general, stationary, and recurrent
+//! reuse).
+//!
+//! # Example
+//!
+//! The paper's Figure 5 FIR mDFG, built by hand (the compiler automates
+//! this):
+//!
+//! ```
+//! use overgen_mdfg::{Mdfg, MdfgNode, ArrayNode, StreamNode, InstNode, MemPref, ReuseInfo};
+//! use overgen_ir::{Op, DataType};
+//!
+//! let mut g = Mdfg::new("fir", 0);
+//! let a = g.add_node(MdfgNode::Array(ArrayNode::new("a", 255 * 8, MemPref::PreferSpad)));
+//! let rd = g.add_node(MdfgNode::InputStream(StreamNode::read(
+//!     "a", 8, ReuseInfo { traffic_bytes: 16384.0 * 8.0, footprint_bytes: 255.0 * 8.0,
+//!                         ..ReuseInfo::default() })));
+//! let mul = g.add_node(MdfgNode::Inst(InstNode::new(Op::Mul, DataType::F64, 1)));
+//! g.add_edge(a, rd)?;
+//! g.add_edge(rd, mul)?;
+//! assert_eq!(g.input_stream_count(), 1);
+//! # Ok::<(), overgen_mdfg::MdfgError>(())
+//! ```
+
+mod graph;
+mod node;
+mod reuse;
+
+pub use graph::{Mdfg, MdfgError, MdfgNodeId};
+pub use node::{ArrayNode, InstNode, MdfgNode, MdfgNodeKind, MemPref, StreamNode, StreamPattern};
+pub use reuse::{RecurrenceInfo, ReuseInfo};

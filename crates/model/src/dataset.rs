@@ -1,0 +1,208 @@
+//! Dataset generation and MLP-model training for the FPGA resource model
+//! (paper §V-D, Table I).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::BTreeMap;
+
+use crate::estimate::ResourceModel;
+use crate::mlp::{Mlp, TrainConfig, TrainReport};
+use crate::resources::Resources;
+use crate::synthesis::{synthesize, ComponentFeatures, ComponentKind, NUM_FEATURES};
+
+/// One component class's dataset: features plus oracle responses, and the
+/// total simulated synthesis time spent producing it.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Component class.
+    pub kind: ComponentKind,
+    /// Feature vectors.
+    pub xs: Vec<Vec<f64>>,
+    /// Resource targets `[lut, ff, bram, dsp]`.
+    pub ys: Vec<Vec<f64>>,
+    /// Simulated synthesis hours spent.
+    pub synth_hours: f64,
+}
+
+/// Sample a random, plausible feature vector of a component class.
+pub fn random_features(kind: ComponentKind, rng: &mut StdRng) -> ComponentFeatures {
+    let mut f = [0.0; NUM_FEATURES];
+    match kind {
+        ComponentKind::Pe => {
+            f[0] = rng.gen_range(0..40) as f64; // addlike
+            f[1] = rng.gen_range(0..8) as f64; // int mul
+            f[2] = rng.gen_range(0..10) as f64; // int div
+            f[3] = rng.gen_range(0..4) as f64; // flt add
+            f[4] = rng.gen_range(0..4) as f64; // flt mul
+            f[5] = rng.gen_range(0..5) as f64; // flt div/sqrt
+            f[6] = rng.gen_range(0..40) as f64; // logic
+            f[7] = [0.125, 0.25, 0.5, 1.0][rng.gen_range(0..4)]; // bits/64
+            f[8] = rng.gen_range(1..9) as f64; // delay fifo depth
+            f[9] = rng.gen_range(2..9) as f64; // radix
+        }
+        ComponentKind::Switch => {
+            f[0] = rng.gen_range(1..9) as f64;
+            f[1] = rng.gen_range(1..9) as f64;
+            f[2] = 1.0;
+        }
+        ComponentKind::InPort => {
+            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7)];
+            f[1] = f64::from(rng.gen_range(0..2u8));
+            f[2] = f64::from(rng.gen_range(0..2u8));
+            f[3] = rng.gen_range(1..5) as f64;
+        }
+        ComponentKind::OutPort => {
+            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7)];
+            f[1] = rng.gen_range(1..5) as f64;
+        }
+    }
+    ComponentFeatures { kind, f }
+}
+
+/// Generate a dataset of `n` oracle-synthesized samples for one class.
+pub fn generate(kind: ComponentKind, n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64) << 32);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    let mut seconds = 0.0;
+    for i in 0..n {
+        let feats = random_features(kind, &mut rng);
+        let run = synthesize(&feats, seed.wrapping_add(i as u64));
+        xs.push(feats.f.to_vec());
+        ys.push(run.resources.to_array().to_vec());
+        seconds += run.seconds;
+    }
+    Dataset {
+        kind,
+        xs,
+        ys,
+        synth_hours: seconds / 3600.0,
+    }
+}
+
+/// The trained per-class MLP resource model (the object the DSE queries).
+#[derive(Debug, Clone)]
+pub struct MlpResourceModel {
+    models: BTreeMap<ComponentKind, Mlp>,
+    reports: BTreeMap<ComponentKind, TrainReport>,
+}
+
+impl MlpResourceModel {
+    /// Train one MLP per component class on oracle datasets of the given
+    /// sizes. `sizes` maps class -> sample count (use
+    /// [`ComponentKind::paper_sample_count`] to reproduce Table I exactly).
+    pub fn train(sizes: &BTreeMap<ComponentKind, usize>, seed: u64) -> Self {
+        let mut models = BTreeMap::new();
+        let mut reports = BTreeMap::new();
+        for (&kind, &n) in sizes {
+            let ds = generate(kind, n, seed);
+            let mut mlp = Mlp::new(NUM_FEATURES, 24, 16, 4, seed ^ kind as u64);
+            let report = mlp.train(
+                &ds.xs,
+                &ds.ys,
+                &TrainConfig {
+                    epochs: 40,
+                    ..Default::default()
+                },
+            );
+            models.insert(kind, mlp);
+            reports.insert(kind, report);
+        }
+        MlpResourceModel { models, reports }
+    }
+
+    /// Quick default: a few thousand samples per class (minutes of
+    /// simulated synthesis rather than the paper's weeks).
+    pub fn train_default(seed: u64) -> Self {
+        let sizes = ComponentKind::ALL
+            .into_iter()
+            .map(|k| (k, 1_500))
+            .collect();
+        Self::train(&sizes, seed)
+    }
+
+    /// Training report per class.
+    pub fn report(&self, kind: ComponentKind) -> Option<&TrainReport> {
+        self.reports.get(&kind)
+    }
+}
+
+impl ResourceModel for MlpResourceModel {
+    fn component(&self, feats: &ComponentFeatures) -> Resources {
+        match self.models.get(&feats.kind) {
+            Some(mlp) => {
+                let out = mlp.forward(&feats.f);
+                Resources {
+                    lut: out[0].max(0.0),
+                    ff: out[1].max(0.0),
+                    bram: out[2].max(0.0),
+                    dsp: out[3].max(0.0),
+                }
+            }
+            None => crate::synthesis::mean_cost(feats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::AnalyticModel;
+
+    #[test]
+    fn dataset_shapes_and_time() {
+        let ds = generate(ComponentKind::Switch, 200, 1);
+        assert_eq!(ds.xs.len(), 200);
+        assert_eq!(ds.ys.len(), 200);
+        assert_eq!(ds.xs[0].len(), NUM_FEATURES);
+        assert_eq!(ds.ys[0].len(), 4);
+        assert!(ds.synth_hours > 0.0);
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = generate(ComponentKind::Pe, 50, 9);
+        let b = generate(ComponentKind::Pe, 50, 9);
+        assert_eq!(a.xs, b.xs);
+        assert_eq!(a.ys, b.ys);
+    }
+
+    #[test]
+    fn mlp_model_tracks_oracle() {
+        // Small but real end-to-end train; assert the learned model is
+        // within ~20% of the analytic mean on fresh samples.
+        let sizes = [(ComponentKind::Switch, 800)].into_iter().collect();
+        let model = MlpResourceModel::train(&sizes, 5);
+        let report = model.report(ComponentKind::Switch).unwrap();
+        assert!(
+            report.test_rel_err < 0.15,
+            "switch test err {}",
+            report.test_rel_err
+        );
+        let mut rng = StdRng::seed_from_u64(99);
+        let analytic = AnalyticModel;
+        let mut err = 0.0;
+        let mut mag = 0.0;
+        for _ in 0..50 {
+            let f = random_features(ComponentKind::Switch, &mut rng);
+            let p = model.component(&f);
+            let t = analytic.component(&f);
+            err += (p.lut - t.lut).abs();
+            mag += t.lut;
+        }
+        assert!(err / mag < 0.2, "mlp vs analytic rel err {}", err / mag);
+    }
+
+    #[test]
+    fn unknown_kind_falls_back_to_analytic() {
+        let model = MlpResourceModel {
+            models: BTreeMap::new(),
+            reports: BTreeMap::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_features(ComponentKind::Pe, &mut rng);
+        let r = model.component(&f);
+        assert_eq!(r, crate::synthesis::mean_cost(&f));
+    }
+}

@@ -1,0 +1,304 @@
+//! FPGA resource vectors and device descriptors.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// An FPGA resource vector: the four resources the paper's DSE balances
+/// (§II-C "ASIC Focused" limitation; Figure 16).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// Lookup tables.
+    pub lut: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// 36Kb block RAMs.
+    pub bram: f64,
+    /// DSP slices.
+    pub dsp: f64,
+}
+
+impl Resources {
+    /// The zero vector.
+    pub const ZERO: Resources = Resources {
+        lut: 0.0,
+        ff: 0.0,
+        bram: 0.0,
+        dsp: 0.0,
+    };
+
+    /// Elementwise max.
+    pub fn max(self, other: Resources) -> Resources {
+        Resources {
+            lut: self.lut.max(other.lut),
+            ff: self.ff.max(other.ff),
+            bram: self.bram.max(other.bram),
+            dsp: self.dsp.max(other.dsp),
+        }
+    }
+
+    /// Whether every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        [self.lut, self.ff, self.bram, self.dsp]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+
+    /// As a fixed-order array `[lut, ff, bram, dsp]` (MLP target layout).
+    pub fn to_array(self) -> [f64; 4] {
+        [self.lut, self.ff, self.bram, self.dsp]
+    }
+
+    /// From the fixed-order array.
+    pub fn from_array(a: [f64; 4]) -> Self {
+        Resources {
+            lut: a[0],
+            ff: a[1],
+            bram: a[2],
+            dsp: a[3],
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, o: Resources) -> Resources {
+        Resources {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            bram: self.bram + o.bram,
+            dsp: self.dsp + o.dsp,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, o: Resources) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: f64) -> Resources {
+        Resources {
+            lut: self.lut * k,
+            ff: self.ff * k,
+            bram: self.bram * k,
+            dsp: self.dsp * k,
+        }
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lut={:.0} ff={:.0} bram={:.0} dsp={:.0}",
+            self.lut, self.ff, self.bram, self.dsp
+        )
+    }
+}
+
+/// Fractional utilization of each resource on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Utilization {
+    /// LUT fraction used.
+    pub lut: f64,
+    /// FF fraction used.
+    pub ff: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+}
+
+impl Utilization {
+    /// The binding (maximum) utilization fraction.
+    pub fn limiting(&self) -> f64 {
+        self.lut.max(self.ff).max(self.bram).max(self.dsp)
+    }
+
+    /// Name of the binding resource.
+    pub fn limiting_name(&self) -> &'static str {
+        let m = self.limiting();
+        if m == self.lut {
+            "lut"
+        } else if m == self.ff {
+            "ff"
+        } else if m == self.bram {
+            "bram"
+        } else {
+            "dsp"
+        }
+    }
+}
+
+/// An FPGA device descriptor: the resource budget the DSE fills.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaDevice {
+    /// Device name.
+    pub name: &'static str,
+    /// Total resources.
+    pub total: Resources,
+}
+
+/// The Xilinx XCVU9P on the VCU118 evaluation board (paper §VII).
+pub const XCVU9P: FpgaDevice = FpgaDevice {
+    name: "xcvu9p",
+    total: Resources {
+        lut: 1_182_240.0,
+        ff: 2_364_480.0,
+        bram: 2_160.0,
+        dsp: 6_840.0,
+    },
+};
+
+impl FpgaDevice {
+    /// Utilization of a design on this device.
+    pub fn utilization(&self, used: &Resources) -> Utilization {
+        Utilization {
+            lut: used.lut / self.total.lut,
+            ff: used.ff / self.total.ff,
+            bram: used.bram / self.total.bram,
+            dsp: used.dsp / self.total.dsp,
+        }
+    }
+
+    /// Whether a design fits within `frac` of every resource.
+    pub fn fits(&self, used: &Resources, frac: f64) -> bool {
+        self.utilization(used).limiting() <= frac
+    }
+
+    /// Achievable clock in MHz as a function of utilization: congestion on
+    /// a nearly-full multi-die device costs frequency (§VI-D; the paper's
+    /// quad-tile design closes at 92.87 MHz).
+    pub fn fmax_mhz(&self, used: &Resources) -> f64 {
+        let u = self.utilization(used).limiting().min(1.2);
+        (160.0 - 75.0 * u).max(40.0)
+    }
+}
+
+/// Resource breakdown by overlay component group — the stacked bars of
+/// Figure 16 (pe / n/w / vp / spad / dma / core / noc).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResourceBreakdown {
+    /// Processing elements.
+    pub pe: Resources,
+    /// Fabric network (switches).
+    pub network: Resources,
+    /// Vector ports (in + out).
+    pub ports: Resources,
+    /// Scratchpads.
+    pub spad: Resources,
+    /// DMA + other stream engines + dispatcher.
+    pub dma: Resources,
+    /// Control cores.
+    pub core: Resources,
+    /// System NoC + L2.
+    pub noc: Resources,
+}
+
+impl ResourceBreakdown {
+    /// Sum of all groups.
+    pub fn total(&self) -> Resources {
+        self.pe + self.network + self.ports + self.spad + self.dma + self.core + self.noc
+    }
+
+    /// Groups as `(name, resources)` pairs in Figure 16 order.
+    pub fn groups(&self) -> [(&'static str, Resources); 7] {
+        [
+            ("pe", self.pe),
+            ("n/w", self.network),
+            ("vp", self.ports),
+            ("spad", self.spad),
+            ("dma", self.dma),
+            ("core", self.core),
+            ("noc", self.noc),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources {
+            lut: 10.0,
+            ff: 20.0,
+            bram: 1.0,
+            dsp: 2.0,
+        };
+        let b = a * 2.0 + a;
+        assert_eq!(b.lut, 30.0);
+        assert_eq!(b.dsp, 6.0);
+        let s: Resources = vec![a, a, a].into_iter().sum();
+        assert_eq!(s.ff, 60.0);
+    }
+
+    #[test]
+    fn utilization_and_fit() {
+        let half = Resources {
+            lut: XCVU9P.total.lut / 2.0,
+            ff: 0.0,
+            bram: 0.0,
+            dsp: 0.0,
+        };
+        let u = XCVU9P.utilization(&half);
+        assert!((u.lut - 0.5).abs() < 1e-12);
+        assert_eq!(u.limiting_name(), "lut");
+        assert!(XCVU9P.fits(&half, 0.6));
+        assert!(!XCVU9P.fits(&half, 0.4));
+    }
+
+    #[test]
+    fn fmax_decreases_with_utilization() {
+        let small = Resources {
+            lut: 50_000.0,
+            ..Resources::ZERO
+        };
+        let big = Resources {
+            lut: 1_050_000.0,
+            ..Resources::ZERO
+        };
+        assert!(XCVU9P.fmax_mhz(&small) > XCVU9P.fmax_mhz(&big));
+        // paper's quad-tile closes around 93 MHz at ~90% LUT
+        let f = XCVU9P.fmax_mhz(&big);
+        assert!(f > 80.0 && f < 100.0, "fmax {f}");
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let mut b = ResourceBreakdown::default();
+        b.pe.lut = 10.0;
+        b.noc.lut = 5.0;
+        assert_eq!(b.total().lut, 15.0);
+        assert_eq!(b.groups()[0].0, "pe");
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let r = Resources {
+            lut: 1.0,
+            ff: 2.0,
+            bram: 3.0,
+            dsp: 4.0,
+        };
+        assert_eq!(Resources::from_array(r.to_array()), r);
+        assert!(r.is_valid());
+        assert!(!Resources {
+            lut: f64::NAN,
+            ..Resources::ZERO
+        }
+        .is_valid());
+    }
+}

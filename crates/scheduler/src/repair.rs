@@ -1,0 +1,174 @@
+//! Schedule repair (paper §V-A): revalidate a schedule against a mutated
+//! ADG and re-place only what broke.
+
+use overgen_adg::{AdgNode, SysAdg};
+use overgen_mdfg::{MdfgNode, Mdfg};
+
+use crate::place::schedule;
+use crate::types::{Schedule, ScheduleError};
+
+/// How a repair resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The prior schedule is still fully valid (only re-scored).
+    Intact,
+    /// Some nodes were re-placed; the count is how many moved.
+    Repaired {
+        /// Number of mDFG nodes whose hardware target changed.
+        moved: usize,
+    },
+}
+
+/// Repair `prior` against a (possibly mutated) `sys_adg`.
+///
+/// Fast path: if every assignment target still exists and is compatible and
+/// every routed link still exists, the schedule is kept and only re-scored
+/// (hardware bandwidth parameters may have changed). Otherwise a fresh
+/// scheduling pass runs seeded with the prior assignment, moving as little
+/// as possible.
+///
+/// # Errors
+///
+/// Propagates scheduling failures when the mDFG no longer fits the mutated
+/// hardware at all.
+pub fn repair(
+    prior: &Schedule,
+    mdfg: &Mdfg,
+    sys_adg: &SysAdg,
+) -> Result<(Schedule, RepairOutcome), ScheduleError> {
+    if prior_is_intact(prior, mdfg, sys_adg) {
+        // Re-score only.
+        let fresh = schedule(mdfg, sys_adg, Some(prior))?;
+        return Ok((fresh, RepairOutcome::Intact));
+    }
+    let fresh = schedule(mdfg, sys_adg, Some(prior))?;
+    let moved = fresh
+        .assignment
+        .iter()
+        .filter(|(m, a)| prior.assignment.get(m) != Some(a))
+        .count();
+    Ok((fresh, RepairOutcome::Repaired { moved }))
+}
+
+/// Whether every assignment and route of `prior` is still valid hardware.
+pub(crate) fn prior_is_intact(prior: &Schedule, mdfg: &Mdfg, sys_adg: &SysAdg) -> bool {
+    let adg = &sys_adg.adg;
+    for (mid, aid) in &prior.assignment {
+        let hw = match adg.node(*aid) {
+            Some(n) => n,
+            None => return false,
+        };
+        let ok = match mdfg.node(*mid) {
+            Some(MdfgNode::Inst(i)) => hw
+                .as_pe()
+                .is_some_and(|pe| pe.supports(i.op, i.dtype)),
+            Some(MdfgNode::InputStream(s)) => match hw {
+                AdgNode::InPort(ip) => !s.variable_tc || ip.stream_state,
+                // index streams bind to engines
+                AdgNode::Dma(_) | AdgNode::Spad(_) | AdgNode::Gen(_) | AdgNode::Rec(_) => true,
+                _ => false,
+            },
+            Some(MdfgNode::OutputStream(_)) => matches!(hw, AdgNode::OutPort(_)),
+            Some(MdfgNode::Array(a)) => match hw {
+                AdgNode::Spad(sp) => u64::from(sp.capacity_kb) * 1024 >= a.size_bytes,
+                AdgNode::Dma(_) => true,
+                _ => false,
+            },
+            None => return false,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    for path in prior.routes.values() {
+        for w in path.windows(2) {
+            if !adg.has_edge(w[0], w[1]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_adg::{mesh, MeshSpec, NodeKind, SystemParams};
+    use overgen_compiler::{lower, LowerChoices};
+    use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+
+    fn setup() -> (Mdfg, SysAdg, Schedule) {
+        let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+            .array_input("a", 64)
+            .array_input("b", 64)
+            .array_output("c", 64)
+            .loop_const("i", 64)
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+            )
+            .build()
+            .unwrap();
+        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        (mdfg, sys, sched)
+    }
+
+    #[test]
+    fn intact_when_nothing_changed() {
+        let (mdfg, sys, sched) = setup();
+        let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
+        assert_eq!(outcome, RepairOutcome::Intact);
+        assert_eq!(again.assignment, sched.assignment);
+    }
+
+    #[test]
+    fn repairs_after_unused_pe_removed() {
+        let (mdfg, mut sys, sched) = setup();
+        // remove a PE that is NOT used by the schedule
+        let used = sched.used_adg_nodes();
+        let victim = sys
+            .adg
+            .nodes_of_kind(NodeKind::Pe)
+            .into_iter()
+            .find(|id| !used.contains(id))
+            .expect("tiny mesh has spare PEs");
+        sys.adg.remove_node(victim);
+        let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
+        assert_eq!(outcome, RepairOutcome::Intact);
+        assert_eq!(again.assignment, sched.assignment);
+    }
+
+    #[test]
+    fn repairs_after_used_pe_removed() {
+        let (mdfg, mut sys, sched) = setup();
+        // remove the PE the add instruction sits on
+        let inst_pe = *sched
+            .assignment
+            .iter()
+            .find(|(mid, _)| {
+                mdfg.node(**mid).unwrap().kind() == overgen_mdfg::MdfgNodeKind::Inst
+            })
+            .map(|(_, a)| a)
+            .unwrap();
+        sys.adg.remove_node(inst_pe);
+        let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
+        match outcome {
+            RepairOutcome::Repaired { moved } => assert!(moved >= 1),
+            RepairOutcome::Intact => panic!("expected a repair"),
+        }
+        // new target is a different, existing PE
+        assert!(again.assignment.values().all(|a| sys.adg.contains(*a)));
+    }
+
+    #[test]
+    fn unrepairable_when_no_pe_left() {
+        let (mdfg, mut sys, sched) = setup();
+        for pe in sys.adg.nodes_of_kind(NodeKind::Pe) {
+            sys.adg.remove_node(pe);
+        }
+        assert!(repair(&sched, &mdfg, &sys).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use overgen_adg::NodeId;
+use overgen_mdfg::MdfgNodeId;
+use overgen_model::{PerfEstimate, Placement};
+
+/// A complete mapping of one mDFG onto one ADG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Name of the scheduled kernel.
+    pub mdfg_name: String,
+    /// Which compiled variant was scheduled.
+    pub variant: u32,
+    /// mDFG node -> ADG node.
+    pub assignment: BTreeMap<MdfgNodeId, NodeId>,
+    /// Stream node -> stream engine serving it (ports appear in
+    /// `assignment`; this records which DMA/scratchpad/generate/recurrence
+    /// engine produces or consumes the stream's data).
+    pub stream_engines: BTreeMap<MdfgNodeId, NodeId>,
+    /// Routed fabric paths per mDFG edge: the full ADG node sequence from
+    /// the source's ADG node to the destination's ADG node (inclusive).
+    pub routes: BTreeMap<(MdfgNodeId, MdfgNodeId), Vec<NodeId>>,
+    /// Scratchpad placement decided for the mDFG's arrays.
+    pub placement: Placement,
+    /// Performance estimate of this mapping (§V-C model, including the
+    /// pipeline-balance penalty).
+    pub est: PerfEstimate,
+    /// Throughput penalty factor in (0, 1] from unbalanced operand delays
+    /// exceeding PE delay-FIFO depth (§V-B edge-delay discussion).
+    pub balance_penalty: f64,
+}
+
+impl Schedule {
+    /// ADG nodes used by any assignment or route (the schedule's hardware
+    /// footprint; module-capability pruning keeps these).
+    pub fn used_adg_nodes(&self) -> std::collections::BTreeSet<NodeId> {
+        let mut set: std::collections::BTreeSet<NodeId> =
+            self.assignment.values().copied().collect();
+        for path in self.routes.values() {
+            set.extend(path.iter().copied());
+        }
+        set
+    }
+
+    /// ADG edges traversed by routes.
+    pub fn used_adg_edges(&self) -> std::collections::BTreeSet<(NodeId, NodeId)> {
+        let mut set = std::collections::BTreeSet::new();
+        for path in self.routes.values() {
+            for w in path.windows(2) {
+                set.insert((w[0], w[1]));
+            }
+        }
+        set
+    }
+}
+
+/// Scheduling failures. The DSE treats these as "this variant does not fit
+/// this hardware" and falls back to a less aggressive variant (§III-A
+/// "Relax DFG Complexity").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No compatible ADG node for an mDFG node.
+    NoCandidate {
+        /// The unmappable mDFG node.
+        node: MdfgNodeId,
+        /// Human-readable requirement description.
+        requirement: String,
+    },
+    /// No conflict-free route for a dataflow edge.
+    NoRoute {
+        /// Edge endpoints.
+        edge: (MdfgNodeId, MdfgNodeId),
+    },
+    /// A scratchpad ran out of capacity.
+    SpadCapacity {
+        /// Array that did not fit anywhere.
+        array: String,
+    },
+    /// The prior schedule references hardware that no longer exists and
+    /// could not be repaired.
+    Unrepairable,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoCandidate { node, requirement } => {
+                write!(f, "no hardware candidate for {node}: needs {requirement}")
+            }
+            ScheduleError::NoRoute { edge } => {
+                write!(f, "no conflict-free route for edge {} -> {}", edge.0, edge.1)
+            }
+            ScheduleError::SpadCapacity { array } => {
+                write!(f, "array `{array}` does not fit any memory engine")
+            }
+            ScheduleError::Unrepairable => write!(f, "prior schedule unrepairable"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}

@@ -1,0 +1,641 @@
+//! The cycle-stepped flow simulation.
+
+use std::collections::BTreeMap;
+
+use overgen_adg::{AdgNode, NodeId, SysAdg};
+use overgen_mdfg::{MdfgNode, MdfgNodeId, MdfgNodeKind, Mdfg};
+use overgen_scheduler::Schedule;
+
+use crate::report::SimReport;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+    /// DRAM access latency in cycles (pipeline-fill only; streams prefetch
+    /// deeply so bandwidth dominates steady state).
+    pub dram_latency: u64,
+    /// Port FIFO capacity as a multiple of the firing quantum.
+    pub fifo_factor: u64,
+    /// Enable the stream-table one-hot bypass (Figure 11). Disabling it
+    /// halves the issue rate of engines with a single active stream.
+    pub one_hot_bypass: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_cycles: 200_000_000,
+            dram_latency: 40,
+            fifo_factor: 4,
+            one_hot_bypass: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EngineKind {
+    Dma,
+    Spad,
+    Gen,
+    Rec,
+    Reg,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    engine: NodeId,
+    kind: EngineKind,
+    is_write: bool,
+    /// Whether the stream has a fabric port (index streams do not).
+    has_port: bool,
+    /// Bytes the port consumes/produces per firing (0 between stationary
+    /// refreshes).
+    bytes_per_firing: u64,
+    /// The port refreshes every `stationary` firings.
+    stationary: u64,
+    /// Total bytes the engine must move for this stream over the run.
+    total_bytes: u64,
+    /// Bytes moved so far by the engine.
+    moved: u64,
+    /// Current port FIFO occupancy in bytes.
+    fifo: u64,
+    /// FIFO capacity.
+    fifo_cap: u64,
+    /// Bytes that must still come from DRAM (cold misses).
+    dram_left: u64,
+    /// For recurrence reads: bytes available to forward from the paired
+    /// write stream.
+    rec_avail: u64,
+    /// Paired recurrence read stream (for write streams feeding one).
+    rec_pair: Option<usize>,
+    /// Memory-bandwidth amplification for strided DRAM access: only a
+    /// fraction of every DRAM line holds useful elements.
+    mem_amp: u64,
+}
+
+/// Simulate a scheduled mDFG on a system ADG.
+pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) -> SimReport {
+    // Cross-iteration regions run on one tile and fire at the
+    // dependency-chain interval instead of II = 1.
+    let tiles = if mdfg.sequential() {
+        1
+    } else {
+        u64::from(sys.sys.tiles).max(1)
+    };
+    let fire_interval = if mdfg.sequential() {
+        (mdfg.critical_path_len() as u64 / 2).max(1)
+    } else {
+        1
+    };
+    let firings_total = mdfg.firings().max(1.0) as u64;
+    let firings_tile = firings_total.div_ceil(tiles);
+
+    // ---- build stream states -------------------------------------------
+    let mut streams: Vec<StreamState> = Vec::new();
+    let mut index_of: BTreeMap<MdfgNodeId, usize> = BTreeMap::new();
+
+    for (sid, n) in mdfg.nodes() {
+        let s = match n.as_stream() {
+            Some(s) => s,
+            None => continue,
+        };
+        let engine = stream_engine(mdfg, sched, sid);
+        let engine = match engine {
+            Some(e) => e,
+            None => continue, // unscheduled stream: treated as free
+        };
+        let kind = match sys.adg.node(engine) {
+            Some(AdgNode::Dma(_)) => EngineKind::Dma,
+            Some(AdgNode::Spad(_)) => EngineKind::Spad,
+            Some(AdgNode::Gen(_)) => EngineKind::Gen,
+            Some(AdgNode::Rec(_)) => EngineKind::Rec,
+            Some(AdgNode::Reg(_)) => EngineKind::Reg,
+            _ => EngineKind::Dma,
+        };
+        let stationary = s.reuse.stationary.max(1.0).round() as u64;
+        let refreshes = firings_tile.div_ceil(stationary);
+        let mut total_bytes = refreshes * s.bytes_per_firing;
+        // Broadcast-replicated arrays: every tile streams the whole array
+        // (no partitioning win) — wasted bandwidth, the ellpack outlier.
+        if s.broadcast {
+            total_bytes = total_bytes.max(s.reuse.footprint_bytes as u64);
+        }
+        // Cold-miss bytes: the footprint must be fetched from DRAM once;
+        // re-references hit L2 only when every tile's share fits.
+        let fits_l2 = s.reuse.footprint_bytes * tiles as f64
+            <= f64::from(sys.sys.l2_kb) * 1024.0;
+        let footprint_tile = if s.broadcast {
+            s.reuse.footprint_bytes as u64
+        } else {
+            (s.reuse.footprint_bytes / tiles as f64) as u64
+        };
+        let dram_left = if kind == EngineKind::Dma {
+            if fits_l2 {
+                footprint_tile.min(total_bytes)
+            } else {
+                total_bytes
+            }
+        } else {
+            0
+        };
+        let has_port = sched
+            .assignment
+            .get(&sid)
+            .map(|a| {
+                matches!(
+                    sys.adg.node(*a),
+                    Some(AdgNode::InPort(_)) | Some(AdgNode::OutPort(_))
+                )
+            })
+            .unwrap_or(false);
+        let mem_amp = if s.pattern == overgen_mdfg::StreamPattern::Strided
+            && kind == EngineKind::Dma
+        {
+            4 // typical channel strides (3-4) waste ~3/4 of each line
+        } else {
+            1
+        };
+        let idx = streams.len();
+        index_of.insert(sid, idx);
+        streams.push(StreamState {
+            engine,
+            kind,
+            mem_amp,
+            is_write: s.is_write,
+            has_port,
+            bytes_per_firing: s.bytes_per_firing,
+            stationary,
+            total_bytes,
+            moved: 0,
+            fifo: 0,
+            fifo_cap: (s.bytes_per_firing * cfg.fifo_factor).max(8),
+            dram_left,
+            rec_avail: 0,
+            rec_pair: None,
+        });
+    }
+
+    // Recurrence pairs: write stream -> read stream edges.
+    let pairs: Vec<(MdfgNodeId, MdfgNodeId)> = mdfg
+        .edges()
+        .filter(|(s, d)| {
+            mdfg.node(*s).map(MdfgNode::kind) == Some(MdfgNodeKind::OutputStream)
+                && mdfg.node(*d).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream)
+        })
+        .collect();
+    for (w, r) in pairs {
+        if let (Some(&wi), Some(&ri)) = (index_of.get(&w), index_of.get(&r)) {
+            streams[wi].rec_pair = Some(ri);
+            // Prime the loop: initial values sit in the read port FIFO.
+            streams[ri].fifo = streams[ri].fifo_cap;
+        }
+    }
+
+    // ---- per-engine stream lists ----------------------------------------
+    let mut engine_streams: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
+    for (i, st) in streams.iter().enumerate() {
+        engine_streams.entry(st.engine).or_default().push(i);
+    }
+    let engine_bw: BTreeMap<NodeId, u64> = engine_streams
+        .keys()
+        .map(|e| {
+            let bw = sys
+                .adg
+                .node(*e)
+                .and_then(AdgNode::engine_bw)
+                .unwrap_or(8);
+            (*e, u64::from(bw))
+        })
+        .collect();
+
+    // Shared per-tile budgets (fractional carry so an uneven tile split
+    // does not round bandwidth away).
+    let l2_bw_frac = sys.sys.l2_bw_bytes() as f64 / tiles as f64;
+    let noc_bw_tile = u64::from(sys.sys.noc_bw_bytes).max(1);
+    let dram_bw_frac = sys.sys.dram_bw_bytes() as f64 / tiles as f64;
+    let mut l2_carry = 0.0f64;
+    let mut dram_carry = 0.0f64;
+
+    // Scratchpad preload: spad-resident arrays stream from DRAM once
+    // before the region starts (double-buffered for later tiles, but the
+    // first fill is exposed).
+    let mut spad_fill_bytes = 0u64;
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, n) in mdfg.nodes() {
+            if let Some(st) = n.as_stream() {
+                if !st.is_write
+                    && sched.placement.spad_arrays.contains(&st.array)
+                    && seen.insert(st.array.clone())
+                {
+                    let fp = st.reuse.footprint_bytes as u64;
+                    spad_fill_bytes += if st.broadcast { fp } else { fp / tiles };
+                }
+            }
+        }
+    }
+    let spad_fill_cycles =
+        (spad_fill_bytes as f64 / (sys.sys.dram_bw_bytes() as f64 / tiles as f64)) as u64;
+
+    // Pipeline latency: kernel launch over RoCC (+ cache warm), per-stream
+    // parameter configuration, fabric depth, and the DRAM fill.
+    let n_streams = streams.len() as u64;
+    let pipeline_fill = 500
+        + 30 * n_streams
+        + mdfg.critical_path_len() as u64 * 2
+        + cfg.dram_latency
+        + spad_fill_cycles;
+
+    // ---- main loop --------------------------------------------------------
+    let mut fired: u64 = 0;
+    let mut cycles: u64 = 0;
+    let mut report = SimReport::default();
+    let mut rr_offset = 0usize; // engine round-robin fairness
+
+    while cycles < cfg.max_cycles {
+        cycles += 1;
+        l2_carry += l2_bw_frac;
+        dram_carry += dram_bw_frac;
+        let mut l2_budget = l2_carry as u64;
+        let mut noc_budget = noc_bw_tile;
+        let mut dram_budget = dram_carry as u64;
+        let (l2_start, dram_start) = (l2_budget, dram_budget);
+
+        // 1. Engines move data.
+        for (e, list) in &engine_streams {
+            let bw = engine_bw[e];
+            let active: Vec<usize> = list
+                .iter()
+                .copied()
+                .filter(|&i| stream_active(&streams[i], firings_tile))
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            // Stream-table issue: one stream per cycle. Without the
+            // one-hot bypass a lone stream issues every other cycle.
+            if active.len() == 1 && !cfg.one_hot_bypass && cycles % 2 == 0 {
+                continue;
+            }
+            let pick = active[rr_offset % active.len()];
+            let st = &mut streams[pick];
+            let mut quantum = bw;
+            // Budget gating for DMA traffic; strided streams waste a
+            // multiple of their useful bytes on partially-used lines.
+            if st.kind == EngineKind::Dma {
+                quantum = (quantum.min(l2_budget).min(noc_budget) / st.mem_amp).max(0);
+                if quantum == 0 {
+                    continue;
+                }
+            }
+            if st.is_write {
+                // Drain the out-port FIFO toward memory / recurrence. A
+                // recurrence forward is one data movement: it lands
+                // directly in the paired read stream's port FIFO.
+                let n = quantum.min(st.fifo);
+                if n > 0 {
+                    st.fifo -= n;
+                    st.moved += n;
+                    match st.kind {
+                        EngineKind::Dma => {
+                            l2_budget -= n;
+                            noc_budget -= n;
+                            report.bytes_l2 += n;
+                        }
+                        EngineKind::Spad => report.bytes_spad += n,
+                        EngineKind::Rec => report.bytes_rec += n,
+                        _ => {}
+                    }
+                    if let Some(ri) = st.rec_pair {
+                        // Recurring values update the read port in place:
+                        // cap at the FIFO size (stationary reductions keep
+                        // replacing the same cells).
+                        let cap = streams[ri].fifo_cap;
+                        streams[ri].fifo = (streams[ri].fifo + n).min(cap);
+                        streams[ri].moved += n;
+                    }
+                }
+            } else {
+                // Supply the in-port FIFO.
+                let space = st.fifo_cap.saturating_sub(st.fifo);
+                let left = st.total_bytes.saturating_sub(st.moved);
+                let mut n = quantum.min(space).min(left);
+                if st.kind == EngineKind::Rec {
+                    n = n.min(st.rec_avail);
+                }
+                if st.kind == EngineKind::Dma {
+                    // Cold part of the transfer also needs DRAM bandwidth;
+                    // strided streams use only 1/amp of each fetched line.
+                    let cold = n.min(st.dram_left);
+                    let cold = cold.min(dram_budget / st.mem_amp);
+                    let hot = n - n.min(st.dram_left);
+                    n = cold + hot;
+                    dram_budget -= (cold * st.mem_amp).min(dram_budget);
+                    st.dram_left -= cold;
+                    report.bytes_dram += cold * st.mem_amp;
+                    report.bytes_l2 += hot;
+                    l2_budget = l2_budget.saturating_sub(n);
+                    noc_budget = noc_budget.saturating_sub(n);
+                }
+                if st.kind == EngineKind::Spad {
+                    report.bytes_spad += n;
+                }
+                if st.kind == EngineKind::Rec {
+                    st.rec_avail -= n;
+                }
+                if n > 0 {
+                    st.moved += n;
+                    if st.has_port {
+                        st.fifo += n;
+                    }
+                }
+            }
+        }
+        rr_offset += 1;
+
+        // 2. Fabric fires when all input quanta are present and all output
+        //    FIFOs have space (and the dependency interval has elapsed).
+        if fired < firings_tile && cycles % fire_interval == 0 {
+            let mut can_fire = true;
+            for st in &streams {
+                if st.is_write || !st.has_port {
+                    continue;
+                }
+                let needs_refresh = fired % st.stationary == 0;
+                if needs_refresh && st.fifo < st.bytes_per_firing {
+                    can_fire = false;
+                    break;
+                }
+            }
+            if can_fire {
+                for st in &streams {
+                    if !st.is_write || !st.has_port {
+                        continue;
+                    }
+                    if st.fifo + st.bytes_per_firing > st.fifo_cap {
+                        can_fire = false;
+                        break;
+                    }
+                }
+                if !can_fire {
+                    report.stall_output += 1;
+                }
+            } else {
+                report.stall_input += 1;
+            }
+            if can_fire {
+                for st in &mut streams {
+                    if !st.has_port {
+                        continue;
+                    }
+                    if st.is_write {
+                        st.fifo += st.bytes_per_firing;
+                    } else if fired % st.stationary == 0 {
+                        st.fifo -= st.bytes_per_firing;
+                    }
+                }
+                fired += 1;
+            }
+        }
+
+        // Return unused budget to the carry (cap one extra cycle's worth).
+        l2_carry = (l2_carry - (l2_start - l2_budget) as f64).min(2.0 * l2_bw_frac);
+        dram_carry = (dram_carry - (dram_start - dram_budget) as f64).min(2.0 * dram_bw_frac);
+
+        // 3. Done when all firings issued and all write streams drained.
+        if fired >= firings_tile
+            && streams
+                .iter()
+                .filter(|s| s.is_write)
+                .all(|s| s.fifo == 0)
+        {
+            break;
+        }
+    }
+
+    report.truncated = cycles >= cfg.max_cycles;
+    report.bytes_dram += spad_fill_bytes;
+    report.cycles = cycles + pipeline_fill;
+    report.firings = fired;
+    let retired = fired as f64 * mdfg.insts_per_firing();
+    report.ipc = retired / report.cycles as f64 * tiles as f64;
+    report.reconfig_cycles = sys.config_bytes() / 16 + 1_000;
+    report
+}
+
+/// Whether a stream still needs engine issue slots. Recurrence *read*
+/// streams are filled directly by the forward of their paired write
+/// stream, so they never occupy an issue slot.
+fn stream_active(st: &StreamState, _firings_tile: u64) -> bool {
+    if st.kind == EngineKind::Rec && !st.is_write {
+        return false;
+    }
+    if st.is_write {
+        st.fifo > 0 || st.moved < st.total_bytes
+    } else {
+        st.moved < st.total_bytes
+    }
+}
+
+/// The engine serving a stream: recorded by the scheduler at port-binding
+/// time (`Schedule::stream_engines`).
+fn stream_engine(_mdfg: &Mdfg, sched: &Schedule, sid: MdfgNodeId) -> Option<NodeId> {
+    sched.stream_engines.get(&sid).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_adg::{mesh, MeshSpec, SystemParams};
+    use overgen_compiler::{lower, LowerChoices};
+    use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+    use overgen_scheduler::schedule;
+
+    fn vecadd(n: u64) -> overgen_ir::Kernel {
+        KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+            .array_input("a", n)
+            .array_input("b", n)
+            .array_output("c", n)
+            .loop_const("i", n)
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn sim_vecadd(
+        n: u64,
+        unroll: u32,
+        sys_params: SystemParams,
+        cfg: &SimConfig,
+    ) -> SimReport {
+        let mdfg = lower(&vecadd(n), 0, &LowerChoices { unroll, ..Default::default() })
+            .unwrap();
+        let sys = SysAdg::new(mesh(&MeshSpec::default()), sys_params);
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        simulate(&mdfg, &sched, &sys, cfg)
+    }
+
+    #[test]
+    fn completes_and_counts_firings() {
+        let r = sim_vecadd(4096, 2, SystemParams::default(), &SimConfig::default());
+        assert!(!r.truncated);
+        assert_eq!(r.firings, 2048);
+        assert!(r.ipc > 0.0);
+    }
+
+    #[test]
+    fn wider_vectorization_is_faster() {
+        let r1 = sim_vecadd(4096, 1, SystemParams::default(), &SimConfig::default());
+        let r2 = sim_vecadd(4096, 2, SystemParams::default(), &SimConfig::default());
+        assert!(
+            r2.cycles < r1.cycles,
+            "u2 {} !< u1 {}",
+            r2.cycles,
+            r1.cycles
+        );
+    }
+
+    #[test]
+    fn one_hot_bypass_doubles_single_stream_rate() {
+        // Figure 11: without the bypass, a lone stream issues every other
+        // cycle. Build an mDFG where each engine carries exactly one
+        // stream: a scratchpad-resident input and a DMA-drained output.
+        use overgen_mdfg::{ArrayNode, InstNode, MdfgNode, MemPref, ReuseInfo, StreamNode};
+        let mut g = Mdfg::new("single", 0);
+        g.set_unroll(1);
+        g.set_total_iterations(4096.0);
+        let hot = ReuseInfo {
+            traffic_bytes: 4096.0 * 8.0 * 64.0,
+            footprint_bytes: 4096.0 * 8.0,
+            ..ReuseInfo::default()
+        };
+        let cold = ReuseInfo {
+            traffic_bytes: 4096.0 * 8.0,
+            footprint_bytes: 4096.0 * 8.0,
+            ..ReuseInfo::default()
+        };
+        let aa = g.add_node(MdfgNode::Array(ArrayNode::new("a", 4096, MemPref::PreferSpad)));
+        let ac = g.add_node(MdfgNode::Array(ArrayNode::new("c", 32768, MemPref::PreferDram)));
+        let ra = g.add_node(MdfgNode::InputStream(StreamNode::read("a", 16, hot)));
+        let add = g.add_node(MdfgNode::Inst(InstNode::new(
+            overgen_ir::Op::Add,
+            DataType::I64,
+            1,
+        )));
+        let wc = g.add_node(MdfgNode::OutputStream(StreamNode::write("c", 16, cold)));
+        g.add_edge(aa, ra).unwrap();
+        g.add_edge(ra, add).unwrap();
+        g.add_edge(add, wc).unwrap();
+        g.add_edge(wc, ac).unwrap();
+
+        let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
+        let sched = schedule(&g, &sys, None).unwrap();
+        let with = simulate(&g, &sched, &sys, &SimConfig::default());
+        let without = simulate(
+            &g,
+            &sched,
+            &sys,
+            &SimConfig {
+                one_hot_bypass: false,
+                ..Default::default()
+            },
+        );
+        assert!(
+            without.cycles as f64 > with.cycles as f64 * 1.5,
+            "bypass {} vs none {}",
+            with.cycles,
+            without.cycles
+        );
+    }
+
+    #[test]
+    fn dram_bound_workload_slows_down() {
+        // Same tile count and work split; fewer DRAM channels must cost
+        // cycles once the L2 cannot capture the footprint.
+        let mk = |channels| SystemParams {
+            tiles: 8,
+            l2_banks: 8,
+            l2_kb: 16, // too small to capture: all traffic cold
+            noc_bw_bytes: 64,
+            dram_channels: channels,
+        };
+        let fast = sim_vecadd(8192, 2, mk(4), &SimConfig::default());
+        let slow = sim_vecadd(8192, 2, mk(1), &SimConfig::default());
+        assert!(
+            slow.cycles > fast.cycles,
+            "slow {} fast {}",
+            slow.cycles,
+            fast.cycles
+        );
+        assert!(slow.stall_input > 0);
+    }
+
+    #[test]
+    fn recurrence_traffic_bypasses_memory() {
+        let k = KernelBuilder::new("fir", Suite::Dsp, DataType::I64)
+            .array_input("a", 255)
+            .array_input("b", 128)
+            .array_output("c", 128)
+            .loop_const("io", 4)
+            .loop_const("j", 128)
+            .loop_const("ii", 32)
+            .accum(
+                "c",
+                expr::idx_scaled("io", 32) + expr::idx("ii"),
+                expr::load(
+                    "a",
+                    expr::idx_scaled("io", 32) + expr::idx("ii") + expr::idx("j"),
+                ) * expr::load("b", expr::idx("j")),
+            )
+            .build()
+            .unwrap();
+        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        // FIR at unroll 2 needs more fabric than the 2x2 test mesh offers;
+        // use the general overlay (and a matching i64-capable config).
+        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
+        assert!(!r.truncated);
+        assert!(r.bytes_rec > 0, "recurrence engine unused");
+    }
+
+    #[test]
+    fn reconfig_is_microseconds() {
+        let r = sim_vecadd(1024, 1, SystemParams::default(), &SimConfig::default());
+        // at ~100 MHz: thousands of cycles => microseconds
+        let s = r.reconfig_seconds(100.0);
+        assert!(s > 1e-7 && s < 1e-3, "reconfig {s}");
+    }
+
+    #[test]
+    fn ipc_close_to_model_when_compute_bound() {
+        // A wide DMA engine (64 B/cyc) keeps three 16 B/firing streams fed.
+        let mdfg = lower(&vecadd(16384), 0, &LowerChoices { unroll: 2, ..Default::default() })
+            .unwrap();
+        let spec = MeshSpec {
+            dma_bw: 64,
+            ..MeshSpec::default()
+        };
+        let sys = SysAdg::new(
+            mesh(&spec),
+            SystemParams {
+                tiles: 1,
+                l2_banks: 16,
+                l2_kb: 2048,
+                noc_bw_bytes: 128,
+                dram_channels: 4,
+            },
+        );
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
+        // steady state: one firing per cycle -> ipc ~= insts_per_firing
+        let ideal = mdfg.insts_per_firing();
+        assert!(r.ipc > 0.5 * ideal && r.ipc <= ideal * 1.01, "ipc {}", r.ipc);
+    }
+}

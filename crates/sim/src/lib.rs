@@ -1,0 +1,53 @@
+//! Cycle-level simulator for generated OverGen overlays.
+//!
+//! Plays the role of the paper's VCS RTL simulation + FPGA runs: executes a
+//! scheduled mDFG on a system-level ADG and reports cycles, IPC, and
+//! traffic. The model is a cycle-stepped *flow* simulation at the
+//! granularity the paper's performance phenomena live at:
+//!
+//! - the **stream dispatcher** serialises stream configuration and dispatch
+//!   (two-cycle minimum latency, one dispatch per cycle — §VI-B);
+//! - each **stream engine** issues one stream request per cycle from its
+//!   stream table; without the one-hot bypass a single active stream only
+//!   issues every other cycle (Figure 11);
+//! - **ports** are FIFOs; the fabric fires one (vectorized) DFG instance
+//!   per cycle when every input port holds a firing's worth of data and the
+//!   output FIFOs have space;
+//! - **shared memory**: DMA traffic contends for NoC link bandwidth, banked
+//!   L2 bandwidth and DRAM channel bandwidth, all divided across tiles;
+//!   cold data comes from DRAM, re-referenced data hits L2 when the
+//!   (all-tiles) footprint fits;
+//! - **recurrence** traffic loops from output ports back to input ports
+//!   without touching memory.
+//!
+//! Homogeneous tiles run the same region on partitioned data, so one tile
+//! is simulated against per-tile shares of the shared bandwidths — exact
+//! for the symmetric workloads of the paper's threading model (§VI-E).
+//!
+//! # Example
+//!
+//! ```
+//! use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
+//! use overgen_compiler::{lower, LowerChoices};
+//! use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+//! use overgen_scheduler::schedule;
+//! use overgen_sim::{simulate, SimConfig};
+//!
+//! let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+//!     .array_input("a", 4096).array_input("b", 4096).array_output("c", 4096)
+//!     .loop_const("i", 4096)
+//!     .assign("c", expr::idx("i"),
+//!             expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
+//!     .build().unwrap();
+//! let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+//! let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
+//! let sched = schedule(&mdfg, &sys, None).unwrap();
+//! let report = simulate(&mdfg, &sched, &sys, &SimConfig::default());
+//! assert!(report.cycles > 0 && report.ipc > 0.0);
+//! ```
+
+mod flow;
+mod report;
+
+pub use flow::{simulate, SimConfig};
+pub use report::SimReport;

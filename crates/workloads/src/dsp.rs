@@ -1,0 +1,187 @@
+//! The five DSP kernels (from REVEL; Table II rows 1-5).
+
+use overgen_ir::{expr, ArrayRef, DataType, Kernel, KernelBuilder, Stmt, Suite};
+
+/// All DSP kernels.
+pub fn all() -> Vec<Kernel> {
+    vec![cholesky(), fft(), fir(), solver(), mm()]
+}
+
+/// Cholesky decomposition, 48x48 f64. Triangular iteration gives variable
+/// trip counts and guarded updates; the diagonal needs divide and sqrt
+/// (Table II: 5 mul, 4 add, 2 div-class ops).
+pub fn cholesky() -> Kernel {
+    let n: i64 = 48;
+    KernelBuilder::new("cholesky", Suite::Dsp, DataType::F64)
+        .array_input("a", (n * n) as u64)
+        .array_output("l", (n * n) as u64)
+        .loop_const("j", n as u64)
+        .loop_variable("i", n as u64, n as f64 / 2.0)
+        .loop_variable("k", n as u64, n as f64 / 2.0)
+        // l[i*n+j] -= l[i*n+k] * l[j*n+k]  (update, guarded k < j)
+        .stmt(
+            Stmt::accum(
+                ArrayRef::affine("l", expr::idx_scaled("i", n) + expr::idx("j")),
+                expr::lit(0.0)
+                    - expr::load("l", expr::idx_scaled("i", n) + expr::idx("k"))
+                        * expr::load("l", expr::idx_scaled("j", n) + expr::idx("k")),
+            )
+            .with_guard(),
+        )
+        // diagonal normalisation: l[i*n+j] = (a[i*n+j] / l[j*n+j]) with sqrt
+        .stmt(
+            Stmt::assign(
+                ArrayRef::affine("l", expr::idx_scaled("i", n) + expr::idx("j")),
+                expr::div(
+                    expr::load("a", expr::idx_scaled("i", n) + expr::idx("j")),
+                    expr::sqrt(expr::load("l", expr::idx_scaled("j", n) + expr::idx("j"))),
+                ),
+            )
+            .with_guard(),
+        )
+        .build()
+        .expect("cholesky is well formed")
+}
+
+/// Radix-2 FFT over 2^12 complex f32 points. Stages have data-dependent
+/// butterfly strides, which HLS sees as a variable inner trip count; the
+/// butterfly is 4 multiplies and 8 adds on interleaved re/im (Table II).
+pub fn fft() -> Kernel {
+    let n: i64 = 1 << 12;
+    KernelBuilder::new("fft", Suite::Dsp, DataType::F32)
+        .array_input("x", (2 * n) as u64) // interleaved re/im
+        .array_input("w", n as u64) // twiddles
+        .array_output("y", (2 * n) as u64)
+        .loop_const("s", 12) // stages
+        .loop_variable("b", (n / 2) as u64, (n / 4) as f64) // butterflies per stage
+        .stmt(Stmt::assign(
+            ArrayRef::affine("y", expr::idx_scaled("b", 2)),
+            // re: xr*wr - xi*wi + xr2 ; im folded into adjacent lane
+            expr::load("x", expr::idx_scaled("b", 2)) * expr::load("w", expr::idx("b"))
+                - expr::load("x", expr::idx_scaled("b", 2).offset(1))
+                    * expr::load("w", expr::idx("b").offset(1))
+                + expr::load("x", expr::idx_scaled("b", 2).offset(n)),
+        ))
+        .stmt(Stmt::assign(
+            ArrayRef::affine("y", expr::idx_scaled("b", 2).offset(1)),
+            expr::load("x", expr::idx_scaled("b", 2)) * expr::load("w", expr::idx("b").offset(1))
+                + expr::load("x", expr::idx_scaled("b", 2).offset(1))
+                    * expr::load("w", expr::idx("b"))
+                + expr::load("x", expr::idx_scaled("b", 2).offset(n + 1)),
+        ))
+        .build()
+        .expect("fft is well formed")
+}
+
+/// Tiled FIR filter: 2^10 outputs, 199 taps, f64 (the paper's running
+/// Figure 5 example scaled to Table II's size).
+pub fn fir() -> Kernel {
+    let taps: i64 = 199;
+    let out_tiles: i64 = 32; // io
+    let tile: i64 = 32; // ii: 32*32 = 1024 = 2^10 outputs
+    KernelBuilder::new("fir", Suite::Dsp, DataType::F64)
+        .array_input("a", (out_tiles * tile + taps - 1) as u64)
+        .array_input("b", taps as u64)
+        .array_output("c", (out_tiles * tile) as u64)
+        .loop_const("io", out_tiles as u64)
+        .loop_const("j", taps as u64)
+        .loop_const("ii", tile as u64)
+        .accum(
+            "c",
+            expr::idx_scaled("io", tile) + expr::idx("ii"),
+            expr::load(
+                "a",
+                expr::idx_scaled("io", tile) + expr::idx("ii") + expr::idx("j"),
+            ) * expr::load("b", expr::idx("j")),
+        )
+        .build()
+        .expect("fir is well formed")
+}
+
+/// Forward-substitution triangular solver, 48x48 f64: variable inner trip
+/// (triangular), one divide per row (Table II: 4,4,1).
+pub fn solver() -> Kernel {
+    let n: i64 = 48;
+    KernelBuilder::new("solver", Suite::Dsp, DataType::F64)
+        .array_input("lmat", (n * n) as u64)
+        .array_input("bvec", n as u64)
+        .array_output("x", n as u64)
+        .loop_const("i", n as u64)
+        .loop_variable("j", n as u64, n as f64 / 2.0)
+        .stmt(
+            Stmt::accum(
+                ArrayRef::affine("x", expr::idx("i")),
+                expr::lit(0.0)
+                    - expr::load("lmat", expr::idx_scaled("i", n) + expr::idx("j"))
+                        * expr::load("x", expr::idx("j")),
+            )
+            .with_guard(),
+        )
+        .stmt(Stmt::assign(
+            ArrayRef::affine("x", expr::idx("i")),
+            expr::div(
+                expr::load("bvec", expr::idx("i")),
+                expr::load("lmat", expr::idx_scaled("i", n + 1)),
+            ),
+        ))
+        .build()
+        .expect("solver is well formed")
+}
+
+/// Dense matrix multiply, 32^3 f64, untiled (`mm` is NOT blocked — the
+/// paper distinguishes it from `gemm`).
+pub fn mm() -> Kernel {
+    let n: i64 = 32;
+    KernelBuilder::new("mm", Suite::Dsp, DataType::F64)
+        .array_input("a", (n * n) as u64)
+        .array_input("b", (n * n) as u64)
+        .array_output("c", (n * n) as u64)
+        .loop_const("i", n as u64)
+        .loop_const("k", n as u64)
+        .loop_const("j", n as u64)
+        .accum(
+            "c",
+            expr::idx_scaled("i", n) + expr::idx("j"),
+            expr::load("a", expr::idx_scaled("i", n) + expr::idx("k"))
+                * expr::load("b", expr::idx_scaled("k", n) + expr::idx("j")),
+        )
+        .build()
+        .expect("mm is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_ir::Op;
+
+    #[test]
+    fn cholesky_shape() {
+        let k = cholesky();
+        let t = k.traits();
+        assert!(t.variable_trip_count);
+        assert!(t.guarded);
+        assert_eq!(k.count_op(Op::Sqrt), 1);
+        assert_eq!(k.count_op(Op::Div), 1);
+    }
+
+    #[test]
+    fn fft_butterfly_ops() {
+        let k = fft();
+        assert_eq!(k.count_op(Op::Mul), 4);
+        assert!(k.traits().variable_trip_count);
+    }
+
+    #[test]
+    fn fir_matches_figure5_structure() {
+        let k = fir();
+        assert_eq!(k.nest().depth(), 3);
+        assert_eq!(k.count_op(Op::Mul), 1);
+        assert_eq!(k.total_iterations(), (32 * 199 * 32) as f64);
+    }
+
+    #[test]
+    fn mm_is_simple_and_solver_divides() {
+        assert_eq!(mm().count_op(Op::Mul), 1);
+        assert_eq!(solver().count_op(Op::Div), 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! The 19 evaluation kernels of the OverGen paper (Table II), ported to the
+//! kernel IR: 5 DSP kernels (from REVEL), 5 MachSuite kernels, and 9 Xilinx
+//! Vitis Vision kernels — each in its plain form plus, where the paper's Q2
+//! study calls for it, manually *tuned* variants for the HLS baseline
+//! (fixed trip counts, strength-reduced strides) and for OverGen (loop
+//! peeling, tensorized unrolling, window-reuse unrolling).
+//!
+//! # Example
+//!
+//! ```
+//! use overgen_workloads as workloads;
+//! use overgen_ir::Suite;
+//!
+//! assert_eq!(workloads::all().len(), 19);
+//! assert_eq!(workloads::suite(Suite::Vision).len(), 9);
+//! let fir = workloads::by_name("fir").unwrap();
+//! assert_eq!(fir.suite(), Suite::Dsp);
+//! ```
+
+mod dsp;
+mod machsuite;
+mod tuned;
+mod vision;
+
+use overgen_ir::{Kernel, Suite};
+
+/// Names of the workloads that benefit from kernel tuning (Figure 14's
+/// nine bars: seven HLS-tuning kernels of Table IV plus `gemm` and
+/// `stencil-2d` on the OverGen side).
+pub const TUNING_SENSITIVE: [&str; 9] = [
+    "cholesky",
+    "fft",
+    "stencil-3d",
+    "crs",
+    "gemm",
+    "stencil-2d",
+    "channel-ext",
+    "bgr2grey",
+    "blur",
+];
+
+/// All 19 kernels in Table II order (untuned variants).
+pub fn all() -> Vec<Kernel> {
+    let mut v = dsp::all();
+    v.extend(machsuite::all());
+    v.extend(vision::all());
+    v
+}
+
+/// All kernels of one suite.
+pub fn suite(s: Suite) -> Vec<Kernel> {
+    match s {
+        Suite::Dsp => dsp::all(),
+        Suite::MachSuite => machsuite::all(),
+        Suite::Vision => vision::all(),
+    }
+}
+
+/// Look up an untuned kernel by its paper name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name() == name)
+}
+
+/// The manually tuned variant for the **HLS/AutoDSE** flow (fixed maximum
+/// trip counts with guards; strength-reduced strided accesses — paper Q2).
+/// `None` when the kernel needs no HLS tuning.
+pub fn hls_tuned(name: &str) -> Option<Kernel> {
+    tuned::hls_tuned(name)
+}
+
+/// The manually tuned variant for **OverGen** (fft peeling, gemm
+/// tensorized unrolling, stencil/blur window-reuse unrolling — paper Q2).
+/// `None` when the kernel needs no OverGen tuning.
+pub fn og_tuned(name: &str) -> Option<Kernel> {
+    tuned::og_tuned(name)
+}
+
+/// Best-effort kernel for a flow: the tuned variant when one exists, else
+/// the plain kernel.
+pub fn for_hls_tuned_run(name: &str) -> Option<Kernel> {
+    hls_tuned(name).or_else(|| by_name(name))
+}
+
+/// Suggested Table II unroll degree per suite (the "best DFG" widths).
+pub fn table_unroll(s: Suite) -> u32 {
+    match s {
+        Suite::Dsp => 4,
+        Suite::MachSuite => 8,
+        Suite::Vision => 16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_ir::DataType;
+
+    #[test]
+    fn nineteen_workloads_in_three_suites() {
+        assert_eq!(all().len(), 19);
+        assert_eq!(suite(Suite::Dsp).len(), 5);
+        assert_eq!(suite(Suite::MachSuite).len(), 5);
+        assert_eq!(suite(Suite::Vision).len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique_and_match_paper() {
+        let names: Vec<String> = all().iter().map(|k| k.name().to_string()).collect();
+        let uniq: std::collections::BTreeSet<&String> = names.iter().collect();
+        assert_eq!(uniq.len(), 19);
+        for n in [
+            "cholesky", "fft", "fir", "solver", "mm", "stencil-3d", "crs", "gemm",
+            "stencil-2d", "ellpack", "channel-ext", "bgr2grey", "blur", "accumulate",
+            "acc-sqr", "vecmax", "acc-weight", "convert-bit", "derivative",
+        ] {
+            assert!(names.iter().any(|x| x == n), "missing {n}");
+        }
+    }
+
+    #[test]
+    fn dtypes_match_table_ii() {
+        assert_eq!(by_name("cholesky").unwrap().dtype(), DataType::F64);
+        assert_eq!(by_name("fft").unwrap().dtype(), DataType::F32);
+        assert_eq!(by_name("stencil-3d").unwrap().dtype(), DataType::I64);
+        assert_eq!(by_name("crs").unwrap().dtype(), DataType::F64);
+        for v in suite(Suite::Vision) {
+            assert_eq!(v.dtype(), DataType::I16, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn all_kernels_compile_to_mdfgs() {
+        use overgen_compiler::{compile_variants, CompileOptions};
+        for k in all() {
+            let vs = compile_variants(&k, &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", k.name()));
+            assert!(!vs.is_empty(), "{} produced no variants", k.name());
+            for v in &vs {
+                v.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn traits_match_paper_pathologies() {
+        // Table IV causes: variable trip counts
+        assert!(by_name("cholesky").unwrap().traits().variable_trip_count);
+        assert!(by_name("crs").unwrap().traits().variable_trip_count);
+        assert!(by_name("fft").unwrap().traits().variable_trip_count);
+        // ... and inefficient strided access
+        assert!(by_name("bgr2grey").unwrap().traits().strided_innermost);
+        assert!(by_name("channel-ext").unwrap().traits().strided_innermost);
+        assert!(by_name("stencil-3d").unwrap().traits().strided_innermost);
+        // outliers
+        assert!(by_name("stencil-2d").unwrap().traits().sliding_window);
+        assert!(by_name("derivative").unwrap().traits().sliding_window);
+        assert!(by_name("ellpack").unwrap().traits().wants_broadcast);
+        assert!(by_name("crs").unwrap().traits().indirect);
+    }
+
+    #[test]
+    fn tuned_variants_exist_for_table_iv_kernels() {
+        for n in ["cholesky", "fft", "crs", "bgr2grey", "blur", "channel-ext", "stencil-3d"] {
+            let t = hls_tuned(n).unwrap_or_else(|| panic!("no HLS tuned {n}"));
+            assert!(t.tuning().tuned);
+            assert!(!t.traits().variable_trip_count || t.nest().has_variable_trip() == false || t.tuning().tuned);
+        }
+        for n in ["fft", "gemm", "stencil-2d", "blur"] {
+            assert!(og_tuned(n).is_some(), "no OG tuned {n}");
+        }
+    }
+
+    #[test]
+    fn hls_tuning_removes_pathologies() {
+        for n in ["bgr2grey", "blur", "channel-ext", "stencil-3d"] {
+            let t = hls_tuned(n).unwrap();
+            assert!(
+                !t.traits().strided_innermost,
+                "{n} tuned variant still strided"
+            );
+        }
+        for n in ["cholesky", "fft", "crs"] {
+            let t = hls_tuned(n).unwrap();
+            assert!(
+                !t.traits().variable_trip_count,
+                "{n} tuned variant still variable-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn vision_kernels_share_size() {
+        for k in suite(Suite::Vision) {
+            // 128^2 x 4 elements flow through each vision kernel
+            assert!(
+                k.total_iterations() >= 65536.0 / 16.0,
+                "{} too small",
+                k.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The five MachSuite kernels (Table II rows 6-10).
+
+use overgen_ir::{expr, ArrayRef, DataType, Kernel, KernelBuilder, Stmt, Suite};
+
+/// All MachSuite kernels.
+pub fn all() -> Vec<Kernel> {
+    vec![stencil_3d(), crs(), gemm(), stencil_2d(), ellpack()]
+}
+
+/// 7-point 3-D stencil over a 34^3 grid for 8 timesteps, i64. The z-plane
+/// neighbours make the innermost accesses strided (Table IV's stencil-3d
+/// pathology); seven input ports in Table II.
+pub fn stencil_3d() -> Kernel {
+    let n: i64 = 34;
+    let plane = n * n;
+    KernelBuilder::new("stencil-3d", Suite::MachSuite, DataType::I64)
+        .array_input("src", (n * n * n) as u64)
+        .array_input("coef", 4)
+        .array_output("dst", (n * n * n) as u64)
+        .loop_const("t", 8)
+        .loop_const("i", (n - 2) as u64)
+        .loop_const("j", (n - 2) as u64)
+        // innermost strides over z-planes: +-plane and +-n neighbours
+        .loop_const("k", (n - 2) as u64)
+        .assign(
+            "dst",
+            expr::idx_scaled("i", plane) + expr::idx_scaled("j", n) + expr::idx_scaled("k", 2),
+            expr::load("coef", expr::idx_const(0))
+                * expr::load(
+                    "src",
+                    expr::idx_scaled("i", plane) + expr::idx_scaled("j", n) + expr::idx_scaled("k", 2),
+                )
+                + expr::load("coef", expr::idx_const(1))
+                    * (expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(plane),
+                    ) + expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(-plane),
+                    ))
+                + expr::load("coef", expr::idx_const(2))
+                    * (expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(n),
+                    ) + expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(-n),
+                    ))
+                + expr::load("coef", expr::idx_const(3))
+                    * (expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(1),
+                    ) + expr::load(
+                        "src",
+                        expr::idx_scaled("i", plane)
+                            + expr::idx_scaled("j", n)
+                            + expr::idx_scaled("k", 2).offset(-1),
+                    )),
+        )
+        .build()
+        .expect("stencil-3d is well formed")
+}
+
+/// Sparse matrix-vector multiply in CRS format: 494 rows x ~4 nonzeros,
+/// f64. Row lengths are data dependent (variable trip count) and the
+/// column access is an indirect gather — both Table IV pathologies.
+pub fn crs() -> Kernel {
+    let rows: u64 = 494;
+    let nnz: u64 = rows * 4;
+    KernelBuilder::new("crs", Suite::MachSuite, DataType::F64)
+        .array_input("val", nnz)
+        .array_input("col", nnz)
+        .array_input("vec", rows)
+        .array_output("out", rows)
+        .loop_const("i", rows)
+        .loop_variable("j", 8, 4.0)
+        .stmt(
+            Stmt::accum(
+                ArrayRef::affine("out", expr::idx("i")),
+                expr::load("val", expr::idx_scaled("i", 4) + expr::idx("j"))
+                    * expr::load_indirect("vec", "col", expr::idx_scaled("i", 4) + expr::idx("j")),
+            )
+            .with_guard(),
+        )
+        .build()
+        .expect("crs is well formed")
+}
+
+/// Blocked (tiled) 64x64 i64 matrix multiply — the kernel AutoDSE's
+/// pre-built database covers.
+pub fn gemm() -> Kernel {
+    let n: i64 = 64;
+    KernelBuilder::new("gemm", Suite::MachSuite, DataType::I64)
+        .array_input("a", (n * n) as u64)
+        .array_input("b", (n * n) as u64)
+        .array_output("c", (n * n) as u64)
+        .loop_const("jj", 8) // column tiles of 8
+        .loop_const("i", n as u64)
+        .loop_const("k", n as u64)
+        .loop_const("j", 8)
+        .accum(
+            "c",
+            expr::idx_scaled("i", n) + expr::idx_scaled("jj", 8) + expr::idx("j"),
+            expr::load("a", expr::idx_scaled("i", n) + expr::idx("k"))
+                * expr::load(
+                    "b",
+                    expr::idx_scaled("k", n) + expr::idx_scaled("jj", 8) + expr::idx("j"),
+                ),
+        )
+        .build()
+        .expect("gemm is well formed")
+}
+
+/// 3x3 2-D stencil over a 66x66 grid, 32 timesteps, i64: the classic
+/// sliding-window kernel HLS line buffers excel at (a Q1 outlier).
+pub fn stencil_2d() -> Kernel {
+    let n: i64 = 66;
+    KernelBuilder::new("stencil-2d", Suite::MachSuite, DataType::I64)
+        .array_input("src", (n * n) as u64)
+        .array_input("f", 9)
+        .array_output("dst", (n * n) as u64)
+        .loop_const("t", 32)
+        .loop_const("r", (n - 2) as u64)
+        .loop_const("c", (n - 2) as u64)
+        .assign(
+            "dst",
+            expr::idx_scaled("r", n) + expr::idx("c"),
+            (expr::load("f", expr::idx_const(0))
+                * expr::load("src", expr::idx_scaled("r", n) + expr::idx("c"))
+                + expr::load("f", expr::idx_const(1))
+                    * expr::load("src", expr::idx_scaled("r", n) + expr::idx("c").offset(1))
+                + expr::load("f", expr::idx_const(2))
+                    * expr::load("src", expr::idx_scaled("r", n) + expr::idx("c").offset(2)))
+                + (expr::load("f", expr::idx_const(3))
+                    * expr::load("src", expr::idx_scaled("r", n) + expr::idx("c").offset(n))
+                    + expr::load("f", expr::idx_const(4))
+                        * expr::load(
+                            "src",
+                            expr::idx_scaled("r", n) + expr::idx("c").offset(n + 1),
+                        )
+                    + expr::load("f", expr::idx_const(5))
+                        * expr::load(
+                            "src",
+                            expr::idx_scaled("r", n) + expr::idx("c").offset(n + 2),
+                        ))
+                + (expr::load("f", expr::idx_const(6))
+                    * expr::load(
+                        "src",
+                        expr::idx_scaled("r", n) + expr::idx("c").offset(2 * n),
+                    )
+                    + expr::load("f", expr::idx_const(7))
+                        * expr::load(
+                            "src",
+                            expr::idx_scaled("r", n) + expr::idx("c").offset(2 * n + 1),
+                        )
+                    + expr::load("f", expr::idx_const(8))
+                        * expr::load(
+                            "src",
+                            expr::idx_scaled("r", n) + expr::idx("c").offset(2 * n + 2),
+                        )),
+        )
+        .build()
+        .expect("stencil-2d is well formed")
+}
+
+/// ELLPACK sparse matrix-vector multiply, 494 rows x 4 columns, f64:
+/// indirect gather into a vector every tile must replicate — the paper's
+/// broadcast-missing outlier.
+pub fn ellpack() -> Kernel {
+    let rows: u64 = 494;
+    KernelBuilder::new("ellpack", Suite::MachSuite, DataType::F64)
+        .array_input("nzval", rows * 4)
+        .array_input("cols", rows * 4)
+        .array_input("vec", rows)
+        .array_output("out", rows)
+        .loop_const("i", rows)
+        .loop_const("j", 4)
+        .accum(
+            "out",
+            expr::idx("i"),
+            expr::load("nzval", expr::idx_scaled("i", 4) + expr::idx("j"))
+                * expr::load_indirect("vec", "cols", expr::idx_scaled("i", 4) + expr::idx("j")),
+        )
+        .wants_broadcast()
+        .build()
+        .expect("ellpack is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_ir::Op;
+
+    #[test]
+    fn stencil_3d_has_seven_reads_and_strides() {
+        let k = stencil_3d();
+        // 7 src loads + coef loads
+        let src_reads = k
+            .reads()
+            .iter()
+            .filter(|r| r.array == "src")
+            .count();
+        assert_eq!(src_reads, 7);
+        assert!(k.traits().strided_innermost);
+    }
+
+    #[test]
+    fn crs_is_variable_and_indirect() {
+        let t = crs().traits();
+        assert!(t.variable_trip_count);
+        assert!(t.indirect);
+        assert!(t.guarded);
+    }
+
+    #[test]
+    fn gemm_is_blocked() {
+        assert_eq!(gemm().nest().depth(), 4);
+        assert_eq!(gemm().count_op(Op::Mul), 1);
+    }
+
+    #[test]
+    fn stencil_2d_window() {
+        let k = stencil_2d();
+        assert!(k.traits().sliding_window);
+        assert_eq!(k.count_op(Op::Mul), 9);
+        // 8 explicit adds + none implied (plain assign)
+        assert_eq!(k.count_op(Op::Add), 8);
+    }
+
+    #[test]
+    fn ellpack_wants_broadcast() {
+        assert!(ellpack().traits().wants_broadcast);
+    }
+}

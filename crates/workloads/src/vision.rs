@@ -1,0 +1,261 @@
+//! The nine Xilinx Vitis Vision kernels (Table II rows 11-19): i16 pixels,
+//! 128x128 images processed in batches of four.
+
+use overgen_ir::{expr, DataType, Kernel, KernelBuilder, Suite};
+
+/// Pixels per batch: 128^2 x 4.
+pub const PIXELS: u64 = 128 * 128 * 4;
+
+/// All Vision kernels.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        channel_ext(),
+        bgr2grey(),
+        blur(),
+        accumulate(),
+        acc_sqr(),
+        vecmax(),
+        acc_weight(),
+        convert_bit(),
+        derivative(),
+    ]
+}
+
+fn base(name: &str) -> KernelBuilder {
+    KernelBuilder::new(name, Suite::Vision, DataType::I16)
+}
+
+/// Channel extraction: pick one channel from interleaved RGBA — a pure
+/// data-movement kernel (Table II: 0 ops) with a stride-4 innermost read.
+pub fn channel_ext() -> Kernel {
+    base("channel-ext")
+        .array_input("rgba", PIXELS * 4)
+        .array_output("ch", PIXELS)
+        .loop_const("i", PIXELS)
+        .assign("ch", expr::idx("i"), expr::load("rgba", expr::idx_scaled("i", 4)))
+        .build()
+        .expect("channel-ext is well formed")
+}
+
+/// BGR to greyscale: weighted channel sum with a stride-3 read pattern
+/// (Table IV's bgr2grey pathology).
+pub fn bgr2grey() -> Kernel {
+    base("bgr2grey")
+        .array_input("bgr", PIXELS * 3)
+        .array_input("wt", 3)
+        .array_output("grey", PIXELS)
+        .loop_const("i", PIXELS)
+        .assign(
+            "grey",
+            expr::idx("i"),
+            expr::shr(
+                expr::load("bgr", expr::idx_scaled("i", 3)) * expr::load("wt", expr::idx_const(0))
+                    + expr::load("bgr", expr::idx_scaled("i", 3).offset(1))
+                        * expr::load("wt", expr::idx_const(1))
+                    + expr::load("bgr", expr::idx_scaled("i", 3).offset(2))
+                        * expr::load("wt", expr::idx_const(2)),
+                8,
+            ),
+        )
+        .build()
+        .expect("bgr2grey is well formed")
+}
+
+/// 3x3 box blur: a sliding window of adds plus a normalising shift
+/// (Table II: 0 mul, 52 add, 8 shift at the best unroll).
+pub fn blur() -> Kernel {
+    let w: i64 = 128;
+    base("blur")
+        .array_input("src", PIXELS + 2 * w as u64 + 2)
+        .array_output("dst", PIXELS)
+        .loop_const("r", 4 * 126)
+        .loop_const("c", 126)
+        .assign(
+            "dst",
+            expr::idx_scaled("r", w) + expr::idx("c"),
+            expr::shr(
+                (expr::load("src", expr::idx_scaled("r", w) + expr::idx("c"))
+                    + expr::load("src", expr::idx_scaled("r", w) + expr::idx("c").offset(1))
+                    + expr::load("src", expr::idx_scaled("r", w) + expr::idx("c").offset(2)))
+                    + (expr::load("src", expr::idx_scaled("r", w) + expr::idx("c").offset(w))
+                        + expr::load(
+                            "src",
+                            expr::idx_scaled("r", w) + expr::idx("c").offset(w + 1),
+                        )
+                        + expr::load(
+                            "src",
+                            expr::idx_scaled("r", w) + expr::idx("c").offset(w + 2),
+                        ))
+                    + (expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(2 * w),
+                    ) + expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(2 * w + 1),
+                    ) + expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(2 * w + 2),
+                    )),
+                3,
+            ),
+        )
+        .build()
+        .expect("blur is well formed")
+}
+
+/// Frame accumulation: `acc[i] += a[i]`.
+pub fn accumulate() -> Kernel {
+    base("accumulate")
+        .array_input("frame", PIXELS)
+        .array_output("acc", PIXELS)
+        .loop_const("t", 4)
+        .loop_const("i", PIXELS / 4)
+        .accum("acc", expr::idx("i"), expr::load("frame", expr::idx("i")))
+        .build()
+        .expect("accumulate is well formed")
+}
+
+/// Squared accumulation: `acc[i] += a[i] * a[i]`.
+pub fn acc_sqr() -> Kernel {
+    base("acc-sqr")
+        .array_input("frame", PIXELS)
+        .array_output("acc", PIXELS)
+        .loop_const("t", 4)
+        .loop_const("i", PIXELS / 4)
+        .accum(
+            "acc",
+            expr::idx("i"),
+            expr::load("frame", expr::idx("i")) * expr::load("frame", expr::idx("i")),
+        )
+        .build()
+        .expect("acc-sqr is well formed")
+}
+
+/// Reduction to the maximum pixel value (three arrays in Table II: two
+/// inputs and the running maximum).
+pub fn vecmax() -> Kernel {
+    base("vecmax")
+        .array_input("a", PIXELS)
+        .array_input("b", PIXELS)
+        .array_output("m", 1)
+        .loop_const("i", PIXELS)
+        .accum(
+            "m",
+            expr::idx_const(0),
+            expr::max(
+                expr::load("a", expr::idx("i")),
+                expr::load("b", expr::idx("i")),
+            ),
+        )
+        .build()
+        .expect("vecmax is well formed")
+}
+
+/// Weighted accumulation: `acc[i] = (a[i]*w + acc[i]*(256-w)) >> 8`.
+pub fn acc_weight() -> Kernel {
+    base("acc-weight")
+        .array_input("frame", PIXELS)
+        .array_input("wts", 2)
+        .array_output("acc", PIXELS)
+        .loop_const("t", 4)
+        .loop_const("i", PIXELS / 4)
+        .assign(
+            "acc",
+            expr::idx("i"),
+            expr::shr(
+                expr::load("frame", expr::idx("i")) * expr::load("wts", expr::idx_const(0))
+                    + expr::load("acc", expr::idx("i")) * expr::load("wts", expr::idx_const(1)),
+                8,
+            ),
+        )
+        .build()
+        .expect("acc-weight is well formed")
+}
+
+/// Bit-depth conversion with rounding: `c[i] = (a[i] + bias) >> 8`.
+pub fn convert_bit() -> Kernel {
+    base("convert-bit")
+        .array_input("src16", PIXELS)
+        .array_output("dst8", PIXELS)
+        .loop_const("i", PIXELS)
+        .assign(
+            "dst8",
+            expr::idx("i"),
+            expr::shr(expr::load("src16", expr::idx("i")) + expr::lit(128.0), 8),
+        )
+        .build()
+        .expect("convert-bit is well formed")
+}
+
+/// Horizontal + vertical derivative (Sobel-like), a sliding-window kernel
+/// over 130-wide rows (Table II lists 130^2 x 4).
+pub fn derivative() -> Kernel {
+    let w: i64 = 130;
+    base("derivative")
+        .array_input("src", (130 * 130 * 4) as u64)
+        .array_output("dx", PIXELS)
+        .loop_const("r", 4 * 128)
+        .loop_const("c", 128)
+        .assign(
+            "dx",
+            expr::idx_scaled("r", 128) + expr::idx("c"),
+            expr::shr(
+                (expr::load("src", expr::idx_scaled("r", w) + expr::idx("c").offset(2))
+                    - expr::load("src", expr::idx_scaled("r", w) + expr::idx("c")))
+                    * expr::lit(2.0)
+                    + (expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(2 * w + 2),
+                    ) - expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(2 * w),
+                    )) * expr::lit(2.0)
+                    + (expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(w + 2),
+                    ) - expr::load(
+                        "src",
+                        expr::idx_scaled("r", w) + expr::idx("c").offset(w),
+                    )),
+                2,
+            ),
+        )
+        .build()
+        .expect("derivative is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_ir::Op;
+
+    #[test]
+    fn channel_ext_is_pure_movement() {
+        let k = channel_ext();
+        assert_eq!(k.count_op(Op::Mul), 0);
+        assert_eq!(k.count_op(Op::Add), 0);
+        assert!(k.traits().strided_innermost);
+    }
+
+    #[test]
+    fn bgr2grey_ops() {
+        let k = bgr2grey();
+        assert_eq!(k.count_op(Op::Mul), 3);
+        assert_eq!(k.count_op(Op::Add), 2);
+        assert!(k.traits().strided_innermost);
+    }
+
+    #[test]
+    fn window_kernels_slide() {
+        assert!(blur().traits().sliding_window);
+        assert!(derivative().traits().sliding_window);
+        assert_eq!(blur().count_op(Op::Add), 8);
+    }
+
+    #[test]
+    fn reductions_accumulate() {
+        assert!(accumulate().body()[0].accumulate);
+        assert!(vecmax().body()[0].accumulate);
+        assert_eq!(acc_sqr().count_op(Op::Mul), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: define a kernel, run it on the hand-designed General
+//! Overlay, and print compile / run / reconfigure costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use overgen::{workloads, Overlay};
+use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+
+fn main() {
+    // 1. The paper's General Overlay: 4 tiles of a 24-PE full-capability
+    //    mesh on a VCU118.
+    let overlay = Overlay::general();
+    println!("General overlay @ {:.1} MHz", overlay.fmax_mhz());
+    println!("{}\n", overlay.summary());
+
+    // 2. A custom kernel through the decoupled-spatial compiler: the
+    //    Figure 2 vector addition.
+    let n = 1 << 16;
+    let vecadd = KernelBuilder::new("my-vecadd", Suite::Dsp, DataType::I64)
+        .array_input("a", n)
+        .array_input("b", n)
+        .array_output("c", n)
+        .loop_const("i", n)
+        .assign(
+            "c",
+            expr::idx("i"),
+            expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+        )
+        .build()
+        .expect("vecadd is a valid kernel");
+
+    let app = overlay.compile(&vecadd).expect("maps onto the overlay");
+    let report = overlay.execute(&app);
+    println!(
+        "my-vecadd: compiled in {:.2} s (modelled), unroll {}, {} cycles, IPC {:.1}",
+        app.compile_seconds,
+        app.mdfg.unroll(),
+        report.cycles,
+        report.ipc
+    );
+    println!(
+        "run time {:.3} ms; overlay reconfiguration {:.1} us (FPGA reflash: ~1.1 s)",
+        overlay.run_seconds(&app) * 1e3,
+        overlay.reconfig_seconds(&app) * 1e6
+    );
+
+    // 3. A paper workload on the same hardware, seconds apart — the whole
+    //    point of an overlay.
+    let fir = workloads::by_name("fir").expect("fir is a paper workload");
+    let fir_app = overlay.compile(&fir).expect("fir maps");
+    println!(
+        "\nswapped to fir without synthesis: {:.3} ms per run",
+        overlay.run_seconds(&fir_app) * 1e3
+    );
+}

@@ -1,0 +1,46 @@
+//! Train the MLP FPGA-resource model against the synthesis oracle
+//! (paper §V-D / Table I, scaled down) and compare its predictions with the
+//! analytic ground truth on the General Overlay's components.
+//!
+//! ```sh
+//! cargo run --release --example resource_model
+//! ```
+
+use overgen_adg::{mesh, MeshSpec};
+use overgen_model::dataset::MlpResourceModel;
+use overgen_model::{features_of, AnalyticModel, ComponentKind, ResourceModel};
+
+fn main() {
+    println!("training per-class MLPs on oracle-synthesized datasets ...");
+    let model = MlpResourceModel::train_default(42);
+    for kind in ComponentKind::ALL {
+        let r = model.report(kind).expect("trained");
+        println!(
+            "  {kind:<20} {} samples  train {:.1}%  val {:.1}%  test {:.1}% rel. err \
+             (paper dataset: {} samples)",
+            r.samples,
+            r.train_rel_err * 100.0,
+            r.val_rel_err * 100.0,
+            r.test_rel_err * 100.0,
+            kind.paper_sample_count(),
+        );
+    }
+
+    let adg = mesh(&MeshSpec::general());
+    let analytic = AnalyticModel;
+    let mut mlp_total = 0.0;
+    let mut true_total = 0.0;
+    for (id, _) in adg.nodes() {
+        if let Some(f) = features_of(&adg, id) {
+            mlp_total += model.component(&f).lut;
+            true_total += analytic.component(&f).lut;
+        }
+    }
+    println!(
+        "\nGeneral-overlay accelerator LUTs: MLP predicts {:.0}, analytic truth {:.0} \
+         ({:+.1}% — the paper's model is likewise pessimistic by design)",
+        mlp_total,
+        true_total,
+        100.0 * (mlp_total - true_total) / true_total
+    );
+}

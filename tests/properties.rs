@@ -1,0 +1,161 @@
+//! Property-based tests over the core pipeline: randomly generated
+//! kernels and fabrics must never break the compile -> schedule ->
+//! simulate invariants.
+
+use proptest::prelude::*;
+
+use overgen_adg::{mesh, AdgSummary, MeshSpec, SysAdg, SystemParams};
+use overgen_compiler::{compile_variants, lower, CompileOptions, LowerChoices};
+use overgen_ir::{expr, AffineExpr, DataType, Kernel, KernelBuilder, Suite};
+use overgen_scheduler::schedule;
+use overgen_sim::{simulate, SimConfig};
+
+/// A random but well-formed elementwise kernel.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        1u64..=4096,           // n
+        0usize..3,             // op shape selector
+        prop_oneof![
+            Just(DataType::I16),
+            Just(DataType::I64),
+            Just(DataType::F64)
+        ],
+        any::<bool>(), // accumulate
+    )
+        .prop_map(|(n, shape, dtype, accum)| {
+            let n = n.max(4);
+            let value = match shape {
+                0 => expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+                1 => expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i")),
+                _ => {
+                    expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i"))
+                        + expr::load("a", expr::idx("i"))
+                }
+            };
+            let b = KernelBuilder::new("rand", Suite::Dsp, dtype)
+                .array_input("a", n)
+                .array_input("b", n)
+                .array_output("c", n)
+                .loop_const("i", n);
+            let b = if accum {
+                b.accum("c", expr::idx("i"), value)
+            } else {
+                b.assign("c", expr::idx("i"), value)
+            };
+            b.build().expect("generated kernel is well formed")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compile_variants_always_validate(k in arb_kernel()) {
+        let vs = compile_variants(&k, &CompileOptions::default()).unwrap();
+        prop_assert!(!vs.is_empty());
+        for v in &vs {
+            v.validate().unwrap();
+            // unrolls never exceed the innermost trip count
+            prop_assert!(u64::from(v.unroll()) <= k.nest().innermost().unwrap().trip.max());
+            // firing count covers the iteration space
+            prop_assert!(v.firings() * f64::from(v.unroll()) >= k.total_iterations());
+        }
+    }
+
+    #[test]
+    fn schedule_assignments_are_exclusive_and_complete(k in arb_kernel()) {
+        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let sched = match schedule(&mdfg, &sys, None) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // not all random kernels fit; that is legal
+        };
+        // every mdfg node assigned to live hardware
+        prop_assert_eq!(sched.assignment.len(), mdfg.node_count());
+        for hw in sched.assignment.values() {
+            prop_assert!(sys.adg.contains(*hw));
+        }
+        // dedicated PEs: no two instructions share one
+        let mut pes = std::collections::BTreeSet::new();
+        for (mid, hw) in &sched.assignment {
+            if mdfg.node(*mid).unwrap().as_inst().is_some() {
+                prop_assert!(pes.insert(*hw), "PE shared by two instructions");
+            }
+        }
+        // routes start/end at assigned nodes and use real edges
+        for ((src, dst), path) in &sched.routes {
+            prop_assert_eq!(path[0], sched.assignment[src]);
+            prop_assert_eq!(*path.last().unwrap(), sched.assignment[dst]);
+            for w in path.windows(2) {
+                prop_assert!(sys.adg.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_terminates_and_conserves_work(k in arb_kernel()) {
+        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let sched = match schedule(&mdfg, &sys, None) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
+        prop_assert!(!r.truncated);
+        // all firings delivered for this tile's share
+        let tiles = u64::from(sys.sys.tiles);
+        let expect = (mdfg.firings() as u64).div_ceil(tiles);
+        prop_assert_eq!(r.firings, expect);
+        // IPC is bounded by the theoretical peak
+        prop_assert!(r.ipc <= mdfg.insts_per_firing() * tiles as f64 + 1e-9);
+    }
+
+    #[test]
+    fn affine_range_contains_samples(
+        c0 in -50i64..50,
+        c1 in -4i64..4,
+        c2 in -4i64..4,
+        n1 in 1u64..40,
+        n2 in 1u64..40,
+    ) {
+        let e = AffineExpr::var("x").scaled(c1) + AffineExpr::var("y").scaled(c2);
+        let e = e.offset(c0);
+        let extent = |v: &str| -> Option<u64> {
+            match v { "x" => Some(n1), "y" => Some(n2), _ => None }
+        };
+        let (lo, hi) = e.value_range(&extent);
+        for x in [0, (n1 - 1) / 2, n1 - 1] {
+            for y in [0, (n2 - 1) / 2, n2 - 1] {
+                let mut env = std::collections::BTreeMap::new();
+                env.insert("x".to_string(), x as i64);
+                env.insert("y".to_string(), y as i64);
+                let v = e.eval(&env);
+                prop_assert!(v >= lo && v <= hi, "{v} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_specs_always_build_valid_graphs(
+        rows in 1usize..5,
+        cols in 1usize..6,
+        in_ports in 1usize..8,
+        out_ports in 1usize..6,
+        width in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)],
+    ) {
+        let spec = MeshSpec {
+            rows,
+            cols,
+            in_ports,
+            out_ports,
+            port_width_bytes: width,
+            ..MeshSpec::default()
+        };
+        let adg = mesh(&spec);
+        adg.validate().unwrap();
+        let s = AdgSummary::of(&adg);
+        prop_assert_eq!(s.pes, rows * cols);
+        prop_assert_eq!(s.switches, (rows + 1) * (cols + 1));
+        prop_assert_eq!(s.in_port_bw, in_ports as u64 * u64::from(width));
+    }
+}

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::node::{AdgNode, NodeKind};
 
 /// Stable identifier of an ADG node.
@@ -9,7 +7,8 @@ use crate::node::{AdgNode, NodeKind};
 /// Ids survive deletions of *other* nodes (slot-map semantics), which is the
 /// property schedule repair (paper §V-A) relies on: a schedule referencing
 /// untouched hardware remains valid across DSE mutations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
@@ -65,7 +64,8 @@ impl fmt::Display for AdgError {
 impl std::error::Error for AdgError {}
 
 /// The architecture description graph: a directed graph of [`AdgNode`]s.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Adg {
     slots: Vec<Option<AdgNode>>,
     /// Outgoing adjacency per slot (indices parallel `slots`).
@@ -165,12 +165,18 @@ impl Adg {
 
     /// Outgoing neighbours of a node.
     pub fn succs(&self, id: NodeId) -> &[NodeId] {
-        self.out_adj.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.out_adj
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Incoming neighbours of a node.
     pub fn preds(&self, id: NodeId) -> &[NodeId] {
-        self.in_adj.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.in_adj
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Total degree (radix) of a node.
@@ -219,9 +225,10 @@ impl Adg {
 
     /// Iterator over all directed edges.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.out_adj.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |d| (NodeId(i as u32), *d))
-        })
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |d| (NodeId(i as u32), *d)))
     }
 
     /// Estimated configuration-bitstream size in bytes for reconfiguring
@@ -253,9 +260,11 @@ impl Adg {
         for (id, n) in self.nodes() {
             match n.kind() {
                 NodeKind::InPort => {
-                    if !self.preds(id).iter().any(|p| {
-                        self.kind(*p).is_some_and(NodeKind::is_engine)
-                    }) {
+                    if !self
+                        .preds(id)
+                        .iter()
+                        .any(|p| self.kind(*p).is_some_and(NodeKind::is_engine))
+                    {
                         return Err(AdgError::Invalid(format!(
                             "input port {id} has no feeding stream engine"
                         )));

@@ -1,14 +1,13 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use overgen_ir::Op;
 
 use crate::{Adg, AdgNode};
 
 /// Aggregate specification of an accelerator ADG — the per-column content of
 /// the paper's Table III ("Specification of Suite Specific Overlays").
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdgSummary {
     /// Number of processing elements.
     pub pes: usize,
@@ -122,13 +121,21 @@ impl fmt::Display for AdgSummary {
         writeln!(
             f,
             "Spad. Cap. (KB)     {}",
-            if caps.is_empty() { "-".into() } else { caps.join(", ") }
+            if caps.is_empty() {
+                "-".into()
+            } else {
+                caps.join(", ")
+            }
         )?;
         let bws: Vec<String> = self.spad_bws.iter().map(|c| c.to_string()).collect();
         writeln!(
             f,
             "Spad. B/W (B/cyc)   {}",
-            if bws.is_empty() { "-".into() } else { bws.join(", ") }
+            if bws.is_empty() {
+                "-".into()
+            } else {
+                bws.join(", ")
+            }
         )?;
         writeln!(
             f,
@@ -144,8 +151,8 @@ impl fmt::Display for AdgSummary {
 mod tests {
     use super::*;
     use crate::node::*;
-    use overgen_ir::DataType;
     use crate::topology::{mesh, MeshSpec};
+    use overgen_ir::DataType;
     use overgen_ir::FuCap;
 
     #[test]

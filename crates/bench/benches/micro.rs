@@ -3,105 +3,135 @@
 //! simulation, the MLP resource model, the AutoDSE explorer, and one full
 //! DSE iteration cycle.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// Gated: requires the `criterion-bench` feature AND restoring the criterion
+// dev-dependency in crates/bench/Cargo.toml (removed for offline builds).
+#[cfg(feature = "criterion-bench")]
+mod benches {
+    use criterion::{criterion_group, Criterion};
 
-use overgen::Overlay;
-use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
-use overgen_compiler::{compile_variants, lower, CompileOptions, LowerChoices};
-use overgen_dse::{Dse, DseConfig};
-use overgen_hls::{explore, AutoDseConfig};
-use overgen_model::dataset::{generate, MlpResourceModel};
-use overgen_model::ComponentKind;
-use overgen_scheduler::{repair, schedule};
-use overgen_sim::{simulate, SimConfig};
-use overgen_workloads as workloads;
+    use overgen::Overlay;
+    use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
+    use overgen_compiler::{compile_variants, lower, CompileOptions, LowerChoices};
+    use overgen_dse::{Dse, DseConfig};
+    use overgen_hls::{explore, AutoDseConfig};
+    use overgen_model::dataset::{generate, MlpResourceModel};
+    use overgen_model::ComponentKind;
+    use overgen_scheduler::{repair, schedule};
+    use overgen_sim::{simulate, SimConfig};
+    use overgen_workloads as workloads;
 
-fn bench_compile(c: &mut Criterion) {
-    let fir = workloads::by_name("fir").unwrap();
-    c.bench_function("compile_variants/fir", |b| {
-        b.iter(|| compile_variants(&fir, &CompileOptions::default()).unwrap())
-    });
-    let stencil = workloads::by_name("stencil-2d").unwrap();
-    c.bench_function("compile_variants/stencil-2d", |b| {
-        b.iter(|| compile_variants(&stencil, &CompileOptions::default()).unwrap())
-    });
-}
+    fn bench_compile(c: &mut Criterion) {
+        let fir = workloads::by_name("fir").unwrap();
+        c.bench_function("compile_variants/fir", |b| {
+            b.iter(|| compile_variants(&fir, &CompileOptions::default()).unwrap())
+        });
+        let stencil = workloads::by_name("stencil-2d").unwrap();
+        c.bench_function("compile_variants/stencil-2d", |b| {
+            b.iter(|| compile_variants(&stencil, &CompileOptions::default()).unwrap())
+        });
+    }
 
-fn bench_schedule(c: &mut Criterion) {
-    let fir = workloads::by_name("fir").unwrap();
-    let mdfg = lower(&fir, 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
-    let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
-    c.bench_function("schedule/fir_u4_on_general", |b| {
-        b.iter(|| schedule(&mdfg, &sys, None).unwrap())
-    });
-    let prior = schedule(&mdfg, &sys, None).unwrap();
-    c.bench_function("repair/fir_u4_intact", |b| {
-        b.iter(|| repair(&prior, &mdfg, &sys).unwrap())
-    });
-}
-
-fn bench_simulate(c: &mut Criterion) {
-    let overlay = Overlay::general();
-    let app = overlay
-        .compile(&workloads::by_name("mm").unwrap())
+    fn bench_schedule(c: &mut Criterion) {
+        let fir = workloads::by_name("fir").unwrap();
+        let mdfg = lower(
+            &fir,
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
         .unwrap();
-    c.bench_function("simulate/mm_on_general", |b| {
-        b.iter(|| simulate(&app.mdfg, &app.schedule, &overlay.sys_adg, &SimConfig::default()))
-    });
-}
+        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+        c.bench_function("schedule/fir_u4_on_general", |b| {
+            b.iter(|| schedule(&mdfg, &sys, None).unwrap())
+        });
+        let prior = schedule(&mdfg, &sys, None).unwrap();
+        c.bench_function("repair/fir_u4_intact", |b| {
+            b.iter(|| repair(&prior, &mdfg, &sys).unwrap())
+        });
+    }
 
-fn bench_models(c: &mut Criterion) {
-    c.bench_function("oracle/generate_200_switches", |b| {
-        b.iter(|| generate(ComponentKind::Switch, 200, 1))
-    });
-    let model = MlpResourceModel::train_default(3);
-    let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
-    let feats: Vec<_> = sys
-        .adg
-        .nodes()
-        .filter_map(|(id, _)| overgen_model::features_of(&sys.adg, id))
-        .collect();
-    c.bench_function("mlp/infer_general_overlay", |b| {
-        b.iter(|| {
-            use overgen_model::ResourceModel;
-            feats
-                .iter()
-                .map(|f| model.component(f).lut)
-                .sum::<f64>()
-        })
-    });
-}
+    fn bench_simulate(c: &mut Criterion) {
+        let overlay = Overlay::general();
+        let app = overlay.compile(&workloads::by_name("mm").unwrap()).unwrap();
+        c.bench_function("simulate/mm_on_general", |b| {
+            b.iter(|| {
+                simulate(
+                    &app.mdfg,
+                    &app.schedule,
+                    &overlay.sys_adg,
+                    &SimConfig::default(),
+                )
+            })
+        });
+    }
 
-fn bench_hls(c: &mut Criterion) {
-    let mm = workloads::by_name("mm").unwrap();
-    c.bench_function("autodse/mm", |b| {
-        b.iter(|| explore(&mm, &AutoDseConfig::default()))
-    });
-}
+    fn bench_models(c: &mut Criterion) {
+        c.bench_function("oracle/generate_200_switches", |b| {
+            b.iter(|| generate(ComponentKind::Switch, 200, 1))
+        });
+        let model = MlpResourceModel::train_default(3);
+        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+        let feats: Vec<_> = sys
+            .adg
+            .nodes()
+            .filter_map(|(id, _)| overgen_model::features_of(&sys.adg, id))
+            .collect();
+        c.bench_function("mlp/infer_general_overlay", |b| {
+            b.iter(|| {
+                use overgen_model::ResourceModel;
+                feats.iter().map(|f| model.component(f).lut).sum::<f64>()
+            })
+        });
+    }
 
-fn bench_dse(c: &mut Criterion) {
-    let domain = vec![workloads::by_name("fir").unwrap()];
-    c.bench_function("dse/fir_5_iterations", |b| {
-        b.iter(|| {
-            Dse::new(
-                domain.clone(),
-                DseConfig {
-                    iterations: 5,
-                    compile: CompileOptions {
-                        max_unroll: 4,
+    fn bench_hls(c: &mut Criterion) {
+        let mm = workloads::by_name("mm").unwrap();
+        c.bench_function("autodse/mm", |b| {
+            b.iter(|| explore(&mm, &AutoDseConfig::default()))
+        });
+    }
+
+    fn bench_dse(c: &mut Criterion) {
+        let domain = vec![workloads::by_name("fir").unwrap()];
+        c.bench_function("dse/fir_5_iterations", |b| {
+            b.iter(|| {
+                Dse::new(
+                    domain.clone(),
+                    DseConfig {
+                        iterations: 5,
+                        compile: CompileOptions {
+                            max_unroll: 4,
+                            ..Default::default()
+                        },
                         ..Default::default()
                     },
-                    ..Default::default()
-                },
-            )
-            .run()
-        })
-    });
+                )
+                .run()
+            })
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(10);
+        targets = bench_compile, bench_schedule, bench_simulate, bench_models, bench_hls, bench_dse
+    }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_compile, bench_schedule, bench_simulate, bench_models, bench_hls, bench_dse
+#[cfg(feature = "criterion-bench")]
+fn main() {
+    benches::benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }
-criterion_main!(benches);
+
+#[cfg(not(feature = "criterion-bench"))]
+fn main() {
+    eprintln!(
+        "micro benchmarks are gated behind the `criterion-bench` feature; \
+         see crates/bench/Cargo.toml"
+    );
+}

@@ -3,10 +3,14 @@
 //! MLP-vs-analytic resource model fidelity.
 
 fn main() {
-    println!("Ablation 1: stream-table one-hot bypass (Figure 11, end-to-end)\n");
-    println!("{}", overgen_bench::experiments::ablations::one_hot_bypass());
-    println!("Ablation 2: reuse-aware array placement (value of spatial memories)\n");
-    println!("{}", overgen_bench::experiments::ablations::placement_value());
-    println!("Ablation 3: MLP vs analytic resource model\n");
-    println!("{}", overgen_bench::experiments::ablations::mlp_vs_analytic());
+    overgen_bench::run_experiment("ablations", || {
+        format!(
+            "Ablation 1: stream-table one-hot bypass (Figure 11, end-to-end)\n\n{}\
+             Ablation 2: reuse-aware array placement (value of spatial memories)\n\n{}\
+             Ablation 3: MLP vs analytic resource model\n\n{}",
+            overgen_bench::experiments::ablations::one_hot_bypass(),
+            overgen_bench::experiments::ablations::placement_value(),
+            overgen_bench::experiments::ablations::mlp_vs_analytic(),
+        )
+    });
 }

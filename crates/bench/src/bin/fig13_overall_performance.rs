@@ -1,6 +1,8 @@
 //! Regenerates Figure 13 (Q1): overall performance comparison.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig13::run();
-    print!("{}", overgen_bench::experiments::fig13::render(&rows));
+    overgen_bench::run_experiment("fig13", || {
+        let rows = overgen_bench::experiments::fig13::run();
+        overgen_bench::experiments::fig13::render(&rows)
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 14 (Q2): effect of tuned kernels.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig14::run();
-    print!("{}", overgen_bench::experiments::fig14::render(&rows));
+    overgen_bench::run_experiment("fig14", || {
+        let rows = overgen_bench::experiments::fig14::run();
+        overgen_bench::experiments::fig14::render(&rows)
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 15 (Q3): DSE and synthesis time comparison.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig15::run();
-    print!("{}", overgen_bench::experiments::fig15::render(&rows));
+    overgen_bench::run_experiment("fig15", || {
+        let rows = overgen_bench::experiments::fig15::run();
+        overgen_bench::experiments::fig15::render(&rows)
+    });
 }

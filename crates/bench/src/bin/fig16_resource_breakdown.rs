@@ -1,8 +1,12 @@
 //! Regenerates Figure 16 (Q4): FPGA resource breakdown per suite.
 
 fn main() {
-    for suite in overgen_ir::Suite::ALL {
-        let (ov, hls) = overgen_bench::experiments::fig16::run_suite(suite);
-        print!("{}", overgen_bench::experiments::fig16::render(suite, &ov, &hls));
-    }
+    overgen_bench::run_experiment("fig16", || {
+        let mut out = String::new();
+        for suite in overgen_ir::Suite::ALL {
+            let (ov, hls) = overgen_bench::experiments::fig16::run_suite(suite);
+            out.push_str(&overgen_bench::experiments::fig16::render(suite, &ov, &hls));
+        }
+        out
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 17 (Q5): leave-one-out flexibility evaluation.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig17::run();
-    print!("{}", overgen_bench::experiments::fig17::render(&rows));
+    overgen_bench::run_experiment("fig17", || {
+        let rows = overgen_bench::experiments::fig17::run();
+        overgen_bench::experiments::fig17::render(&rows)
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 18 (Q6): incremental design optimization.
 
 fn main() {
-    let steps = overgen_bench::experiments::fig18::run();
-    print!("{}", overgen_bench::experiments::fig18::render(&steps));
+    overgen_bench::run_experiment("fig18", || {
+        let steps = overgen_bench::experiments::fig18::run();
+        overgen_bench::experiments::fig18::render(&steps)
+    });
 }

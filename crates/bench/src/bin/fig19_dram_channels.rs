@@ -1,6 +1,8 @@
 //! Regenerates Figure 19 (Q7): effects of DRAM channels.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig19::run();
-    print!("{}", overgen_bench::experiments::fig19::render(&rows));
+    overgen_bench::run_experiment("fig19", || {
+        let rows = overgen_bench::experiments::fig19::run();
+        overgen_bench::experiments::fig19::render(&rows)
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 20 (Q8): schedule-preserving transform ablation.
 
 fn main() {
-    let rows = overgen_bench::experiments::fig20::run();
-    print!("{}", overgen_bench::experiments::fig20::render(&rows));
+    overgen_bench::run_experiment("fig20", || {
+        let rows = overgen_bench::experiments::fig20::run();
+        overgen_bench::experiments::fig20::render(&rows)
+    });
 }

@@ -3,6 +3,8 @@
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let o = overgen_bench::experiments::table1::run(full);
-    print!("{}", overgen_bench::experiments::table1::render(&o));
+    overgen_bench::run_experiment("table1", || {
+        let o = overgen_bench::experiments::table1::run(full);
+        overgen_bench::experiments::table1::render(&o)
+    });
 }

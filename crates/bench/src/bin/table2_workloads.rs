@@ -1,6 +1,8 @@
 //! Regenerates Table II: workload specification.
 
 fn main() {
-    let rows = overgen_bench::experiments::table2::run();
-    print!("{}", overgen_bench::experiments::table2::render(&rows));
+    overgen_bench::run_experiment("table2", || {
+        let rows = overgen_bench::experiments::table2::run();
+        overgen_bench::experiments::table2::render(&rows)
+    });
 }

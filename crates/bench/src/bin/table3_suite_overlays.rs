@@ -1,6 +1,8 @@
 //! Regenerates Table III: suite-specific overlay specifications.
 
 fn main() {
-    let cols = overgen_bench::experiments::table3::run();
-    print!("{}", overgen_bench::experiments::table3::render(&cols));
+    overgen_bench::run_experiment("table3", || {
+        let cols = overgen_bench::experiments::table3::run();
+        overgen_bench::experiments::table3::render(&cols)
+    });
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table IV: HLS initiation-interval optimization.
 
 fn main() {
-    let rows = overgen_bench::experiments::table4::run();
-    print!("{}", overgen_bench::experiments::table4::render(&rows));
+    overgen_bench::run_experiment("table4", || {
+        let rows = overgen_bench::experiments::table4::run();
+        overgen_bench::experiments::table4::render(&rows)
+    });
 }

@@ -1,0 +1,154 @@
+//! `trace-summary` — digest a JSONL telemetry trace into a per-phase
+//! time/attribution table.
+//!
+//! ```text
+//! trace-summary results/fig13.trace.jsonl
+//! ```
+//!
+//! Reads the trace produced by an `OVERGEN_TRACE=1` experiment run (or any
+//! file of `overgen-telemetry` event lines) and prints:
+//!
+//! - per-span-name aggregates: count, total/mean duration, share of the
+//!   root span;
+//! - event-type counts;
+//! - the final metrics-registry snapshot, when the trace carries one.
+//!
+//! Durations are in the trace's own clock units: microseconds for
+//! wall-clock traces, logical event ticks for deterministic ones.
+
+use std::collections::BTreeMap;
+
+use overgen_telemetry::json::{self, Value};
+
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    total: u64,
+    max: u64,
+    min_depth: u64,
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace-summary <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace-summary: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    let mut metrics: Option<Value> = None;
+    let mut lines = 0u64;
+    let mut malformed = 0u64;
+
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        lines += 1;
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                malformed += 1;
+                continue;
+            }
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("span") => {
+                let name = v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string();
+                let dur = v.get("dur").and_then(Value::as_u64).unwrap_or(0);
+                let depth = v.get("depth").and_then(Value::as_u64).unwrap_or(0);
+                let agg = phases.entry(name).or_insert(PhaseAgg {
+                    min_depth: u64::MAX,
+                    ..Default::default()
+                });
+                agg.count += 1;
+                agg.total += dur;
+                agg.max = agg.max.max(dur);
+                agg.min_depth = agg.min_depth.min(depth);
+            }
+            Some("metrics") => metrics = v.get("metrics").cloned(),
+            Some(kind) => *events.entry(kind.to_string()).or_insert(0) += 1,
+            None => malformed += 1,
+        }
+    }
+
+    println!("trace: {path} ({lines} lines, {malformed} malformed)");
+
+    if phases.is_empty() {
+        println!("\nno span events found");
+    } else {
+        // Root time = total of the shallowest spans; attribution is
+        // relative to it (nested spans overlap, so shares can exceed 100%).
+        let root_depth = phases.values().map(|a| a.min_depth).min().unwrap_or(0);
+        let root_total: u64 = phases
+            .values()
+            .filter(|a| a.min_depth == root_depth)
+            .map(|a| a.total)
+            .sum();
+        let mut rows: Vec<(&String, &PhaseAgg)> = phases.iter().collect();
+        rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(b.0)));
+        println!(
+            "\n{:<24} {:>8} {:>12} {:>10} {:>10} {:>7}",
+            "phase", "count", "total", "mean", "max", "share"
+        );
+        for (name, a) in rows {
+            let share = if root_total > 0 {
+                100.0 * a.total as f64 / root_total as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{:<24} {:>8} {:>12} {:>10.1} {:>10} {:>6.1}%",
+                name,
+                a.count,
+                a.total,
+                a.total as f64 / a.count.max(1) as f64,
+                a.max,
+                share,
+            );
+        }
+    }
+
+    if !events.is_empty() {
+        let mut rows: Vec<(&String, &u64)> = events.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        println!("\n{:<24} {:>8}", "event", "count");
+        for (kind, n) in rows {
+            println!("{kind:<24} {n:>8}");
+        }
+    }
+
+    if let Some(Value::Obj(pairs)) = metrics {
+        println!("\n{:<24} {:>14}", "metric", "value");
+        for (k, v) in pairs {
+            match v {
+                Value::Num(n) => println!("{k:<24} {n:>14}"),
+                Value::Obj(hist) => {
+                    // Histogram snapshot: print the headline stats.
+                    let g = |key: &str| hist.get(key).and_then(Value::as_f64).unwrap_or(0.0);
+                    let count = g("count");
+                    let mean = if count > 0.0 { g("sum") / count } else { 0.0 };
+                    println!(
+                        "{k:<24} count={count} mean={mean:.1} p50={} p90={} p99={} max={}",
+                        g("p50"),
+                        g("p90"),
+                        g("p99"),
+                        g("max"),
+                    );
+                }
+                other => println!("{k:<24} {other:>14?}"),
+            }
+        }
+    }
+}

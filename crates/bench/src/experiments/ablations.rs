@@ -21,7 +21,9 @@ pub fn one_hot_bypass() -> Table {
     let overlay = Overlay::general();
     let mut t = Table::new(["workload", "bypass off/on cycles"]);
     for k in workloads::all() {
-        let Ok(app) = overlay.compile(&k) else { continue };
+        let Ok(app) = overlay.compile(&k) else {
+            continue;
+        };
         let on = overlay.execute_with(&app, &SimConfig::default());
         let off = overlay.execute_with(
             &app,
@@ -44,7 +46,9 @@ pub fn placement_value() -> Table {
     let overlay = Overlay::general();
     let mut t = Table::new(["workload", "placed ipc", "all-DMA ipc", "gain"]);
     for k in workloads::all() {
-        let Ok(app) = overlay.compile(&k) else { continue };
+        let Ok(app) = overlay.compile(&k) else {
+            continue;
+        };
         let spad_bw: f64 = overlay
             .sys_adg
             .adg

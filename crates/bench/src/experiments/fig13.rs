@@ -64,7 +64,13 @@ pub fn suite_geomean(rows: &[Row], suite: Suite, col: impl Fn(&Row) -> Option<f6
 /// Render the figure as a table.
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new([
-        "workload", "suite", "Tuned-AD", "AutoDSE", "general-OG", "suite-OG", "w/l-OG",
+        "workload",
+        "suite",
+        "Tuned-AD",
+        "AutoDSE",
+        "general-OG",
+        "suite-OG",
+        "w/l-OG",
     ]);
     let fmt = |v: Option<f64>| v.map(ratio).unwrap_or_else(|| "-".into());
     for r in rows {
@@ -83,7 +89,14 @@ pub fn render(rows: &[Row]) -> String {
     );
     out.push_str(&t.to_string());
     out.push('\n');
-    let mut g = Table::new(["suite", "Tuned-AD", "general-OG", "suite-OG", "w/l-OG", "paper suite-OG"]);
+    let mut g = Table::new([
+        "suite",
+        "Tuned-AD",
+        "general-OG",
+        "suite-OG",
+        "w/l-OG",
+        "paper suite-OG",
+    ]);
     let paper = [("dsp", 1.21), ("machsuite", 1.13), ("vision", 1.25)];
     for (i, suite) in Suite::ALL.into_iter().enumerate() {
         g.row([

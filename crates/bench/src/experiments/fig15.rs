@@ -85,6 +85,8 @@ pub fn render(rows: &[SuiteTimes]) -> String {
             t
         ));
     }
-    out.push_str("Paper takeaway: OverGen's one-time suite DSE uses ~47% of AutoDSE's combined time.\n");
+    out.push_str(
+        "Paper takeaway: OverGen's one-time suite DSE uses ~47% of AutoDSE's combined time.\n",
+    );
     out
 }

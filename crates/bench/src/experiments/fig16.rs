@@ -64,15 +64,14 @@ pub fn run_suite(suite: Suite) -> (Vec<OverlayRow>, Vec<AutoDseRow>) {
 /// Render one suite's figure section.
 pub fn render(suite: Suite, overlays: &[OverlayRow], hls: &[AutoDseRow]) -> String {
     let mut t = Table::new([
-        "design", "lut%", "ff%", "bram%", "dsp%", "pe%", "n/w%", "vp%", "spad%", "dma%",
-        "core%", "noc%",
+        "design", "lut%", "ff%", "bram%", "dsp%", "pe%", "n/w%", "vp%", "spad%", "dma%", "core%",
+        "noc%",
     ]);
     for r in overlays {
         let total = r.breakdown.total();
         let u = XCVU9P.utilization(&total);
-        let lut_frac = |x: overgen_model::Resources| {
-            format!("{:.1}", 100.0 * x.lut / XCVU9P.total.lut)
-        };
+        let lut_frac =
+            |x: overgen_model::Resources| format!("{:.1}", 100.0 * x.lut / XCVU9P.total.lut);
         t.row([
             r.label.clone(),
             format!("{:.1}", u.lut * 100.0),

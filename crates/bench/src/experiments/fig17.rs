@@ -34,11 +34,7 @@ pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for leave in &all {
         let name = leave.name().to_string();
-        let rest: Vec<_> = all
-            .iter()
-            .filter(|k| k.name() != name)
-            .cloned()
-            .collect();
+        let rest: Vec<_> = all.iter().filter(|k| k.name() != name).cloned().collect();
         let overlay = domain_overlay(&rest, 0x100 + rows.len() as u64);
         let loo = og_seconds(&overlay, &name, true);
         let full_secs = og_seconds(&full, &name, true);
@@ -79,9 +75,7 @@ pub fn render(rows: &[Row]) -> String {
         v.map(|x| format!("{:.0}%", x * 100.0))
             .unwrap_or_else(|| "unmapped".into())
     };
-    let mag = |v: Option<f64>| {
-        v.map(|x| format!("{x:.0}x")).unwrap_or_else(|| "-".into())
-    };
+    let mag = |v: Option<f64>| v.map(|x| format!("{x:.0}x")).unwrap_or_else(|| "-".into());
     let mut perf = Vec::new();
     let mut comp = Vec::new();
     let mut reconf = Vec::new();

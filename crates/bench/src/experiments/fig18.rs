@@ -64,7 +64,15 @@ pub fn run() -> Vec<Step> {
 /// Render.
 pub fn render(steps: &[Step]) -> String {
     let mut t = Table::new([
-        "+workload", "tiles", "pe%", "n/w%", "vp%", "spad%", "dma%", "core%", "noc% (shared)",
+        "+workload",
+        "tiles",
+        "pe%",
+        "n/w%",
+        "vp%",
+        "spad%",
+        "dma%",
+        "core%",
+        "noc% (shared)",
         "geomean runtime (ms)",
     ]);
     for s in steps {

@@ -54,9 +54,19 @@ pub fn render(cols: &[Column]) -> String {
     };
     field(&mut t, "Tile Count", &|c| c.tiles.to_string(), "10/13/7");
     field(&mut t, "L2 #Bank", &|c| c.l2_banks.to_string(), "16/16/8");
-    field(&mut t, "NoC B/W (Byte)", &|c| c.noc_bw.to_string(), "64/64/64");
+    field(
+        &mut t,
+        "NoC B/W (Byte)",
+        &|c| c.noc_bw.to_string(),
+        "64/64/64",
+    );
     field(&mut t, "PEs", &|c| c.accel.pes.to_string(), "20/16/10");
-    field(&mut t, "Switches", &|c| c.accel.switches.to_string(), "17/11/27");
+    field(
+        &mut t,
+        "Switches",
+        &|c| c.accel.switches.to_string(),
+        "17/11/27",
+    );
     field(
         &mut t,
         "Avg. Radix",
@@ -66,7 +76,12 @@ pub fn render(cols: &[Column]) -> String {
     field(
         &mut t,
         "Int +/x/÷",
-        &|c| format!("{}/{}/{}", c.accel.int_add, c.accel.int_mul, c.accel.int_div),
+        &|c| {
+            format!(
+                "{}/{}/{}",
+                c.accel.int_add, c.accel.int_mul, c.accel.int_div
+            )
+        },
         "16,14,0 | 16,15,13 | 0,0,0",
     );
     field(

@@ -1,12 +1,19 @@
 //! Shared experiment machinery: overlay generation per scope, AutoDSE
 //! baselines, and end-to-end run-time measurement.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
 use overgen::{generate, GenerateConfig, Overlay};
 use overgen_compiler::CompileOptions;
 use overgen_dse::{DseConfig, SystemDseConfig};
 use overgen_hls::{explore, AutoDseConfig, AutoDseResult};
 use overgen_ir::{Kernel, Suite};
 use overgen_sim::SimConfig;
+use overgen_telemetry::{
+    event, fs::write_atomic, json, ClockMode, Collector, FileSink, NullSink, Sink,
+};
 use overgen_workloads as workloads;
 
 /// Spatial-DSE iterations per generated overlay (env `OVERGEN_DSE_ITERS`).
@@ -23,6 +30,81 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(2022)
+}
+
+/// Directory experiment artifacts land in (env `OVERGEN_RESULTS_DIR`,
+/// default `results`).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("OVERGEN_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Whether to capture a full JSONL trace (env `OVERGEN_TRACE`).
+fn trace_enabled() -> bool {
+    matches!(
+        std::env::var("OVERGEN_TRACE").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    )
+}
+
+/// Run a named experiment with telemetry installed, then publish its
+/// artifacts atomically (temp file + rename, so an interrupted run never
+/// leaves a torn file in `results/`):
+///
+/// - `results/<name>.txt` — the rendered table, also printed to stdout;
+/// - `results/<name>.json` — a run manifest: seed, DSE iterations, wall
+///   seconds, and the final metrics-registry snapshot;
+/// - `results/<name>.trace.jsonl` — the deterministic JSONL event trace,
+///   only when `OVERGEN_TRACE=1` (feed it to `trace-summary`).
+pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
+    let dir = results_dir();
+    let tracing = trace_enabled();
+    let trace_path = dir.join(format!("{name}.trace.jsonl"));
+    let (sink, mode): (Arc<dyn Sink>, ClockMode) = if tracing {
+        match FileSink::create(&trace_path) {
+            Ok(s) => (s, ClockMode::Deterministic),
+            Err(e) => {
+                eprintln!("warning: cannot open {}: {e}", trace_path.display());
+                (Arc::new(NullSink), ClockMode::Wall)
+            }
+        }
+    } else {
+        (Arc::new(NullSink), ClockMode::Wall)
+    };
+    let collector = Collector::new(sink, mode);
+    let _install = overgen_telemetry::install(collector.clone());
+    event!(
+        "bench.run",
+        experiment = name,
+        seed = seed(),
+        dse_iters = dse_iters(),
+    );
+
+    let wall = Instant::now();
+    let content = f();
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    collector.snapshot_metrics();
+    collector.flush();
+
+    print!("{content}");
+    let txt = dir.join(format!("{name}.txt"));
+    if let Err(e) = write_atomic(&txt, content.as_bytes()) {
+        eprintln!("warning: cannot write {}: {e}", txt.display());
+    }
+    let manifest = json::Obj::new()
+        .str("experiment", name)
+        .u64("seed", seed())
+        .u64("dse_iters", dse_iters() as u64)
+        .f64("wall_seconds", wall_seconds)
+        .bool("trace", tracing)
+        .raw("metrics", &collector.registry().snapshot_json())
+        .finish();
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = write_atomic(&path, format!("{manifest}\n").as_bytes()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
 }
 
 /// DSE configuration used by all experiments.
@@ -111,9 +193,7 @@ pub fn og_seconds_with(
     let mut best: Option<f64> = None;
     let mut consider = |k: &Kernel| {
         if let Ok(app) = overlay.compile(k) {
-            let secs = overlay
-                .execute_with(&app, sim)
-                .seconds(overlay.fmax_mhz());
+            let secs = overlay.execute_with(&app, sim).seconds(overlay.fmax_mhz());
             best = Some(best.map_or(secs, |b: f64| b.min(secs)));
         }
     };

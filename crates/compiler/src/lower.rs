@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use overgen_ir::{ArrayRef, DataType, Expr, IndexExpr, Kernel, Op};
 use overgen_mdfg::{
-    ArrayNode, InstNode, MdfgNode, MdfgNodeId, Mdfg, MemPref, ReuseInfo, StreamNode,
+    ArrayNode, InstNode, Mdfg, MdfgNode, MdfgNodeId, MemPref, ReuseInfo, StreamNode,
 };
 
 use crate::reuse::{analyze_ref, array_footprint_bytes, placement_pref, recurrence_of};
@@ -96,8 +96,8 @@ fn build_clusters(kernel: &Kernel) -> BTreeMap<(String, String, i64), ClusterInf
         let mut cluster: Vec<i64> = Vec::new();
         let mut cluster_idx = 0usize;
         let flush = |cluster: &mut Vec<i64>,
-                         cluster_idx: &mut usize,
-                         out: &mut BTreeMap<(String, String, i64), ClusterInfo>| {
+                     cluster_idx: &mut usize,
+                     out: &mut BTreeMap<(String, String, i64), ClusterInfo>| {
             if cluster.is_empty() {
                 return;
             }
@@ -132,7 +132,10 @@ impl<'k> LowerCtx<'k> {
     }
 
     fn elem_bytes(&self, name: &str) -> u64 {
-        self.kernel.array(name).map(|a| a.dtype.bytes()).unwrap_or(8)
+        self.kernel
+            .array(name)
+            .map(|a| a.dtype.bytes())
+            .unwrap_or(8)
     }
 
     fn ensure_array(&mut self, name: &str) -> MdfgNodeId {
@@ -171,11 +174,7 @@ impl<'k> LowerCtx<'k> {
                 {
                     Some(c) => {
                         let rep_e = e.clone().offset(c.min_const - e.constant_term());
-                        (
-                            c.key,
-                            ArrayRef::affine(r.array.clone(), rep_e),
-                            c.span,
-                        )
+                        (c.key, ArrayRef::affine(r.array.clone(), rep_e), c.span)
                     }
                     None => (ref_key(r, false), r.clone(), 1),
                 }
@@ -188,9 +187,8 @@ impl<'k> LowerCtx<'k> {
         let r = &rep;
         let an = analyze_ref(self.kernel, r, false);
         let extra = (window_span - 1).max(0) as u64 * self.elem_bytes(&r.array);
-        let mut stream =
-            StreamNode::read(r.array.clone(), self.firing_bytes(r) + extra, an.reuse)
-                .with_pattern(an.pattern, an.dims);
+        let mut stream = StreamNode::read(r.array.clone(), self.firing_bytes(r) + extra, an.reuse)
+            .with_pattern(an.pattern, an.dims);
         if self.kernel.nest().has_variable_trip() {
             stream = stream.with_variable_tc();
         }
@@ -237,7 +235,9 @@ impl<'k> LowerCtx<'k> {
             Expr::Load(r) => Ok(Some(self.make_read(r)?)),
             Expr::Unary { op, arg } => {
                 let a = self.build_expr(arg, dtype, lanes)?;
-                let node = self.g.add_node(MdfgNode::Inst(InstNode::new(*op, dtype, lanes)));
+                let node = self
+                    .g
+                    .add_node(MdfgNode::Inst(InstNode::new(*op, dtype, lanes)));
                 if let Some(a) = a {
                     self.g.add_edge(a, node).map_err(Self::err)?;
                 }
@@ -249,7 +249,9 @@ impl<'k> LowerCtx<'k> {
                 if l.is_none() && r.is_none() {
                     return Ok(None);
                 }
-                let node = self.g.add_node(MdfgNode::Inst(InstNode::new(*op, dtype, lanes)));
+                let node = self
+                    .g
+                    .add_node(MdfgNode::Inst(InstNode::new(*op, dtype, lanes)));
                 for src in [l, r].into_iter().flatten() {
                     self.g.add_edge(src, node).map_err(Self::err)?;
                 }
@@ -461,7 +463,15 @@ mod tests {
 
     #[test]
     fn fir_unroll4_shape() {
-        let g = lower(&fir(), 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
+        let g = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // f64: lanes = 1, groups = 4 -> 4 muls, 4 accumulate adds
         assert_eq!(g.count_op(Op::Mul), 4);
         assert_eq!(g.count_op(Op::Add), 4);
@@ -475,7 +485,15 @@ mod tests {
 
     #[test]
     fn fir_recurrence_pair_exists() {
-        let g = lower(&fir(), 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let g = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let has_rec_edge = g.edges().any(|(s, d)| {
             g.node(s).unwrap().kind() == MdfgNodeKind::OutputStream
                 && g.node(d).unwrap().kind() == MdfgNodeKind::InputStream
@@ -516,7 +534,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let g = lower(&k, 0, &LowerChoices { unroll: 16, ..Default::default() }).unwrap();
+        let g = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // i16 -> 4 lanes; 16 unroll -> 4 groups -> 4 mul nodes of 4 lanes
         assert_eq!(g.count_op(Op::Mul), 4);
         let scalar_muls: u32 = g
@@ -530,7 +556,15 @@ mod tests {
 
     #[test]
     fn stationary_operand_gets_scalar_stream() {
-        let g = lower(&fir(), 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
+        let g = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let b_stream = g
             .nodes()
             .find_map(|(_, n)| match n {
@@ -565,7 +599,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let g = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let g = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(g.input_stream_count() >= 3);
         let val_stream = g
             .nodes()
@@ -580,11 +622,25 @@ mod tests {
     #[test]
     fn bad_unroll_rejected() {
         assert!(matches!(
-            lower(&fir(), 0, &LowerChoices { unroll: 0, ..Default::default() }),
+            lower(
+                &fir(),
+                0,
+                &LowerChoices {
+                    unroll: 0,
+                    ..Default::default()
+                }
+            ),
             Err(CompileError::BadUnroll { .. })
         ));
         assert!(matches!(
-            lower(&fir(), 0, &LowerChoices { unroll: 64, ..Default::default() }),
+            lower(
+                &fir(),
+                0,
+                &LowerChoices {
+                    unroll: 64,
+                    ..Default::default()
+                }
+            ),
             Err(CompileError::BadUnroll { .. })
         ));
     }
@@ -604,7 +660,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let g = lower(&k, 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
+        let g = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // 4 muls + 3 reduction adds + 1 accumulate add
         assert_eq!(g.count_op(Op::Mul), 4);
         assert_eq!(g.count_op(Op::Add), 4);
@@ -619,7 +683,15 @@ mod tests {
             .assign("c", expr::idx("i"), expr::load("a", expr::idx("i")))
             .build()
             .unwrap();
-        let g = lower(&k, 0, &LowerChoices { unroll: 8, ..Default::default() }).unwrap();
+        let g = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(g.inst_count(), 0);
         assert_eq!(g.input_stream_count(), 1);
         assert_eq!(g.output_stream_count(), 1);
@@ -628,7 +700,15 @@ mod tests {
 
     #[test]
     fn spad_preference_for_high_reuse_array() {
-        let g = lower(&fir(), 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
+        let g = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let a_pref = g
             .nodes()
             .find_map(|(_, n)| match n {
@@ -665,7 +745,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let g = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let g = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(g.count_op(Op::Select), 2);
     }
 }

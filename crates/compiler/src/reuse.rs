@@ -30,10 +30,7 @@ pub struct RefAnalysis {
 ///   [`recurrence_of`].
 pub fn analyze_ref(kernel: &Kernel, r: &ArrayRef, is_write: bool) -> RefAnalysis {
     let nest = kernel.nest();
-    let elem_bytes = kernel
-        .array(&r.array)
-        .map(|a| a.dtype.bytes())
-        .unwrap_or(8) as f64;
+    let elem_bytes = kernel.array(&r.array).map(|a| a.dtype.bytes()).unwrap_or(8) as f64;
 
     let traffic = nest.total_iterations() * elem_bytes;
 
@@ -52,10 +49,7 @@ pub fn analyze_ref(kernel: &Kernel, r: &ArrayRef, is_write: bool) -> RefAnalysis
         }
         IndexExpr::Indirect { .. } => {
             // Uniform-distribution assumption: footprint is the whole array.
-            let arr_bytes = kernel
-                .array(&r.array)
-                .map(|a| a.size_bytes())
-                .unwrap_or(0) as f64;
+            let arr_bytes = kernel.array(&r.array).map(|a| a.size_bytes()).unwrap_or(0) as f64;
             (arr_bytes.max(elem_bytes), StreamPattern::Indirect)
         }
     };
@@ -76,11 +70,7 @@ pub fn analyze_ref(kernel: &Kernel, r: &ArrayRef, is_write: bool) -> RefAnalysis
         stationary = 1.0;
     }
 
-    let dims = r
-        .index
-        .affine()
-        .num_vars()
-        .clamp(1, 3) as u8;
+    let dims = r.index.affine().num_vars().clamp(1, 3) as u8;
 
     let innermost_var = nest.innermost().map(|l| l.var.as_str()).unwrap_or("");
     let innermost_stride = r.index.affine().stride_of(innermost_var);
@@ -263,7 +253,11 @@ mod tests {
             .array_input("a", 1024)
             .array_output("c", 256)
             .loop_const("i", 256)
-            .assign("c", expr::idx("i"), expr::load("a", expr::idx_scaled("i", 4)))
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx_scaled("i", 4)),
+            )
             .build()
             .unwrap();
         let reads = k.reads();
@@ -283,7 +277,10 @@ mod tests {
     #[test]
     fn placement_rules() {
         assert_eq!(placement_pref(64.0, 1024, 32 * 1024), MemPref::PreferSpad);
-        assert_eq!(placement_pref(64.0, 64 * 1024, 32 * 1024), MemPref::PreferDram);
+        assert_eq!(
+            placement_pref(64.0, 64 * 1024, 32 * 1024),
+            MemPref::PreferDram
+        );
         assert_eq!(placement_pref(1.0, 1024, 32 * 1024), MemPref::PreferDram);
         assert_eq!(placement_pref(2.0, 1024, 32 * 1024), MemPref::Either);
     }

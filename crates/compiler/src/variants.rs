@@ -4,6 +4,7 @@
 
 use overgen_ir::Kernel;
 use overgen_mdfg::Mdfg;
+use overgen_telemetry::{event, span};
 
 use crate::lower::{lower, LowerChoices};
 use crate::CompileError;
@@ -38,15 +39,13 @@ impl Default for CompileOptions {
 ///
 /// Propagates lowering failures; succeeds with at least the unroll-1
 /// variant for any valid kernel.
-pub fn compile_variants(
-    kernel: &Kernel,
-    opts: &CompileOptions,
-) -> Result<Vec<Mdfg>, CompileError> {
-    let innermost_trip = kernel
-        .nest()
-        .innermost()
-        .map(|l| l.trip.max())
-        .unwrap_or(1);
+pub fn compile_variants(kernel: &Kernel, opts: &CompileOptions) -> Result<Vec<Mdfg>, CompileError> {
+    let _span = span!(
+        "compiler.variants",
+        kernel = kernel.name(),
+        max_unroll = opts.max_unroll,
+    );
+    let innermost_trip = kernel.nest().innermost().map(|l| l.trip.max()).unwrap_or(1);
     let mut degrees = Vec::new();
     let mut u = opts.max_unroll.max(1);
     // Round down to a power of two within the trip count.
@@ -88,6 +87,18 @@ pub fn compile_variants(
             variant += 1;
         }
     }
+    if let Some(c) = overgen_telemetry::current() {
+        c.registry()
+            .counter("compiler.variants")
+            .add(out.len() as u64);
+    }
+    event!(
+        "compiler.variants",
+        kernel = kernel.name(),
+        count = out.len(),
+        widest_unroll = degrees.first().copied().unwrap_or(1),
+        has_accum = has_accum,
+    );
     Ok(out)
 }
 

@@ -2,8 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use overgen_telemetry::{event, span, Counter, Histogram, Rng};
 
 use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, SysAdg, SystemParams};
 use overgen_compiler::{compile_variants, CompileOptions};
@@ -50,6 +49,12 @@ impl Default for DseConfig {
 }
 
 /// Counters of what the DSE did.
+///
+/// This is a *snapshot view*: the live values are telemetry
+/// [`Counter`]s (named `dse.iterations`, `dse.accepted`, …) registered on
+/// the installed collector, and a `DseStats` is the per-run delta read off
+/// them when [`Dse::run`] returns. With no collector installed the counters
+/// are detached (private to the run) and the semantics are unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DseStats {
     /// Proposals evaluated.
@@ -64,6 +69,74 @@ pub struct DseStats {
     pub repairs: usize,
     /// Repairs that found the schedule intact.
     pub intact: usize,
+}
+
+/// The live counters behind [`DseStats`], shared with the installed
+/// telemetry registry when one is present.
+struct DseCounters {
+    iterations: Counter,
+    accepted: Counter,
+    invalid: Counter,
+    full_schedules: Counter,
+    repairs: Counter,
+    intact: Counter,
+    /// Nodes moved per successful repair.
+    repair_moved: Histogram,
+}
+
+impl DseCounters {
+    /// Bind to the current collector's registry, or detached counters when
+    /// no collector is installed.
+    fn attach() -> Self {
+        match overgen_telemetry::current() {
+            Some(c) => {
+                let r = c.registry();
+                DseCounters {
+                    iterations: r.counter("dse.iterations"),
+                    accepted: r.counter("dse.accepted"),
+                    invalid: r.counter("dse.invalid"),
+                    full_schedules: r.counter("dse.full_schedules"),
+                    repairs: r.counter("dse.repairs"),
+                    intact: r.counter("dse.intact"),
+                    repair_moved: r.histogram("dse.repair_moved"),
+                }
+            }
+            None => DseCounters {
+                iterations: Counter::detached(),
+                accepted: Counter::detached(),
+                invalid: Counter::detached(),
+                full_schedules: Counter::detached(),
+                repairs: Counter::detached(),
+                intact: Counter::detached(),
+                repair_moved: Histogram::detached(),
+            },
+        }
+    }
+
+    /// Absolute counter values (used as a baseline at run start).
+    fn totals(&self) -> DseStats {
+        DseStats {
+            iterations: self.iterations.get() as usize,
+            accepted: self.accepted.get() as usize,
+            invalid: self.invalid.get() as usize,
+            full_schedules: self.full_schedules.get() as usize,
+            repairs: self.repairs.get() as usize,
+            intact: self.intact.get() as usize,
+        }
+    }
+
+    /// Per-run delta since `base`.
+    fn since(&self, base: &DseStats) -> DseStats {
+        let now = self.totals();
+        DseStats {
+            iterations: now.iterations - base.iterations,
+            accepted: now.accepted - base.accepted,
+            invalid: now.invalid - base.invalid,
+            full_schedules: now.full_schedules - base.full_schedules,
+            repairs: now.repairs - base.repairs,
+            intact: now.intact - base.intact,
+        }
+    }
 }
 
 /// Result of a DSE run.
@@ -174,19 +247,30 @@ impl Dse {
 
     /// Run the exploration.
     pub fn run(&self) -> DseResult {
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let _run_span = span!(
+            "dse.run",
+            seed = self.cfg.seed,
+            iterations = self.cfg.iterations,
+            workloads = self.workloads.len(),
+            preserving = self.cfg.schedule_preserving,
+        );
+        let mut rng = Rng::seed_from_u64(self.cfg.seed);
         let model: &dyn ResourceModel = &AnalyticModel;
         let caps = Self::cap_pool(&self.workloads);
 
         // Up-front variant generation (once; §V-A).
         let mut mdfgs: BTreeMap<String, Vec<Mdfg>> = BTreeMap::new();
-        for k in &self.workloads {
-            let vs = compile_variants(k, &self.cfg.compile).unwrap_or_default();
-            mdfgs.insert(k.name().to_string(), vs);
+        {
+            let _span = span!("dse.compile_variants");
+            for k in &self.workloads {
+                let vs = compile_variants(k, &self.cfg.compile).unwrap_or_default();
+                mdfgs.insert(k.name().to_string(), vs);
+            }
         }
 
         let mut sim_seconds = 0.0f64;
-        let mut stats = DseStats::default();
+        let counters = DseCounters::attach();
+        let base = counters.totals();
 
         let mut cur_adg = Self::seed_adg(&self.workloads);
         let mut cur_state = self.evaluate(
@@ -195,7 +279,7 @@ impl Dse {
             &BTreeMap::new(),
             model,
             &mut sim_seconds,
-            &mut stats,
+            &counters,
         );
         // The seed must evaluate; grow ports until it does.
         let mut guard = 0;
@@ -212,7 +296,7 @@ impl Dse {
                 &BTreeMap::new(),
                 model,
                 &mut sim_seconds,
-                &mut stats,
+                &counters,
             );
             guard += 1;
         }
@@ -224,29 +308,42 @@ impl Dse {
 
         let t0 = (cur.objective * 0.25).max(1e-3);
         for it in 0..self.cfg.iterations {
-            stats.iterations += 1;
+            let _iter_span = span!("dse.iteration", iter = it);
+            counters.iterations.inc();
             let temp = t0 * (0.985f64).powi(it as i32);
 
             // Propose.
             let mut prop_adg = cur_adg.clone();
-            let mut prop_schedules: Vec<Schedule> =
-                cur.schedules.values().cloned().collect();
+            let mut prop_schedules: Vec<Schedule> = cur.schedules.values().cloned().collect();
+            let mut kinds = String::new();
             {
                 // "ADG* is constructed using a combination of random and
                 // schedule-preserving transformations" (§V-A): preserving
                 // guidance applies to most mutations, but some stay fully
                 // random so the annealer can restructure used hardware.
                 for _ in 0..self.cfg.mutations_per_step {
-                    let preserving =
-                        self.cfg.schedule_preserving && rng.gen_bool(0.7);
+                    let preserving = self.cfg.schedule_preserving && rng.gen_bool(0.7);
                     let mut ctx = TransformCtx {
                         cap_pool: &caps,
                         schedules: &mut prop_schedules,
                         preserving,
                     };
-                    random_mutation(&mut prop_adg, &mut ctx, &mut rng);
+                    let m = random_mutation(&mut prop_adg, &mut ctx, &mut rng);
+                    if !kinds.is_empty() {
+                        kinds.push(',');
+                    }
+                    kinds.push_str(m.kind());
+                    if preserving {
+                        kinds.push('*');
+                    }
                 }
             }
+            event!(
+                "dse.propose",
+                iter = it,
+                temp = temp,
+                mutations = kinds.as_str()
+            );
             sim_seconds += 0.5; // proposal overhead
 
             let prior: BTreeMap<String, Schedule> = prop_schedules
@@ -259,27 +356,45 @@ impl Dse {
                 &prior,
                 model,
                 &mut sim_seconds,
-                &mut stats,
+                &counters,
             ) else {
-                stats.invalid += 1;
+                counters.invalid.inc();
+                event!("dse.invalid", iter = it);
                 history.push((sim_seconds / 3600.0, best.objective));
                 continue;
             };
 
-            let accept = prop.combined >= cur.combined
-                || rng.gen::<f64>() < ((prop.combined - cur.combined) / temp).exp();
+            let delta = prop.combined - cur.combined;
+            let accept = prop.combined >= cur.combined || rng.gen_f64() < (delta / temp).exp();
             if accept {
-                stats.accepted += 1;
+                counters.accepted.inc();
+                event!(
+                    "dse.accept",
+                    iter = it,
+                    delta = delta,
+                    temp = temp,
+                    objective = prop.objective,
+                );
                 cur_adg = prop_adg;
                 cur = prop;
                 if cur.combined > best.combined {
                     best = cur.clone();
                     best_adg = cur_adg.clone();
                 }
+            } else {
+                event!("dse.reject", iter = it, delta = delta, temp = temp);
             }
             history.push((sim_seconds / 3600.0, best.objective));
         }
 
+        let stats = counters.since(&base);
+        event!(
+            "dse.done",
+            objective = best.objective,
+            accepted = stats.accepted,
+            invalid = stats.invalid,
+            dse_hours = sim_seconds / 3600.0,
+        );
         DseResult {
             sys_adg: SysAdg::new(best_adg, best.sys),
             schedules: best.schedules,
@@ -299,7 +414,7 @@ impl Dse {
         prior: &BTreeMap<String, Schedule>,
         model: &dyn ResourceModel,
         sim_seconds: &mut f64,
-        stats: &mut DseStats,
+        counters: &DseCounters,
     ) -> Option<EvalState> {
         let sys_probe = SysAdg::new(adg.clone(), SystemParams::default());
         if sys_probe.validate().is_err() {
@@ -317,33 +432,39 @@ impl Dse {
                 // Prefer repairing the prior schedule when it is for the
                 // same variant.
                 let attempt = match prior.get(&name) {
-                    Some(p) if p.variant == v.variant() => {
-                        match repair(p, v, &sys_probe) {
-                            Ok((s, RepairOutcome::Intact)) => {
-                                stats.intact += 1;
-                                *sim_seconds +=
-                                    self.time.repair_seconds(2, adg_nodes);
-                                Some(s)
-                            }
-                            Ok((s, RepairOutcome::Repaired { moved })) => {
-                                stats.repairs += 1;
-                                *sim_seconds +=
-                                    self.time.repair_seconds(moved.max(1), adg_nodes);
-                                Some(s)
-                            }
-                            Err(_) => {
-                                stats.full_schedules += 1;
-                                *sim_seconds += self
-                                    .time
-                                    .schedule_seconds(v.node_count(), adg_nodes);
-                                schedule(v, &sys_probe, Some(p)).ok()
-                            }
+                    Some(p) if p.variant == v.variant() => match repair(p, v, &sys_probe) {
+                        Ok((s, RepairOutcome::Intact)) => {
+                            counters.intact.inc();
+                            event!("dse.repair", workload = name.as_str(), outcome = "intact");
+                            *sim_seconds += self.time.repair_seconds(2, adg_nodes);
+                            Some(s)
                         }
-                    }
+                        Ok((s, RepairOutcome::Repaired { moved })) => {
+                            counters.repairs.inc();
+                            counters.repair_moved.record(moved as u64);
+                            event!(
+                                "dse.repair",
+                                workload = name.as_str(),
+                                outcome = "repaired",
+                                moved = moved,
+                            );
+                            *sim_seconds += self.time.repair_seconds(moved.max(1), adg_nodes);
+                            Some(s)
+                        }
+                        Err(_) => {
+                            counters.full_schedules.inc();
+                            event!(
+                                "dse.repair",
+                                workload = name.as_str(),
+                                outcome = "reschedule",
+                            );
+                            *sim_seconds += self.time.schedule_seconds(v.node_count(), adg_nodes);
+                            schedule(v, &sys_probe, Some(p)).ok()
+                        }
+                    },
                     _ => {
-                        stats.full_schedules += 1;
-                        *sim_seconds +=
-                            self.time.schedule_seconds(v.node_count(), adg_nodes);
+                        counters.full_schedules.inc();
+                        *sim_seconds += self.time.schedule_seconds(v.node_count(), adg_nodes);
                         schedule(v, &sys_probe, None).ok()
                     }
                 };
@@ -393,10 +514,12 @@ impl Dse {
                         .nodes()
                         .filter_map(|(_, n)| n.as_spad().map(|sp| f64::from(sp.bw_bytes)))
                         .sum();
-                    let est =
-                        overgen_model::estimate_ipc(m, &sys, spad_bw, &s.placement);
+                    let est = overgen_model::estimate_ipc(m, &sys, spad_bw, &s.placement);
                     let w = self.cfg.weights.get(k.name()).copied().unwrap_or(1.0);
-                    (est.ipc * s.balance_penalty * f64::from(sys.tiles) / f64::from(sys.tiles), w)
+                    (
+                        est.ipc * s.balance_penalty * f64::from(sys.tiles) / f64::from(sys.tiles),
+                        w,
+                    )
                 })
                 .collect();
             overgen_model::weighted_geomean_ipc(&ipcs)

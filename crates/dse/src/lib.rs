@@ -42,6 +42,4 @@ mod transforms;
 
 pub use engine::{Dse, DseConfig, DseResult, DseStats};
 pub use system::{system_dse, SystemDseConfig};
-pub use transforms::{
-    capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx,
-};
+pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

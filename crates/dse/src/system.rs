@@ -7,6 +7,7 @@ use overgen_adg::{Adg, SysAdg, SystemParams};
 use overgen_mdfg::Mdfg;
 use overgen_model::resources::FpgaDevice;
 use overgen_model::{breakdown, estimate_ipc, weighted_geomean_ipc, Placement, ResourceModel};
+use overgen_telemetry::{event, span};
 
 /// System DSE configuration.
 #[derive(Debug, Clone, Copy)]
@@ -42,11 +43,14 @@ pub fn system_dse(
     model: &dyn ResourceModel,
     cfg: &SystemDseConfig,
 ) -> Option<(SystemParams, f64)> {
+    let _span = span!("dse.system", max_tiles = cfg.max_tiles);
     let spad_bw: f64 = adg
         .nodes()
         .filter_map(|(_, n)| n.as_spad().map(|s| f64::from(s.bw_bytes)))
         .sum();
 
+    let mut candidates = 0u64;
+    let mut over_budget = 0u64;
     let mut best: Option<(SystemParams, f64)> = None;
     for tiles in 1..=cfg.max_tiles {
         for &l2_banks in &[2u32, 4, 8, 16] {
@@ -59,16 +63,16 @@ pub fn system_dse(
                         noc_bw_bytes: noc_bw,
                         dram_channels: cfg.dram_channels,
                     };
+                    candidates += 1;
                     let sys_adg = SysAdg::new(adg.clone(), sys);
                     let used = breakdown(&sys_adg, model).total();
                     if !cfg.device.fits(&used, cfg.util_cap) {
+                        over_budget += 1;
                         continue;
                     }
                     let ipcs: Vec<(f64, f64)> = per_workload
                         .iter()
-                        .map(|(m, p, w)| {
-                            (estimate_ipc(m, &sys, spad_bw, p).ipc, *w)
-                        })
+                        .map(|(m, p, w)| (estimate_ipc(m, &sys, spad_bw, p).ipc, *w))
                         .collect();
                     let score = weighted_geomean_ipc(&ipcs);
                     // Prefer strictly better scores; on (near-)ties prefer
@@ -89,6 +93,24 @@ pub fn system_dse(
                 }
             }
         }
+    }
+    match &best {
+        Some((sys, score)) => event!(
+            "dse.system",
+            candidates = candidates,
+            over_budget = over_budget,
+            tiles = sys.tiles,
+            l2_banks = sys.l2_banks,
+            l2_kb = sys.l2_kb,
+            noc_bw = sys.noc_bw_bytes,
+            score = *score,
+        ),
+        None => event!(
+            "dse.system",
+            candidates = candidates,
+            over_budget = over_budget,
+            feasible = false,
+        ),
     }
     best
 }
@@ -114,7 +136,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        lower(&k, 0, &LowerChoices { unroll, ..Default::default() }).unwrap()
+        lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     /// A compute-bound, high-reuse kernel (FIR) whose hot array sits in a
@@ -137,7 +167,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        lower(&k, 0, &LowerChoices { unroll, ..Default::default() }).unwrap()
+        lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     #[test]

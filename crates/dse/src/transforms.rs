@@ -1,11 +1,10 @@
 //! ADG transformations: random mutations plus the schedule-preserving
 //! transformations of §V-B.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use overgen_telemetry::Rng;
 
 use overgen_adg::{Adg, AdgNode, InPortNode, NodeId, NodeKind, OutPortNode, PeNode, SwitchNode};
-use overgen_ir::{DataType, FuCap, Op};
+use overgen_ir::FuCap;
 use overgen_scheduler::Schedule;
 
 /// Context a mutation may consult: the capability pool relevant to the
@@ -53,9 +52,31 @@ pub enum Mutation {
     Noop,
 }
 
+impl Mutation {
+    /// Stable lowercase name for telemetry events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Mutation::AddPe => "add_pe",
+            Mutation::RemovePe => "remove_pe",
+            Mutation::AddSwitch => "add_switch",
+            Mutation::RemoveSwitch => "remove_switch",
+            Mutation::AddEdge => "add_edge",
+            Mutation::RemoveEdge => "remove_edge",
+            Mutation::AddCap => "add_cap",
+            Mutation::RemoveCap => "remove_cap",
+            Mutation::ResizePort => "resize_port",
+            Mutation::ResizeSpad => "resize_spad",
+            Mutation::ResizeEngineBw => "resize_engine_bw",
+            Mutation::RemoveEngine => "remove_engine",
+            Mutation::ResizeDelayFifo => "resize_delay_fifo",
+            Mutation::Noop => "noop",
+        }
+    }
+}
+
 /// Apply one random mutation to `adg`, preserving schedules when
 /// `ctx.preserving` (routes in `ctx.schedules` are rewritten in place).
-pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let choice = rng.gen_range(0..14u32);
     match choice {
         0 => add_pe(adg, ctx, rng),
@@ -84,16 +105,16 @@ pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdR
 /// Add a memory stream engine (scratchpad or extra DMA) wired to every
 /// port — the §IV spatial-memory design space: "multiple smaller
 /// scratchpads or a single unified scratchpad".
-fn add_engine(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn add_engine(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let node = if rng.gen_bool(0.6) {
         AdgNode::Spad(overgen_adg::SpadNode {
-            capacity_kb: [8u32, 16, 32, 64][rng.gen_range(0..4)],
-            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3)],
+            capacity_kb: [8u32, 16, 32, 64][rng.gen_range(0..4usize)],
+            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3usize)],
             indirect: rng.gen_bool(0.4),
         })
     } else {
         AdgNode::Dma(overgen_adg::DmaNode {
-            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3)],
+            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3usize)],
         })
     };
     let is_spad = matches!(node, AdgNode::Spad(_));
@@ -113,7 +134,7 @@ fn add_engine(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
 
 /// Remove an unused (when preserving) extra engine; always keeps at least
 /// one DMA.
-fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let mut engines = adg.nodes_of_kind(NodeKind::Spad);
     let dmas = adg.nodes_of_kind(NodeKind::Dma);
     if dmas.len() > 1 {
@@ -124,7 +145,11 @@ fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) ->
             .schedules
             .iter()
             .flat_map(|s| s.stream_engines.values().copied())
-            .chain(ctx.schedules.iter().flat_map(|s| s.assignment.values().copied()))
+            .chain(
+                ctx.schedules
+                    .iter()
+                    .flat_map(|s| s.assignment.values().copied()),
+            )
             .collect();
         engines.retain(|e| !used.contains(e));
     }
@@ -135,7 +160,7 @@ fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) ->
     Mutation::RemoveEngine
 }
 
-fn pick<T: Copy>(v: &[T], rng: &mut StdRng) -> Option<T> {
+fn pick<T: Copy>(v: &[T], rng: &mut Rng) -> Option<T> {
     if v.is_empty() {
         None
     } else {
@@ -159,16 +184,14 @@ fn used_edges(schedules: &[Schedule]) -> std::collections::BTreeSet<(NodeId, Nod
     s
 }
 
-fn add_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn add_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let switches = adg.nodes_of_kind(NodeKind::Switch);
     let (Some(sin), Some(sout)) = (pick(&switches, rng), pick(&switches, rng)) else {
         return Mutation::Noop;
     };
     // Sample 1-4 capabilities from the pool.
     let n = rng.gen_range(1..=4usize.min(ctx.cap_pool.len().max(1)));
-    let caps: Vec<FuCap> = (0..n)
-        .filter_map(|_| pick(ctx.cap_pool, rng))
-        .collect();
+    let caps: Vec<FuCap> = (0..n).filter_map(|_| pick(ctx.cap_pool, rng)).collect();
     if caps.is_empty() {
         return Mutation::Noop;
     }
@@ -178,7 +201,7 @@ fn add_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutati
     Mutation::AddPe
 }
 
-fn remove_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn remove_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let mut pes = adg.nodes_of_kind(NodeKind::Pe);
     if ctx.preserving {
         let used = used_nodes(ctx.schedules);
@@ -194,7 +217,7 @@ fn remove_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mut
     Mutation::RemovePe
 }
 
-fn add_switch(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn add_switch(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     // Split a switch-to-switch edge with a new switch.
     let edges: Vec<(NodeId, NodeId)> = adg
         .edges()
@@ -212,7 +235,7 @@ fn add_switch(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
     Mutation::AddSwitch
 }
 
-fn remove_switch(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn remove_switch(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let switches = adg.nodes_of_kind(NodeKind::Switch);
     if switches.len() <= 2 {
         return Mutation::Noop;
@@ -273,7 +296,7 @@ pub fn collapse_node(adg: &mut Adg, schedules: &mut [Schedule], victim: NodeId) 
     Mutation::RemoveSwitch
 }
 
-fn add_edge(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn add_edge(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let fabric: Vec<NodeId> = adg
         .nodes()
         .filter(|(_, n)| n.kind().is_fabric())
@@ -290,7 +313,7 @@ fn add_edge(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
     Mutation::Noop
 }
 
-fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let mut edges: Vec<(NodeId, NodeId)> = adg
         .edges()
         .filter(|(a, b)| {
@@ -308,7 +331,7 @@ fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> M
     Mutation::RemoveEdge
 }
 
-fn add_cap(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn add_cap(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let pes = adg.nodes_of_kind(NodeKind::Pe);
     let (Some(pe), Some(cap)) = (pick(&pes, rng), pick(ctx.cap_pool, rng)) else {
         return Mutation::Noop;
@@ -321,7 +344,7 @@ fn add_cap(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutat
     }
 }
 
-fn remove_random_cap(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn remove_random_cap(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let pes = adg.nodes_of_kind(NodeKind::Pe);
     let Some(pe) = pick(&pes, rng) else {
         return Mutation::Noop;
@@ -382,7 +405,7 @@ fn cheapness(c: &FuCap) -> (u8, u32) {
     (class, c.dtype.bits())
 }
 
-fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> Mutation {
+fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
     let mut ports = adg.nodes_of_kind(NodeKind::InPort);
     ports.extend(adg.nodes_of_kind(NodeKind::OutPort));
     let Some(port) = pick(&ports, rng) else {
@@ -406,7 +429,7 @@ fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut StdRng) -> M
     }
 }
 
-fn resize_spad(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn resize_spad(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let spads = adg.nodes_of_kind(NodeKind::Spad);
     let Some(sp) = pick(&spads, rng) else {
         return Mutation::Noop;
@@ -427,7 +450,7 @@ fn resize_spad(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
     }
 }
 
-fn resize_engine_bw(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn resize_engine_bw(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let mut engines = adg.nodes_of_kind(NodeKind::Dma);
     engines.extend(adg.nodes_of_kind(NodeKind::Spad));
     engines.extend(adg.nodes_of_kind(NodeKind::Gen));
@@ -456,7 +479,7 @@ fn resize_engine_bw(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
     }
 }
 
-fn resize_delay_fifo(adg: &mut Adg, rng: &mut StdRng) -> Mutation {
+fn resize_delay_fifo(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     let pes = adg.nodes_of_kind(NodeKind::Pe);
     let Some(pe) = pick(&pes, rng) else {
         return Mutation::Noop;
@@ -478,9 +501,8 @@ mod tests {
     use super::*;
     use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
     use overgen_compiler::{lower, LowerChoices};
-    use overgen_ir::{expr, KernelBuilder, Suite};
+    use overgen_ir::{expr, DataType, KernelBuilder, Op, Suite};
     use overgen_scheduler::schedule;
-    use rand::SeedableRng;
 
     fn pool() -> Vec<FuCap> {
         vec![
@@ -502,7 +524,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
         let sched = schedule(&mdfg, &sys, None).unwrap();
         (mdfg, sys, sched)
@@ -511,7 +541,7 @@ mod tests {
     #[test]
     fn mutations_keep_graph_valid_often() {
         let caps = pool();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let mut adg = mesh(&MeshSpec::default());
         let mut schedules = Vec::new();
         let mut ctx = TransformCtx {
@@ -571,12 +601,14 @@ mod tests {
             schedules: &mut schedules,
             preserving: true,
         };
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         for _ in 0..100 {
             remove_pe(&mut sys.adg, &mut ctx, &mut rng);
         }
         for pe in used {
-            if sys.adg.kind(pe) == Some(NodeKind::Pe) || ctx.schedules[0].assignment.values().any(|a| *a == pe) {
+            if sys.adg.kind(pe) == Some(NodeKind::Pe)
+                || ctx.schedules[0].assignment.values().any(|a| *a == pe)
+            {
                 assert!(sys.adg.contains(pe) || sys.adg.kind(pe).is_none());
             }
         }

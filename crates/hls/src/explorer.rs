@@ -125,8 +125,8 @@ pub fn explore(kernel: &Kernel, cfg: &AutoDseConfig) -> AutoDseResult {
         options.sort_by(|a, b| a.1.seconds.total_cmp(&b.1.seconds));
         let (cand_pragmas, cand) = options.into_iter().next().expect("non-empty");
         let fits = cfg.device.fits(&cand.resources, cfg.budget_frac);
-        let within_caps = cand_pragmas.unroll <= cfg.max_factor
-            && cand_pragmas.partition <= cfg.max_factor;
+        let within_caps =
+            cand_pragmas.unroll <= cfg.max_factor && cand_pragmas.partition <= cfg.max_factor;
         let gain = (best.seconds - cand.seconds) / best.seconds;
         if !fits || !within_caps || gain < cfg.min_gain {
             break;

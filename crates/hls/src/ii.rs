@@ -34,9 +34,7 @@ const TABLE_IV: [(&str, u32, u32); 7] = [
 /// Tuned kernels (see [`overgen_ir::Tuning`]) use the post-tuning column.
 pub fn initiation_interval(kernel: &Kernel) -> u32 {
     let tuned = kernel.tuning().tuned;
-    if let Some(&(_, untuned, tuned_ii)) =
-        TABLE_IV.iter().find(|(n, _, _)| *n == kernel.name())
-    {
+    if let Some(&(_, untuned, tuned_ii)) = TABLE_IV.iter().find(|(n, _, _)| *n == kernel.name()) {
         return if tuned { tuned_ii } else { untuned };
     }
     structural_ii(kernel, tuned)
@@ -115,7 +113,11 @@ mod tests {
             .array_input("a", 1024)
             .array_output("c", 256)
             .loop_const("i", 256)
-            .assign("c", expr::idx("i"), expr::load("a", expr::idx_scaled("i", 4)))
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx_scaled("i", 4)),
+            )
             .build()
             .unwrap();
         assert_eq!(initiation_interval(&strided), 6);
@@ -127,7 +129,11 @@ mod tests {
             .array_input("a", 1024)
             .array_output("c", 256)
             .loop_const("i", 256)
-            .assign("c", expr::idx("i"), expr::load("a", expr::idx_scaled("i", 4)))
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx_scaled("i", 4)),
+            )
             .tuned("strength reduction")
             .build()
             .unwrap();

@@ -2,8 +2,6 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::{Add, Mul};
 
-use serde::{Deserialize, Serialize};
-
 /// An affine expression over loop induction variables:
 /// `c0 + c1*v1 + c2*v2 + ...`.
 ///
@@ -19,7 +17,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(e.involves("j"));
 /// assert!(!e.involves("k"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AffineExpr {
     terms: BTreeMap<String, i64>,
     constant: i64,

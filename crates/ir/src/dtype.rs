@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Element datatype of a kernel or functional unit.
 ///
 /// OverGen supports integer datatypes from 8 to 64 bits plus single and
@@ -14,7 +12,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(DataType::I16.subword_lanes(), 4);
 /// assert!(DataType::F64.is_float());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DataType {
     /// 8-bit integer.
     I8,

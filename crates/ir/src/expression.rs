@@ -1,12 +1,11 @@
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AffineExpr, Op};
 
 /// How an array is indexed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IndexExpr {
     /// Affine function of loop variables: the common case.
     Affine(AffineExpr),
@@ -54,7 +53,8 @@ impl fmt::Display for IndexExpr {
 }
 
 /// A reference to one element of a declared array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArrayRef {
     /// Name of the referenced array.
     pub array: String,
@@ -103,7 +103,8 @@ impl fmt::Display for ArrayRef {
 /// let e = expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("j"));
 /// assert_eq!(e.count_loads(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// Load one element from an array.
     Load(ArrayRef),
@@ -140,7 +141,10 @@ impl Expr {
 
     /// Unary helper.
     pub fn unary(op: Op, arg: Expr) -> Expr {
-        Expr::Unary { op, arg: Box::new(arg) }
+        Expr::Unary {
+            op,
+            arg: Box::new(arg),
+        }
     }
 
     /// Visit every node of the tree.

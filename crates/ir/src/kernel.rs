@@ -1,12 +1,11 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{AffineExpr, ArrayRef, DataType, IndexExpr, Loop, LoopNest, Op, Stmt, TripCount};
 
 /// Which benchmark suite a kernel belongs to (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Suite {
     /// Digital signal processing kernels (from REVEL).
     Dsp,
@@ -33,7 +32,8 @@ impl fmt::Display for Suite {
 }
 
 /// Role of an array in the kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ArrayKind {
     /// Read-only input.
     Input,
@@ -44,7 +44,8 @@ pub enum ArrayKind {
 }
 
 /// A declared array with its element count and type.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArrayDecl {
     /// Name referenced by [`ArrayRef`]s.
     pub name: String,
@@ -64,7 +65,8 @@ impl ArrayDecl {
 }
 
 /// The `#pragma dsa` annotations of a kernel region (paper §II-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Pragmas {
     /// `#pragma dsa config`: the region shares one spatial configuration.
     pub config: bool,
@@ -83,7 +85,8 @@ impl Default for Pragmas {
 }
 
 /// Kernel-tuning status, used by the Q2 study (Figure 14, Table IV).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tuning {
     /// Whether this is the manually tuned variant of the kernel.
     pub tuned: bool,
@@ -96,7 +99,8 @@ pub struct Tuning {
 ///
 /// These are *derived* from the IR by [`Kernel::traits`]; tests assert they
 /// match the paper's Table IV causes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelTraits {
     /// Any loop has a data-dependent trip count (Table IV "Var. Loop TC").
     pub variable_trip_count: bool,
@@ -122,7 +126,8 @@ pub struct KernelTraits {
 
 /// A complete kernel: the unit of compilation and the row granularity of
 /// every evaluation table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Kernel {
     name: String,
     suite: Suite,
@@ -250,10 +255,8 @@ impl Kernel {
                 if r.array == w.array && r.index != w.index {
                     if let (IndexExpr::Affine(re), IndexExpr::Affine(we)) = (&r.index, &w.index) {
                         // Ignore pure window offsets (same variable part).
-                        let same_vars = re
-                            .terms()
-                            .collect::<Vec<_>>()
-                            == we.terms().collect::<Vec<_>>();
+                        let same_vars =
+                            re.terms().collect::<Vec<_>>() == we.terms().collect::<Vec<_>>();
                         if !same_vars {
                             return true;
                         }
@@ -432,13 +435,15 @@ impl KernelBuilder {
 
     /// Add a plain assignment statement.
     pub fn assign(mut self, dst: &str, index: AffineExpr, value: crate::Expr) -> Self {
-        self.body.push(Stmt::assign(ArrayRef::affine(dst, index), value));
+        self.body
+            .push(Stmt::assign(ArrayRef::affine(dst, index), value));
         self
     }
 
     /// Add an accumulation statement `dst[index] += value`.
     pub fn accum(mut self, dst: &str, index: AffineExpr, value: crate::Expr) -> Self {
-        self.body.push(Stmt::accum(ArrayRef::affine(dst, index), value));
+        self.body
+            .push(Stmt::accum(ArrayRef::affine(dst, index), value));
         self
     }
 
@@ -663,7 +668,11 @@ mod tests {
             .array_input("a", 1024)
             .array_output("c", 256)
             .loop_const("i", 256)
-            .assign("c", expr::idx("i"), expr::load("a", expr::idx_scaled("i", 4)))
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx_scaled("i", 4)),
+            )
             .build()
             .unwrap();
         assert!(k2.traits().strided_innermost);

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::DataType;
 
 /// Primitive operation a processing element can execute.
@@ -9,7 +7,8 @@ use crate::DataType;
 /// The set mirrors the functional units OverGen generates (Table III lists
 /// integer and float add/mul/div plus square root; the Vision kernels also
 /// use min/max, shifts, and absolute difference).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// Addition (also used for subtraction hardware-wise).
     Add,
@@ -124,7 +123,8 @@ impl fmt::Display for Op {
 
 /// Cost class of an operation: determines functional-unit area and whether
 /// the FPGA mapping uses DSP blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum OpClass {
     /// Adders, comparators, min/max: cheap LUT logic.
     AddLike,
@@ -141,7 +141,8 @@ pub enum OpClass {
 /// The set of [`FuCap`]s of a processing element defines what instructions
 /// can be mapped to it; the DSE adds and prunes capabilities
 /// (module-capability pruning, paper §V-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FuCap {
     /// Operation implemented.
     pub op: Op,
@@ -172,7 +173,10 @@ mod tests {
             // class() must not panic and latency must be positive.
             let _ = op.class();
             assert!(op.latency(DataType::I64) >= 1);
-            assert!(op.latency(DataType::F64) > op.latency(DataType::I64) || op.class() == OpClass::Logic && op.latency(DataType::F64) >= 1);
+            assert!(
+                op.latency(DataType::F64) > op.latency(DataType::I64)
+                    || op.class() == OpClass::Logic && op.latency(DataType::F64) >= 1
+            );
         }
     }
 

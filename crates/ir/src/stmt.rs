@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::expression::map_ref;
 use crate::{AffineExpr, ArrayRef, Expr};
 
@@ -11,7 +9,8 @@ use crate::{AffineExpr, ArrayRef, Expr};
 /// `accumulate == true` encodes `dst += value`, the read-modify-write
 /// pattern the paper maps onto the recurrence stream engine when the live
 /// set fits on chip (recurrent reuse, §IV-B).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Stmt {
     /// Destination element.
     pub dst: ArrayRef,

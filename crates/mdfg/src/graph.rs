@@ -1,13 +1,12 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use overgen_ir::Op;
 
 use crate::node::{MdfgNode, MdfgNodeKind};
 
 /// Stable identifier of an mDFG node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MdfgNodeId(u32);
 
 impl MdfgNodeId {
@@ -66,7 +65,8 @@ fn may_connect(src: MdfgNodeKind, dst: MdfgNodeKind) -> bool {
 
 /// A memory-enhanced dataflow graph: one compiled variant of one kernel
 /// region.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mdfg {
     /// Kernel this mDFG was compiled from.
     name: String,
@@ -165,14 +165,8 @@ impl Mdfg {
     ///
     /// Fails when an endpoint is missing or the kinds cannot connect.
     pub fn add_edge(&mut self, src: MdfgNodeId, dst: MdfgNodeId) -> Result<(), MdfgError> {
-        let sk = self
-            .node(src)
-            .ok_or(MdfgError::NoSuchNode(src))?
-            .kind();
-        let dk = self
-            .node(dst)
-            .ok_or(MdfgError::NoSuchNode(dst))?
-            .kind();
+        let sk = self.node(src).ok_or(MdfgError::NoSuchNode(src))?.kind();
+        let dk = self.node(dst).ok_or(MdfgError::NoSuchNode(dst))?.kind();
         if !may_connect(sk, dk) {
             return Err(MdfgError::IllegalEdge { src: sk, dst: dk });
         }
@@ -193,12 +187,18 @@ impl Mdfg {
 
     /// Successors.
     pub fn succs(&self, id: MdfgNodeId) -> &[MdfgNodeId] {
-        self.out_adj.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.out_adj
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Predecessors.
     pub fn preds(&self, id: MdfgNodeId) -> &[MdfgNodeId] {
-        self.in_adj.get(id.index()).map(Vec::as_slice).unwrap_or(&[])
+        self.in_adj
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterator over `(id, node)` pairs.
@@ -219,9 +219,10 @@ impl Mdfg {
 
     /// Edge iterator.
     pub fn edges(&self) -> impl Iterator<Item = (MdfgNodeId, MdfgNodeId)> + '_ {
-        self.out_adj.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |d| (MdfgNodeId(i as u32), *d))
-        })
+        self.out_adj
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |d| (MdfgNodeId(i as u32), *d)))
     }
 
     /// Total node count.
@@ -340,16 +341,12 @@ impl Mdfg {
                 }
                 MdfgNodeKind::Inst => {
                     if self.preds(id).is_empty() || self.succs(id).is_empty() {
-                        return Err(MdfgError::Invalid(format!(
-                            "instruction {id} is dangling"
-                        )));
+                        return Err(MdfgError::Invalid(format!("instruction {id} is dangling")));
                     }
                 }
                 MdfgNodeKind::Array => {
                     if self.succs(id).is_empty() && self.preds(id).is_empty() {
-                        return Err(MdfgError::Invalid(format!(
-                            "array {id} has no streams"
-                        )));
+                        return Err(MdfgError::Invalid(format!("array {id} has no streams")));
                     }
                 }
             }

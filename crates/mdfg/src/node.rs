@@ -1,14 +1,13 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use overgen_ir::{DataType, Op};
 
 use crate::ReuseInfo;
 
 /// Placement preference of an array node, decided by the compiler's reuse
 /// analysis and honoured (best effort) by the spatial scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MemPref {
     /// High scratchpad benefit: prefer an on-tile scratchpad.
     PreferSpad,
@@ -19,7 +18,8 @@ pub enum MemPref {
 }
 
 /// An array (data structure) node: the paper's §IV extension to the DFG.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArrayNode {
     /// Array name (matches the kernel IR declaration).
     pub name: String,
@@ -43,7 +43,8 @@ impl ArrayNode {
 
 /// Coarse classification of a stream's access pattern, deciding which
 /// stream-engine features it needs (§VI-C: 1D/2D/3D x affine/indirect).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StreamPattern {
     /// Unit-stride (or coalescible) affine.
     Linear,
@@ -54,7 +55,8 @@ pub enum StreamPattern {
 }
 
 /// A memory/value stream node: one side of a port binding.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StreamNode {
     /// Array the stream reads or writes (empty for generate streams).
     pub array: String,
@@ -126,7 +128,8 @@ impl StreamNode {
 /// The compiler folds `lanes` adjacent unrolled copies of an operation into
 /// one instruction when the datatype is narrower than the 64-bit PE
 /// datapath; an `InstNode` therefore processes `lanes` elements per firing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InstNode {
     /// Operation.
     pub op: Op,
@@ -144,7 +147,8 @@ impl InstNode {
 }
 
 /// Any node of the memory-enhanced dataflow graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MdfgNode {
     /// Compute instruction.
     Inst(InstNode),
@@ -193,7 +197,8 @@ impl MdfgNode {
 }
 
 /// Discriminant of [`MdfgNode`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum MdfgNodeKind {
     /// Compute instruction.
     Inst,
@@ -227,7 +232,9 @@ mod tests {
         assert!(!r.is_write);
         let w = StreamNode::write("c", 8, ReuseInfo::default());
         assert!(w.is_write);
-        let s = r.with_pattern(StreamPattern::Indirect, 2).with_variable_tc();
+        let s = r
+            .with_pattern(StreamPattern::Indirect, 2)
+            .with_variable_tc();
         assert_eq!(s.pattern, StreamPattern::Indirect);
         assert!(s.variable_tc);
         assert_eq!(s.dims, 2);

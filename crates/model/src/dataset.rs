@@ -1,8 +1,7 @@
 //! Dataset generation and MLP-model training for the FPGA resource model
 //! (paper §V-D, Table I).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use overgen_telemetry::Rng;
 
 use std::collections::BTreeMap;
 
@@ -26,7 +25,7 @@ pub struct Dataset {
 }
 
 /// Sample a random, plausible feature vector of a component class.
-pub fn random_features(kind: ComponentKind, rng: &mut StdRng) -> ComponentFeatures {
+pub fn random_features(kind: ComponentKind, rng: &mut Rng) -> ComponentFeatures {
     let mut f = [0.0; NUM_FEATURES];
     match kind {
         ComponentKind::Pe => {
@@ -37,7 +36,7 @@ pub fn random_features(kind: ComponentKind, rng: &mut StdRng) -> ComponentFeatur
             f[4] = rng.gen_range(0..4) as f64; // flt mul
             f[5] = rng.gen_range(0..5) as f64; // flt div/sqrt
             f[6] = rng.gen_range(0..40) as f64; // logic
-            f[7] = [0.125, 0.25, 0.5, 1.0][rng.gen_range(0..4)]; // bits/64
+            f[7] = [0.125, 0.25, 0.5, 1.0][rng.gen_range(0..4usize)]; // bits/64
             f[8] = rng.gen_range(1..9) as f64; // delay fifo depth
             f[9] = rng.gen_range(2..9) as f64; // radix
         }
@@ -47,13 +46,13 @@ pub fn random_features(kind: ComponentKind, rng: &mut StdRng) -> ComponentFeatur
             f[2] = 1.0;
         }
         ComponentKind::InPort => {
-            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7)];
+            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7usize)];
             f[1] = f64::from(rng.gen_range(0..2u8));
             f[2] = f64::from(rng.gen_range(0..2u8));
             f[3] = rng.gen_range(1..5) as f64;
         }
         ComponentKind::OutPort => {
-            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7)];
+            f[0] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0][rng.gen_range(0..7usize)];
             f[1] = rng.gen_range(1..5) as f64;
         }
     }
@@ -62,7 +61,7 @@ pub fn random_features(kind: ComponentKind, rng: &mut StdRng) -> ComponentFeatur
 
 /// Generate a dataset of `n` oracle-synthesized samples for one class.
 pub fn generate(kind: ComponentKind, n: usize, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed ^ (kind as u64) << 32);
+    let mut rng = Rng::seed_from_u64(seed ^ (kind as u64) << 32);
     let mut xs = Vec::with_capacity(n);
     let mut ys = Vec::with_capacity(n);
     let mut seconds = 0.0;
@@ -115,10 +114,7 @@ impl MlpResourceModel {
     /// Quick default: a few thousand samples per class (minutes of
     /// simulated synthesis rather than the paper's weeks).
     pub fn train_default(seed: u64) -> Self {
-        let sizes = ComponentKind::ALL
-            .into_iter()
-            .map(|k| (k, 1_500))
-            .collect();
+        let sizes = ComponentKind::ALL.into_iter().map(|k| (k, 1_500)).collect();
         Self::train(&sizes, seed)
     }
 
@@ -180,7 +176,7 @@ mod tests {
             "switch test err {}",
             report.test_rel_err
         );
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = Rng::seed_from_u64(99);
         let analytic = AnalyticModel;
         let mut err = 0.0;
         let mut mag = 0.0;
@@ -200,7 +196,7 @@ mod tests {
             models: BTreeMap::new(),
             reports: BTreeMap::new(),
         };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let f = random_features(ComponentKind::Pe, &mut rng);
         let r = model.component(&f);
         assert_eq!(r, crate::synthesis::mean_cost(&f));

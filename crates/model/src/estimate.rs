@@ -37,9 +37,7 @@ pub fn engine_resources(node: &AdgNode) -> Resources {
             dsp: 0.0,
         },
         AdgNode::Spad(s) => Resources {
-            lut: 750.0
-                + 26.0 * f64::from(s.bw_bytes)
-                + if s.indirect { 1_150.0 } else { 0.0 },
+            lut: 750.0 + 26.0 * f64::from(s.bw_bytes) + if s.indirect { 1_150.0 } else { 0.0 },
             ff: 900.0 + 30.0 * f64::from(s.bw_bytes),
             // 36Kb BRAM = 4.5 KiB; dual-port doubles for read+write.
             bram: (f64::from(s.capacity_kb) / 4.5).ceil() + if s.indirect { 2.0 } else { 0.0 },
@@ -219,10 +217,7 @@ mod tests {
     #[test]
     fn lean_tile_is_much_smaller() {
         let lean = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
-        let general = SysAdg::new(
-            mesh(&MeshSpec::general()),
-            SystemParams::default(),
-        );
+        let general = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
         let bl = breakdown(&lean, &AnalyticModel).total();
         let bg = breakdown(&general, &AnalyticModel).total();
         assert!(bg.lut > 3.0 * bl.lut);

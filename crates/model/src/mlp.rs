@@ -6,12 +6,11 @@
 //! ReLU hidden activations, linear output, Adam optimizer, z-score input
 //! normalization and max-scaling of outputs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use overgen_telemetry::Rng;
 
 /// Training hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainConfig {
     /// Number of passes over the training split.
     pub epochs: usize,
@@ -35,7 +34,8 @@ impl Default for TrainConfig {
 }
 
 /// Report of a training run (relative errors are mean |err|/mean(|y|)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TrainReport {
     /// Relative error on the training split.
     pub train_rel_err: f64,
@@ -48,7 +48,8 @@ pub struct TrainReport {
 }
 
 /// A dense 3-layer MLP: `in -> h1 (ReLU) -> h2 (ReLU) -> out (linear)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mlp {
     sizes: [usize; 4],
     // weights\[l\] has shape (sizes\[l+1\], sizes\[l\]), row major.
@@ -63,7 +64,7 @@ impl Mlp {
     /// Create with random (He) initialization.
     pub fn new(inputs: usize, h1: usize, h2: usize, outputs: usize, seed: u64) -> Self {
         let sizes = [inputs, h1, h2, outputs];
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for l in 0..3 {
@@ -71,7 +72,7 @@ impl Mlp {
             let scale = (2.0 / n_in as f64).sqrt();
             weights.push(
                 (0..n_in * n_out)
-                    .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale)
+                    .map(|_| (rng.gen_f64() * 2.0 - 1.0) * scale)
                     .collect(),
             );
             biases.push(vec![0.0; n_out]);
@@ -155,7 +156,7 @@ impl Mlp {
         assert_eq!(xs.len(), ys.len());
         assert!(xs.len() >= 10, "need at least 10 samples");
         let n = xs.len();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
 
         // Shuffle indices deterministically, then split 80/10/10.
         let mut idx: Vec<usize> = (0..n).collect();
@@ -238,8 +239,7 @@ impl Mlp {
                     self.accumulate(0, &x, &delta, &mut gw, &mut gb);
                 }
                 let scale = 1.0 / chunk.len() as f64;
-                let lr_t =
-                    cfg.lr * (1.0 - b2.powi(t as i32)).sqrt() / (1.0 - b1.powi(t as i32));
+                let lr_t = cfg.lr * (1.0 - b2.powi(t as i32)).sqrt() / (1.0 - b1.powi(t as i32));
                 for l in 0..3 {
                     for k in 0..self.weights[l].len() {
                         let g = gw[l][k] * scale;
@@ -328,7 +328,7 @@ mod tests {
 
     /// A smooth synthetic regression target.
     fn dataset(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..n {
@@ -358,7 +358,14 @@ mod tests {
     fn forward_is_deterministic() {
         let (xs, ys) = dataset(100);
         let mut mlp = Mlp::new(2, 8, 4, 2, 1);
-        mlp.train(&xs, &ys, &TrainConfig { epochs: 5, ..Default::default() });
+        mlp.train(
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let a = mlp.forward(&xs[0]);
         let b = mlp.forward(&xs[0]);
         assert_eq!(a, b);

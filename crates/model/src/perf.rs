@@ -8,13 +8,12 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use overgen_adg::SystemParams;
-use overgen_mdfg::{MdfgNode, Mdfg, MemPref};
+use overgen_mdfg::{Mdfg, MdfgNode, MemPref};
 
 /// A memory-hierarchy level (L1 = scratchpad, L2 = shared cache, L3 = DRAM).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Level {
     /// On-tile scratchpads.
     Spad,
@@ -60,7 +59,8 @@ impl Placement {
 }
 
 /// Result of a performance estimate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PerfEstimate {
     /// Whole-FPGA estimated IPC (Equation 1).
     pub ipc: f64,
@@ -167,8 +167,7 @@ pub fn estimate_ipc(
     let f_spad = factor(spad_bw_total, cons_spad);
     // L2: shared across tiles; NoC link width also caps per-tile ingest.
     let l2_prod = sys.l2_bw_bytes() as f64;
-    let f_l2 = factor(l2_prod, cons_l2 * tiles)
-        .min(factor(f64::from(sys.noc_bw_bytes), cons_l2));
+    let f_l2 = factor(l2_prod, cons_l2 * tiles).min(factor(f64::from(sys.noc_bw_bytes), cons_l2));
     // DRAM: fixed total bandwidth shared across tiles.
     let f_dram = factor(sys.dram_bw_bytes() as f64, cons_dram * tiles);
 
@@ -194,18 +193,15 @@ pub fn weighted_geomean_ipc(ipcs: &[(f64, f64)]) -> f64 {
     if total_w <= 0.0 {
         return 0.0;
     }
-    let log_sum: f64 = ipcs
-        .iter()
-        .map(|(ipc, w)| w * ipc.max(1e-12).ln())
-        .sum();
+    let log_sum: f64 = ipcs.iter().map(|(ipc, w)| w * ipc.max(1e-12).ln()).sum();
     (log_sum / total_w).exp()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use overgen_mdfg::{ArrayNode, InstNode, MdfgNode, MemPref, ReuseInfo, StreamNode};
     use overgen_ir::{DataType, Op};
+    use overgen_mdfg::{ArrayNode, InstNode, MdfgNode, MemPref, ReuseInfo, StreamNode};
 
     /// A streaming kernel: 2 input streams + 1 output, no reuse.
     fn streaming_mdfg(bytes_per_firing: u64) -> Mdfg {
@@ -217,13 +213,37 @@ mod tests {
             footprint_bytes: 4096.0 * 8.0,
             ..ReuseInfo::default()
         };
-        let aa = g.add_node(MdfgNode::Array(ArrayNode::new("a", 32768, MemPref::PreferDram)));
-        let ab = g.add_node(MdfgNode::Array(ArrayNode::new("b", 32768, MemPref::PreferDram)));
-        let ac = g.add_node(MdfgNode::Array(ArrayNode::new("c", 32768, MemPref::PreferDram)));
-        let ra = g.add_node(MdfgNode::InputStream(StreamNode::read("a", bytes_per_firing, info)));
-        let rb = g.add_node(MdfgNode::InputStream(StreamNode::read("b", bytes_per_firing, info)));
+        let aa = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "a",
+            32768,
+            MemPref::PreferDram,
+        )));
+        let ab = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "b",
+            32768,
+            MemPref::PreferDram,
+        )));
+        let ac = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "c",
+            32768,
+            MemPref::PreferDram,
+        )));
+        let ra = g.add_node(MdfgNode::InputStream(StreamNode::read(
+            "a",
+            bytes_per_firing,
+            info,
+        )));
+        let rb = g.add_node(MdfgNode::InputStream(StreamNode::read(
+            "b",
+            bytes_per_firing,
+            info,
+        )));
         let add = g.add_node(MdfgNode::Inst(InstNode::new(Op::Add, DataType::I64, 1)));
-        let wc = g.add_node(MdfgNode::OutputStream(StreamNode::write("c", bytes_per_firing, info)));
+        let wc = g.add_node(MdfgNode::OutputStream(StreamNode::write(
+            "c",
+            bytes_per_firing,
+            info,
+        )));
         g.add_edge(aa, ra).unwrap();
         g.add_edge(ab, rb).unwrap();
         g.add_edge(ra, add).unwrap();
@@ -261,7 +281,7 @@ mod tests {
     }
 
     #[test]
-    fn more_channels_relieve_dram(){
+    fn more_channels_relieve_dram() {
         let g = streaming_mdfg(32);
         let p1 = estimate_ipc(&g, &sys(8, 32, 1), 0.0, &Placement::default());
         let p4 = estimate_ipc(&g, &sys(8, 32, 4), 0.0, &Placement::default());
@@ -323,9 +343,17 @@ mod tests {
     #[test]
     fn placement_from_prefs() {
         let mut g = Mdfg::new("x", 0);
-        let a = g.add_node(MdfgNode::Array(ArrayNode::new("hot", 64, MemPref::PreferSpad)));
+        let a = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "hot",
+            64,
+            MemPref::PreferSpad,
+        )));
         let _ = a;
-        g.add_node(MdfgNode::Array(ArrayNode::new("cold", 64, MemPref::PreferDram)));
+        g.add_node(MdfgNode::Array(ArrayNode::new(
+            "cold",
+            64,
+            MemPref::PreferDram,
+        )));
         let p = Placement::from_prefs(&g);
         assert!(p.spad_arrays.contains("hot"));
         assert!(!p.spad_arrays.contains("cold"));

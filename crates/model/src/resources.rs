@@ -3,11 +3,10 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul};
 
-use serde::{Deserialize, Serialize};
-
 /// An FPGA resource vector: the four resources the paper's DSE balances
 /// (§II-C "ASIC Focused" limitation; Figure 16).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Resources {
     /// Lookup tables.
     pub lut: f64,
@@ -108,7 +107,8 @@ impl fmt::Display for Resources {
 }
 
 /// Fractional utilization of each resource on a device.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Utilization {
     /// LUT fraction used.
     pub lut: f64,
@@ -142,7 +142,8 @@ impl Utilization {
 }
 
 /// An FPGA device descriptor: the resource budget the DSE fills.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FpgaDevice {
     /// Device name.
     pub name: &'static str,
@@ -188,7 +189,8 @@ impl FpgaDevice {
 
 /// Resource breakdown by overlay component group — the stacked bars of
 /// Figure 16 (pe / n/w / vp / spad / dma / core / noc).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceBreakdown {
     /// Processing elements.
     pub pe: Resources,

@@ -16,15 +16,14 @@
 //! routed design; [`synthesize_post_pnr`] applies the optimization-pass
 //! shrink factor.
 
-use serde::{Deserialize, Serialize};
-
 use overgen_adg::{Adg, AdgNode, NodeId};
 use overgen_ir::OpClass;
 
 use crate::resources::Resources;
 
 /// Component classes with a learned model (paper Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ComponentKind {
     /// Processing element.
     Pe,
@@ -73,7 +72,8 @@ impl std::fmt::Display for ComponentKind {
 pub const NUM_FEATURES: usize = 10;
 
 /// A featurized component: input to both the oracle and the MLP.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ComponentFeatures {
     /// Component class.
     pub kind: ComponentKind,
@@ -164,7 +164,8 @@ pub fn features_of(adg: &Adg, id: NodeId) -> Option<ComponentFeatures> {
 }
 
 /// Result of one OOC synthesis run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SynthesisRun {
     /// Post-synthesis (pre-PnR, pessimistic) resources.
     pub resources: Resources,
@@ -193,8 +194,7 @@ pub fn mean_cost(c: &ComponentFeatures) -> Resources {
                 + 16.0 * radix * width * 8.0
                 + 10.0 * fifo * radix;
             let ff = 0.9 * lut + 40.0 * fifo * radix;
-            let dsp =
-                2.0 * int_mul * width + 2.0 * flt_add + 3.0 * flt_mul + 4.0 * flt_div;
+            let dsp = 2.0 * int_mul * width + 2.0 * flt_add + 3.0 * flt_mul + 4.0 * flt_div;
             Resources {
                 lut,
                 ff,

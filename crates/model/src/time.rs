@@ -7,12 +7,11 @@
 //! 52–93 h per suite; >1 s FPGA reconfiguration; seconds-scale overlay
 //! compilation).
 
-use serde::{Deserialize, Serialize};
-
 use crate::resources::{FpgaDevice, Resources};
 
 /// The time model. All methods are pure functions of design size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeModel {
     /// Hours for a full-device synthesis at 100% LUT utilization.
     pub synth_hours_full: f64,
@@ -50,7 +49,11 @@ impl TimeModel {
     /// the runtime sharply (multi-die SLR crossings, §VI-D).
     pub fn pnr_hours(&self, used: &Resources, device: &FpgaDevice) -> f64 {
         let u = device.utilization(used).limiting();
-        let congestion = if u > 0.85 { 1.0 + 4.0 * (u - 0.85) } else { 1.0 };
+        let congestion = if u > 0.85 {
+            1.0 + 4.0 * (u - 0.85)
+        } else {
+            1.0
+        };
         0.5 + self.pnr_hours_full * u * congestion
     }
 

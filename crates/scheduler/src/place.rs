@@ -3,8 +3,9 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use overgen_adg::{Adg, AdgNode, NodeId, NodeKind, SysAdg};
-use overgen_mdfg::{MdfgNode, MdfgNodeId, MdfgNodeKind, Mdfg, MemPref, StreamPattern};
+use overgen_mdfg::{Mdfg, MdfgNode, MdfgNodeId, MdfgNodeKind, MemPref, StreamPattern};
 use overgen_model::{estimate_ipc, Placement};
+use overgen_telemetry::{event, span};
 
 use crate::types::{Schedule, ScheduleError};
 
@@ -25,7 +26,22 @@ pub fn schedule(
     sys_adg: &SysAdg,
     prior: Option<&Schedule>,
 ) -> Result<Schedule, ScheduleError> {
-    Placer::new(mdfg, sys_adg, prior).run()
+    let _span = span!(
+        "sched.place",
+        mdfg = mdfg.name(),
+        variant = mdfg.variant(),
+        seeded = prior.is_some(),
+    );
+    let result = Placer::new(mdfg, sys_adg, prior).run();
+    if let Err(e) = &result {
+        event!(
+            "sched.fail",
+            mdfg = mdfg.name(),
+            variant = mdfg.variant(),
+            reason = format!("{e}"),
+        );
+    }
+    result
 }
 
 struct Placer<'a> {
@@ -41,6 +57,10 @@ struct Placer<'a> {
     spad_left: BTreeMap<NodeId, i64>,
     /// link -> value source currently carried (fanout of one value shares).
     link_use: BTreeMap<(NodeId, NodeId), MdfgNodeId>,
+    /// Placement candidates tried for instructions (telemetry).
+    attempts: u64,
+    /// Candidates abandoned after a routing failure (telemetry).
+    backtracks: u64,
 }
 
 impl<'a> Placer<'a> {
@@ -48,10 +68,7 @@ impl<'a> Placer<'a> {
         let adg = &sys.adg;
         let spad_left = adg
             .nodes()
-            .filter_map(|(id, n)| {
-                n.as_spad()
-                    .map(|s| (id, i64::from(s.capacity_kb) * 1024))
-            })
+            .filter_map(|(id, n)| n.as_spad().map(|s| (id, i64::from(s.capacity_kb) * 1024)))
             .collect();
         Placer {
             mdfg,
@@ -65,6 +82,8 @@ impl<'a> Placer<'a> {
             port_used: BTreeSet::new(),
             spad_left,
             link_use: BTreeMap::new(),
+            attempts: 0,
+            backtracks: 0,
         }
     }
 
@@ -79,6 +98,19 @@ impl<'a> Placer<'a> {
         self.place_streams()?;
         self.place_insts_and_route()?;
         self.route_outputs()?;
+        if let Some(c) = overgen_telemetry::current() {
+            c.registry().counter("sched.attempts").add(self.attempts);
+            c.registry()
+                .counter("sched.backtracks")
+                .add(self.backtracks);
+        }
+        event!(
+            "sched.placed",
+            mdfg = self.mdfg.name(),
+            variant = self.mdfg.variant(),
+            attempts = self.attempts,
+            backtracks = self.backtracks,
+        );
         Ok(self.finish())
     }
 
@@ -203,16 +235,17 @@ impl<'a> Placer<'a> {
     fn is_index_stream(&self, sid: MdfgNodeId) -> bool {
         let succs = self.mdfg.succs(sid);
         !succs.is_empty()
-            && succs.iter().all(|s| {
-                self.mdfg.node(*s).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream)
-            })
+            && succs
+                .iter()
+                .all(|s| self.mdfg.node(*s).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
     }
 
     /// Recurrence input stream: fed by an output stream.
     fn is_rec_input(&self, sid: MdfgNodeId) -> bool {
-        self.mdfg.preds(sid).iter().any(|p| {
-            self.mdfg.node(*p).map(MdfgNode::kind) == Some(MdfgNodeKind::OutputStream)
-        })
+        self.mdfg
+            .preds(sid)
+            .iter()
+            .any(|p| self.mdfg.node(*p).map(MdfgNode::kind) == Some(MdfgNodeKind::OutputStream))
     }
 
     /// Engine that produces/consumes a stream's data.
@@ -222,9 +255,7 @@ impl<'a> Placer<'a> {
         if s.array.is_empty() {
             return self.adg.nodes_of_kind(NodeKind::Gen).into_iter().next();
         }
-        if !s.is_write && self.is_rec_input(sid)
-            || s.is_write && self.feeds_rec_input(sid)
-        {
+        if !s.is_write && self.is_rec_input(sid) || s.is_write && self.feeds_rec_input(sid) {
             return self.adg.nodes_of_kind(NodeKind::Rec).into_iter().next();
         }
         // Otherwise: the engine its array was assigned to.
@@ -233,9 +264,10 @@ impl<'a> Placer<'a> {
     }
 
     fn feeds_rec_input(&self, sid: MdfgNodeId) -> bool {
-        self.mdfg.succs(sid).iter().any(|d| {
-            self.mdfg.node(*d).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream)
-        })
+        self.mdfg
+            .succs(sid)
+            .iter()
+            .any(|d| self.mdfg.node(*d).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
     }
 
     fn array_of_stream(&self, sid: MdfgNodeId) -> Option<MdfgNodeId> {
@@ -285,7 +317,11 @@ impl<'a> Placer<'a> {
                                 node: sid,
                                 requirement: format!(
                                     "a {} engine",
-                                    if s.array.is_empty() { "generate" } else { "memory" }
+                                    if s.array.is_empty() {
+                                        "generate"
+                                    } else {
+                                        "memory"
+                                    }
                                 ),
                             })?;
                     self.bind_in_port(sid, engine)?;
@@ -451,6 +487,7 @@ impl<'a> Placer<'a> {
 
             let mut placed = false;
             for cand in candidates.into_iter().take(MAX_CANDIDATES) {
+                self.attempts += 1;
                 // Try routing all placed-pred edges to this candidate.
                 let link_checkpoint = self.link_use.clone();
                 let route_checkpoint: Vec<(MdfgNodeId, MdfgNodeId)> = Vec::new();
@@ -476,6 +513,7 @@ impl<'a> Placer<'a> {
                     placed = true;
                     break;
                 }
+                self.backtracks += 1;
                 self.link_use = link_checkpoint;
                 for edge in committed {
                     self.routes.remove(&edge);
@@ -498,9 +536,7 @@ impl<'a> Placer<'a> {
                     .mdfg
                     .preds(id)
                     .iter()
-                    .filter(|p| {
-                        self.mdfg.node(**p).map(MdfgNode::kind) == Some(MdfgNodeKind::Inst)
-                    })
+                    .filter(|p| self.mdfg.node(**p).map(MdfgNode::kind) == Some(MdfgNodeKind::Inst))
                     .count();
                 indeg.insert(id, d);
             }
@@ -540,7 +576,10 @@ impl<'a> Placer<'a> {
             let needs_route = matches!(
                 (sk, dk),
                 (Some(MdfgNodeKind::Inst), Some(MdfgNodeKind::OutputStream))
-                    | (Some(MdfgNodeKind::InputStream), Some(MdfgNodeKind::OutputStream))
+                    | (
+                        Some(MdfgNodeKind::InputStream),
+                        Some(MdfgNodeKind::OutputStream)
+                    )
             );
             if !needs_route {
                 continue;
@@ -591,8 +630,7 @@ impl<'a> Placer<'a> {
                 // Only switches may be traversed; the destination itself
                 // may be any fabric node or port.
                 let is_dst = next == to;
-                let is_switch =
-                    self.adg.kind(next) == Some(NodeKind::Switch);
+                let is_switch = self.adg.kind(next) == Some(NodeKind::Switch);
                 if !is_dst && !is_switch {
                     continue;
                 }
@@ -618,8 +656,7 @@ impl<'a> Placer<'a> {
     /// switch links are. Port links are multi-lane; links into a PE are
     /// distinct operand slots.
     pub(crate) fn exclusive_link(adg: &Adg, a: NodeId, b: NodeId) -> bool {
-        adg.kind(a) != Some(NodeKind::InPort)
-            && matches!(adg.kind(b), Some(NodeKind::Switch))
+        adg.kind(a) != Some(NodeKind::InPort) && matches!(adg.kind(b), Some(NodeKind::Switch))
     }
 
     fn commit_route(&mut self, edge: (MdfgNodeId, MdfgNodeId), path: Vec<NodeId>) {
@@ -806,8 +843,15 @@ mod tests {
 
     #[test]
     fn schedules_vecadd_on_tiny_mesh() {
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 1, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
         // every mdfg node is assigned
@@ -818,8 +862,15 @@ mod tests {
 
     #[test]
     fn dedicated_pes_are_not_shared() {
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 2, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
         let mut pes = Vec::new();
@@ -834,7 +885,15 @@ mod tests {
 
     #[test]
     fn fir_maps_with_recurrence_on_general() {
-        let mdfg = lower(&fir(), 0, &LowerChoices { unroll: 4, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::general());
         let sched = schedule(&mdfg, &s, None).unwrap();
         // the high-reuse array `a` lands in a scratchpad
@@ -855,7 +914,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let err = schedule(&mdfg, &sys(&MeshSpec::default()), None).unwrap_err();
         assert!(matches!(err, ScheduleError::NoCandidate { .. }));
     }
@@ -863,8 +930,15 @@ mod tests {
     #[test]
     fn oversized_variant_fails_small_fabric() {
         // unroll 16 on a 4-PE mesh: 16 adds cannot fit 4 PEs.
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 16, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let err = schedule(&mdfg, &sys(&MeshSpec::default()), None).unwrap_err();
         assert!(matches!(
             err,
@@ -874,8 +948,15 @@ mod tests {
 
     #[test]
     fn routes_are_contiguous_paths() {
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 2, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
         for ((src, dst), path) in &sched.routes {
@@ -889,7 +970,15 @@ mod tests {
 
     #[test]
     fn link_exclusivity_except_fanout() {
-        let mdfg = lower(&fir(), 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::general());
         let sched = schedule(&mdfg, &s, None).unwrap();
         // map link -> set of value sources using it
@@ -908,8 +997,15 @@ mod tests {
 
     #[test]
     fn prior_assignment_is_honoured() {
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 1, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::default());
         let first = schedule(&mdfg, &s, None).unwrap();
         let second = schedule(&mdfg, &s, Some(&first)).unwrap();
@@ -930,7 +1026,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // tiny mesh spad has indirect = false -> val must land on the DMA
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
@@ -939,8 +1043,15 @@ mod tests {
 
     #[test]
     fn used_nodes_and_edges_cover_routes() {
-        let mdfg = lower(&vecadd(64), 0, &LowerChoices { unroll: 1, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
         let nodes = sched.used_adg_nodes();

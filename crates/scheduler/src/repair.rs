@@ -2,7 +2,8 @@
 //! ADG and re-place only what broke.
 
 use overgen_adg::{AdgNode, SysAdg};
-use overgen_mdfg::{MdfgNode, Mdfg};
+use overgen_mdfg::{Mdfg, MdfgNode};
+use overgen_telemetry::{event, span};
 
 use crate::place::schedule;
 use crate::types::{Schedule, ScheduleError};
@@ -36,9 +37,14 @@ pub fn repair(
     mdfg: &Mdfg,
     sys_adg: &SysAdg,
 ) -> Result<(Schedule, RepairOutcome), ScheduleError> {
+    let _span = span!("sched.repair", mdfg = mdfg.name(), variant = mdfg.variant());
     if prior_is_intact(prior, mdfg, sys_adg) {
         // Re-score only.
         let fresh = schedule(mdfg, sys_adg, Some(prior))?;
+        if let Some(c) = overgen_telemetry::current() {
+            c.registry().counter("sched.repair_intact").inc();
+        }
+        event!("sched.repaired", mdfg = mdfg.name(), outcome = "intact");
         return Ok((fresh, RepairOutcome::Intact));
     }
     let fresh = schedule(mdfg, sys_adg, Some(prior))?;
@@ -47,6 +53,15 @@ pub fn repair(
         .iter()
         .filter(|(m, a)| prior.assignment.get(m) != Some(a))
         .count();
+    if let Some(c) = overgen_telemetry::current() {
+        c.registry().counter("sched.repair_moved").add(moved as u64);
+    }
+    event!(
+        "sched.repaired",
+        mdfg = mdfg.name(),
+        outcome = "moved",
+        moved = moved,
+    );
     Ok((fresh, RepairOutcome::Repaired { moved }))
 }
 
@@ -59,9 +74,7 @@ pub(crate) fn prior_is_intact(prior: &Schedule, mdfg: &Mdfg, sys_adg: &SysAdg) -
             None => return false,
         };
         let ok = match mdfg.node(*mid) {
-            Some(MdfgNode::Inst(i)) => hw
-                .as_pe()
-                .is_some_and(|pe| pe.supports(i.op, i.dtype)),
+            Some(MdfgNode::Inst(i)) => hw.as_pe().is_some_and(|pe| pe.supports(i.op, i.dtype)),
             Some(MdfgNode::InputStream(s)) => match hw {
                 AdgNode::InPort(ip) => !s.variable_tc || ip.stream_state,
                 // index streams bind to engines
@@ -110,7 +123,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let sys = SysAdg::new(mesh(&MeshSpec::default()), SystemParams::default());
         let sched = schedule(&mdfg, &sys, None).unwrap();
         (mdfg, sys, sched)
@@ -148,9 +169,7 @@ mod tests {
         let inst_pe = *sched
             .assignment
             .iter()
-            .find(|(mid, _)| {
-                mdfg.node(**mid).unwrap().kind() == overgen_mdfg::MdfgNodeKind::Inst
-            })
+            .find(|(mid, _)| mdfg.node(**mid).unwrap().kind() == overgen_mdfg::MdfgNodeKind::Inst)
             .map(|(_, a)| a)
             .unwrap();
         sys.adg.remove_node(inst_pe);

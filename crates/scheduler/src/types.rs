@@ -89,7 +89,11 @@ impl fmt::Display for ScheduleError {
                 write!(f, "no hardware candidate for {node}: needs {requirement}")
             }
             ScheduleError::NoRoute { edge } => {
-                write!(f, "no conflict-free route for edge {} -> {}", edge.0, edge.1)
+                write!(
+                    f,
+                    "no conflict-free route for edge {} -> {}",
+                    edge.0, edge.1
+                )
             }
             ScheduleError::SpadCapacity { array } => {
                 write!(f, "array `{array}` does not fit any memory engine")

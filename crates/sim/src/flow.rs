@@ -3,8 +3,9 @@
 use std::collections::BTreeMap;
 
 use overgen_adg::{AdgNode, NodeId, SysAdg};
-use overgen_mdfg::{MdfgNode, MdfgNodeId, MdfgNodeKind, Mdfg};
+use overgen_mdfg::{Mdfg, MdfgNode, MdfgNodeId, MdfgNodeKind};
 use overgen_scheduler::Schedule;
+use overgen_telemetry::{event, span};
 
 use crate::report::SimReport;
 
@@ -77,6 +78,7 @@ struct StreamState {
 
 /// Simulate a scheduled mDFG on a system ADG.
 pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) -> SimReport {
+    let _span = span!("sim.run", mdfg = mdfg.name(), variant = mdfg.variant());
     // Cross-iteration regions run on one tile and fire at the
     // dependency-chain interval instead of II = 1.
     let tiles = if mdfg.sequential() {
@@ -124,8 +126,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
         }
         // Cold-miss bytes: the footprint must be fetched from DRAM once;
         // re-references hit L2 only when every tile's share fits.
-        let fits_l2 = s.reuse.footprint_bytes * tiles as f64
-            <= f64::from(sys.sys.l2_kb) * 1024.0;
+        let fits_l2 = s.reuse.footprint_bytes * tiles as f64 <= f64::from(sys.sys.l2_kb) * 1024.0;
         let footprint_tile = if s.broadcast {
             s.reuse.footprint_bytes as u64
         } else {
@@ -150,13 +151,12 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
                 )
             })
             .unwrap_or(false);
-        let mem_amp = if s.pattern == overgen_mdfg::StreamPattern::Strided
-            && kind == EngineKind::Dma
-        {
-            4 // typical channel strides (3-4) waste ~3/4 of each line
-        } else {
-            1
-        };
+        let mem_amp =
+            if s.pattern == overgen_mdfg::StreamPattern::Strided && kind == EngineKind::Dma {
+                4 // typical channel strides (3-4) waste ~3/4 of each line
+            } else {
+                1
+            };
         let idx = streams.len();
         index_of.insert(sid, idx);
         streams.push(StreamState {
@@ -201,11 +201,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
     let engine_bw: BTreeMap<NodeId, u64> = engine_streams
         .keys()
         .map(|e| {
-            let bw = sys
-                .adg
-                .node(*e)
-                .and_then(AdgNode::engine_bw)
-                .unwrap_or(8);
+            let bw = sys.adg.node(*e).and_then(AdgNode::engine_bw).unwrap_or(8);
             (*e, u64::from(bw))
         })
         .collect();
@@ -405,23 +401,48 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
         dram_carry = (dram_carry - (dram_start - dram_budget) as f64).min(2.0 * dram_bw_frac);
 
         // 3. Done when all firings issued and all write streams drained.
-        if fired >= firings_tile
-            && streams
-                .iter()
-                .filter(|s| s.is_write)
-                .all(|s| s.fifo == 0)
-        {
+        if fired >= firings_tile && streams.iter().filter(|s| s.is_write).all(|s| s.fifo == 0) {
             break;
         }
     }
 
     report.truncated = cycles >= cfg.max_cycles;
+    if report.truncated {
+        // A truncated run is a modelling bug (the flow never converged):
+        // surface it instead of silently reporting bogus IPC.
+        if let Some(c) = overgen_telemetry::current() {
+            c.registry().counter("sim.truncated").inc();
+        }
+        event!(
+            "sim.truncated",
+            mdfg = mdfg.name(),
+            variant = mdfg.variant(),
+            max_cycles = cfg.max_cycles,
+            fired = fired,
+            firings_tile = firings_tile,
+        );
+    }
     report.bytes_dram += spad_fill_bytes;
     report.cycles = cycles + pipeline_fill;
     report.firings = fired;
     let retired = fired as f64 * mdfg.insts_per_firing();
     report.ipc = retired / report.cycles as f64 * tiles as f64;
     report.reconfig_cycles = sys.config_bytes() / 16 + 1_000;
+    event!(
+        "sim.done",
+        mdfg = mdfg.name(),
+        variant = mdfg.variant(),
+        cycles = report.cycles,
+        firings = report.firings,
+        ipc = report.ipc,
+        stall_input = report.stall_input,
+        stall_output = report.stall_output,
+        bytes_dram = report.bytes_dram,
+        bytes_l2 = report.bytes_l2,
+        bytes_spad = report.bytes_spad,
+        bytes_rec = report.bytes_rec,
+        truncated = report.truncated,
+    );
     report
 }
 
@@ -468,14 +489,16 @@ mod tests {
             .unwrap()
     }
 
-    fn sim_vecadd(
-        n: u64,
-        unroll: u32,
-        sys_params: SystemParams,
-        cfg: &SimConfig,
-    ) -> SimReport {
-        let mdfg = lower(&vecadd(n), 0, &LowerChoices { unroll, ..Default::default() })
-            .unwrap();
+    fn sim_vecadd(n: u64, unroll: u32, sys_params: SystemParams, cfg: &SimConfig) -> SimReport {
+        let mdfg = lower(
+            &vecadd(n),
+            0,
+            &LowerChoices {
+                unroll,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let sys = SysAdg::new(mesh(&MeshSpec::default()), sys_params);
         let sched = schedule(&mdfg, &sys, None).unwrap();
         simulate(&mdfg, &sched, &sys, cfg)
@@ -520,8 +543,16 @@ mod tests {
             footprint_bytes: 4096.0 * 8.0,
             ..ReuseInfo::default()
         };
-        let aa = g.add_node(MdfgNode::Array(ArrayNode::new("a", 4096, MemPref::PreferSpad)));
-        let ac = g.add_node(MdfgNode::Array(ArrayNode::new("c", 32768, MemPref::PreferDram)));
+        let aa = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "a",
+            4096,
+            MemPref::PreferSpad,
+        )));
+        let ac = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "c",
+            32768,
+            MemPref::PreferDram,
+        )));
         let ra = g.add_node(MdfgNode::InputStream(StreamNode::read("a", 16, hot)));
         let add = g.add_node(MdfgNode::Inst(InstNode::new(
             overgen_ir::Op::Add,
@@ -595,7 +626,15 @@ mod tests {
             )
             .build()
             .unwrap();
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // FIR at unroll 2 needs more fabric than the 2x2 test mesh offers;
         // use the general overlay (and a matching i64-capable config).
         let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
@@ -616,8 +655,15 @@ mod tests {
     #[test]
     fn ipc_close_to_model_when_compute_bound() {
         // A wide DMA engine (64 B/cyc) keeps three 16 B/firing streams fed.
-        let mdfg = lower(&vecadd(16384), 0, &LowerChoices { unroll: 2, ..Default::default() })
-            .unwrap();
+        let mdfg = lower(
+            &vecadd(16384),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let spec = MeshSpec {
             dma_bw: 64,
             ..MeshSpec::default()
@@ -636,6 +682,10 @@ mod tests {
         let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
         // steady state: one firing per cycle -> ipc ~= insts_per_firing
         let ideal = mdfg.insts_per_firing();
-        assert!(r.ipc > 0.5 * ideal && r.ipc <= ideal * 1.01, "ipc {}", r.ipc);
+        assert!(
+            r.ipc > 0.5 * ideal && r.ipc <= ideal * 1.01,
+            "ipc {}",
+            r.ipc
+        );
     }
 }

@@ -1,7 +1,6 @@
-use serde::{Deserialize, Serialize};
-
 /// Result of one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimReport {
     /// Total cycles for the tile to complete its share of the region.
     pub cycles: u64,

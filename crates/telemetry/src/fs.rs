@@ -1,0 +1,59 @@
+//! Atomic result-file writes: tmp + rename, so an interrupted experiment
+//! never leaves a half-written file behind.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically: the bytes land in a temporary
+/// sibling file which is then renamed over the destination. Readers see
+/// either the old complete file or the new complete file, never a torn one.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temporary file is cleaned up).
+pub fn write_atomic(path: impl AsRef<Path>, contents: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!(
+        "{}.tmp{}",
+        path.extension().and_then(|e| e.to_str()).unwrap_or(""),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join("overgen-telemetry-fs-test");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // no stray temp files
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(stray.is_empty(), "left temp files: {stray:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

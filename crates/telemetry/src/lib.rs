@@ -1,0 +1,396 @@
+//! # overgen-telemetry
+//!
+//! Zero-dependency observability for the OverGen suite: hierarchical spans,
+//! a registry of atomic metrics, and structured events serialized as JSONL.
+//! `std`-only — no crates.io dependencies — so the tier-1 build stays green
+//! offline.
+//!
+//! ## Event schema
+//!
+//! Every line in a trace is one JSON object with three fixed keys followed
+//! by event-specific fields, in insertion order:
+//!
+//! ```json
+//! {"seq":12,"t":34,"type":"dse.accept","iter":7,"delta":-0.25}
+//! ```
+//!
+//! - `seq` — collector-global sequence number (dense, starts at 0).
+//! - `t` — timestamp: microseconds since collector creation in
+//!   [`ClockMode::Wall`], or a logical event counter in
+//!   [`ClockMode::Deterministic`] (traces byte-stable per seed).
+//! - `type` — dotted event kind, e.g. `dse.accept`, `sched.place`,
+//!   `sim.truncated`, `span`, `metrics`.
+//!
+//! Span close events add `name`, `depth`, `start`, and `dur`.
+//!
+//! ## Usage
+//!
+//! ```
+//! use overgen_telemetry::{event, span, Collector, ClockMode, RingSink};
+//!
+//! let ring = RingSink::new(1024);
+//! let collector = Collector::new(ring.clone(), ClockMode::Deterministic);
+//! let _install = overgen_telemetry::install(collector.clone());
+//!
+//! {
+//!     let _span = span!("dse.iteration", iter = 3u64);
+//!     event!("dse.accept", delta = -0.25f64);
+//!     collector.registry().counter("dse.accepted").inc();
+//! }
+//! collector.snapshot_metrics();
+//! assert_eq!(ring.len(), 3); // accept event, span close, metrics snapshot
+//! ```
+//!
+//! When no collector is installed, `span!`/`event!` are cheap no-ops, so
+//! library crates instrument unconditionally and binaries opt in.
+
+pub mod clock;
+pub mod fs;
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod sink;
+mod span;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+pub use clock::{Clock, ClockMode};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use rng::Rng;
+pub use sink::{FileSink, NullSink, RingSink, Sink};
+pub use span::SpanGuard;
+
+use json::Obj;
+
+/// A typed event-field value; the macros build these via `From`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite values serialize as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (escaped on write).
+    Str(String),
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+impl_field_from!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl From<&String> for FieldValue {
+    fn from(v: &String) -> Self {
+        FieldValue::Str(v.clone())
+    }
+}
+
+fn push_fields(mut obj: Obj, fields: &[(&str, FieldValue)]) -> Obj {
+    for (k, v) in fields {
+        obj = match v {
+            FieldValue::U64(n) => obj.u64(k, *n),
+            FieldValue::I64(n) => obj.i64(k, *n),
+            FieldValue::F64(n) => obj.f64(k, *n),
+            FieldValue::Bool(b) => obj.bool(k, *b),
+            FieldValue::Str(s) => obj.str(k, s),
+        };
+    }
+    obj
+}
+
+/// The telemetry hub: a metrics [`Registry`], a [`Sink`] for JSONL events,
+/// a [`Clock`], and a sequence counter. Shared via `Arc`; installed
+/// per-thread with [`install`].
+pub struct Collector {
+    registry: Registry,
+    sink: Arc<dyn Sink>,
+    clock: Clock,
+    seq: AtomicU64,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("clock", &self.clock)
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Collector {
+    /// Create a collector writing to `sink` with the given clock mode.
+    pub fn new(sink: Arc<dyn Sink>, mode: ClockMode) -> Arc<Self> {
+        Arc::new(Collector {
+            registry: Registry::new(),
+            sink,
+            clock: Clock::new(mode),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Convenience: a deterministic collector plus its in-memory ring, for
+    /// tests and byte-stable traces.
+    pub fn ring(cap: usize) -> (Arc<Self>, Arc<RingSink>) {
+        let ring = RingSink::new(cap);
+        (Collector::new(ring.clone(), ClockMode::Deterministic), ring)
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Current timestamp from this collector's clock.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// The clock mode this collector runs in.
+    pub fn clock_mode(&self) -> ClockMode {
+        self.clock.mode()
+    }
+
+    /// Emit one event line: `{"seq":..,"t":..,"type":kind, ...fields}`.
+    pub fn emit(&self, kind: &str, fields: &[(&str, FieldValue)]) {
+        let obj = self.header(kind);
+        self.sink.write_line(&push_fields(obj, fields).finish());
+    }
+
+    /// Emit a `metrics` event embedding the full registry snapshot.
+    pub fn snapshot_metrics(&self) {
+        let line = self
+            .header("metrics")
+            .raw("metrics", &self.registry.snapshot_json())
+            .finish();
+        self.sink.write_line(&line);
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+
+    fn header(&self, kind: &str) -> Obj {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        Obj::new()
+            .u64("seq", seq)
+            .u64("t", self.now())
+            .str("type", kind)
+    }
+
+    pub(crate) fn emit_span(
+        &self,
+        name: &str,
+        depth: u64,
+        start: u64,
+        end: u64,
+        fields: &[(&str, FieldValue)],
+    ) {
+        let obj = self
+            .header("span")
+            .str("name", name)
+            .u64("depth", depth)
+            .u64("start", start)
+            .u64("dur", end.saturating_sub(start));
+        self.sink.write_line(&push_fields(obj, fields).finish());
+    }
+}
+
+thread_local! {
+    static INSTALLED: RefCell<Vec<Arc<Collector>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Install `collector` as this thread's current collector until the returned
+/// guard drops. Installs nest (tests can stack them); the innermost wins.
+#[must_use = "the collector is uninstalled when this guard drops"]
+pub fn install(collector: Arc<Collector>) -> InstallGuard {
+    INSTALLED.with(|s| s.borrow_mut().push(collector));
+    InstallGuard { _priv: () }
+}
+
+/// Guard returned by [`install`]; pops the collector on drop.
+pub struct InstallGuard {
+    _priv: (),
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost installed collector on this thread, if any.
+pub fn current() -> Option<Arc<Collector>> {
+    INSTALLED.with(|s| s.borrow().last().cloned())
+}
+
+/// Emit a structured event against the current collector (no-op when none
+/// is installed):
+///
+/// ```
+/// # use overgen_telemetry::event;
+/// event!("dse.accept", iter = 4u64, delta = -0.5, preserving = true);
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if let Some(__c) = $crate::current() {
+            __c.emit(
+                $kind,
+                &[$((stringify!($key), $crate::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+/// Open a span; the returned guard records a `span` event when dropped.
+/// Bind it — `let _span = span!("dse.iteration", iter = i);` — or the span
+/// closes immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::SpanGuard::enter(
+            $name,
+            vec![$((stringify!($key), $crate::FieldValue::from($value))),*],
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_macro_emits_ordered_lines() {
+        let (c, ring) = Collector::ring(64);
+        let _g = install(c);
+        event!("a.first", x = 1u64);
+        event!("a.second", s = "hi", ok = true);
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"seq":0,"t":0,"type":"a.first","x":1}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"t":1,"type":"a.second","s":"hi","ok":true}"#
+        );
+    }
+
+    #[test]
+    fn noop_without_collector() {
+        // No install: must not panic and must emit nothing anywhere.
+        event!("ghost", x = 1u64);
+        let _span = span!("ghost.span");
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn span_nesting_depths_and_order() {
+        let (c, ring) = Collector::ring(64);
+        let _g = install(c);
+        {
+            let _outer = span!("outer", tag = "o");
+            {
+                let _inner = span!("inner");
+            }
+        }
+        let lines = ring.lines();
+        assert_eq!(lines.len(), 2);
+        // Inner closes first.
+        let inner = json::parse(&lines[0]).unwrap();
+        let outer = json::parse(&lines[1]).unwrap();
+        assert_eq!(inner.get("name").unwrap().as_str(), Some("inner"));
+        assert_eq!(inner.get("depth").unwrap().as_u64(), Some(1));
+        assert_eq!(outer.get("name").unwrap().as_str(), Some("outer"));
+        assert_eq!(outer.get("depth").unwrap().as_u64(), Some(0));
+        assert_eq!(outer.get("tag").unwrap().as_str(), Some("o"));
+        // Outer encloses inner in logical time.
+        let o_start = outer.get("start").unwrap().as_u64().unwrap();
+        let i_start = inner.get("start").unwrap().as_u64().unwrap();
+        assert!(o_start < i_start);
+    }
+
+    #[test]
+    fn install_nests_innermost_wins() {
+        let (c1, r1) = Collector::ring(8);
+        let (c2, r2) = Collector::ring(8);
+        let _g1 = install(c1);
+        {
+            let _g2 = install(c2);
+            event!("to.second");
+        }
+        event!("to.first");
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1);
+        assert!(r1.lines()[0].contains("to.first"));
+        assert!(r2.lines()[0].contains("to.second"));
+    }
+
+    #[test]
+    fn metrics_snapshot_event() {
+        let (c, ring) = Collector::ring(8);
+        c.registry().counter("n").add(5);
+        c.snapshot_metrics();
+        let v = json::parse(&ring.lines()[0]).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("metrics"));
+        assert_eq!(
+            v.get("metrics").unwrap().get("n").unwrap().as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn deterministic_traces_are_byte_identical() {
+        let run = || {
+            let (c, ring) = Collector::ring(64);
+            let _g = install(c.clone());
+            let mut rng = Rng::seed_from_u64(7);
+            for i in 0..10u64 {
+                let _s = span!("it", i = i);
+                if rng.gen_bool(0.5) {
+                    event!("hit", v = rng.gen_range(0..100u64));
+                }
+            }
+            c.snapshot_metrics();
+            ring.to_jsonl()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,353 @@
+//! A registry of named counters, gauges, and log-linear histograms.
+//!
+//! Metrics are addressed by static name and cheap to update from hot loops
+//! (one relaxed atomic op). A [`Registry`] snapshot renders to the JSONL
+//! sink as a single `metrics` event; `DseStats`-style public structs read
+//! their values back from the same counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Obj;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry (all ops still work).
+    pub fn detached() -> Self {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Log-linear histogram layout: exact buckets below 2^LINEAR_BITS, then
+/// `SUB` sub-buckets per power of two (relative error <= 1/SUB).
+const LINEAR_BITS: u32 = 5; // exact 0..31
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS; // 16 sub-buckets per octave
+const LINEAR_BUCKETS: usize = 1 << LINEAR_BITS; // 32
+const OCTAVES: usize = (64 - LINEAR_BITS) as usize; // 59 octaves cover u64
+const BUCKETS: usize = LINEAR_BUCKETS + OCTAVES * SUB as usize;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A concurrent log-linear histogram of `u64` samples with percentile
+/// readout (`p50`/`p90`/`p99` within ~6% relative error above 32).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index of a value.
+fn index_of(v: u64) -> usize {
+    if v < LINEAR_BUCKETS as u64 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros(); // highest set bit, >= LINEAR_BITS
+    let octave = (h - LINEAR_BITS) as usize;
+    let within = ((v >> (h - SUB_BITS)) & (SUB - 1)) as usize;
+    LINEAR_BUCKETS + octave * SUB as usize + within
+}
+
+/// Lower bound of a bucket (the value reported for percentiles in it).
+fn value_of(idx: usize) -> u64 {
+    if idx < LINEAR_BUCKETS {
+        return idx as u64;
+    }
+    let rel = idx - LINEAR_BUCKETS;
+    let octave = (rel / SUB as usize) as u32;
+    let within = (rel % SUB as usize) as u64;
+    let base = 1u64 << (octave + LINEAR_BITS);
+    base + within * (base >> SUB_BITS)
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = index_of(v);
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate percentile (`p` in 0..=100): the lower bound of the
+    /// bucket holding the p-th sample. Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, n].
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0).min(n as f64) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return value_of(i);
+            }
+        }
+        self.max()
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named-metric registry. Cloning is cheap (shared storage).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: Arc<Mutex<BTreeMap<&'static str, Metric>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with another type"),
+        }
+    }
+
+    /// Render every metric into a JSON object string (counters as integers,
+    /// gauges as floats, histograms as `{count,sum,max,p50,p90,p99}`).
+    pub fn snapshot_json(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let mut obj = Obj::new();
+        for (name, metric) in m.iter() {
+            obj = match metric {
+                Metric::Counter(c) => obj.u64(name, c.get()),
+                Metric::Gauge(g) => obj.f64(name, g.get()),
+                Metric::Histogram(h) => obj.raw(
+                    name,
+                    &Obj::new()
+                        .u64("count", h.count())
+                        .u64("sum", h.sum())
+                        .u64("max", h.max())
+                        .u64("p50", h.percentile(50.0))
+                        .u64("p90", h.percentile(90.0))
+                        .u64("p99", h.percentile(99.0))
+                        .finish(),
+                ),
+            };
+        }
+        obj.finish()
+    }
+
+    /// Current value of a counter by name (0 when absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let m = self.metrics.lock().unwrap();
+        match m.get(name) {
+            Some(Metric::Counter(c)) => c.get(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_consistent() {
+        for v in [0u64, 1, 31, 32, 33, 100, 1_000, 65_535, u64::MAX / 2] {
+            let idx = index_of(v);
+            let lo = value_of(idx);
+            assert!(lo <= v, "lower bound {lo} > {v}");
+            // next bucket starts above v
+            if idx + 1 < BUCKETS {
+                assert!(value_of(idx + 1) > v, "value {v} not below next bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_below_linear_cutoff() {
+        let h = Histogram::default();
+        for v in 0..=20u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(50.0), 10);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 20);
+    }
+
+    #[test]
+    fn log_linear_percentiles_within_bucket_error() {
+        let h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(50.0, 5_000u64), (90.0, 9_000), (99.0, 9_900)] {
+            let got = h.percentile(p) as f64;
+            let rel = (got - expect as f64).abs() / expect as f64;
+            assert!(rel < 0.07, "p{p}: got {got}, want ~{expect} (rel {rel})");
+        }
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn skewed_distribution_p99() {
+        let h = Histogram::default();
+        for _ in 0..990 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        assert_eq!(h.percentile(50.0), 10);
+        let p99 = h.percentile(99.0);
+        assert!(p99 == 10, "p99 {p99}"); // 990th of 1000 samples is still 10
+        let p999 = h.percentile(99.9);
+        assert!(p999 >= 93_750, "p99.9 {p999}");
+    }
+
+    #[test]
+    fn registry_shares_by_name() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(2);
+        assert_eq!(r.counter_value("a"), 3);
+        r.gauge("g").set(1.5);
+        assert_eq!(r.gauge("g").get(), 1.5);
+        let snap = r.snapshot_json();
+        assert!(snap.contains("\"a\":3"));
+        assert!(snap.contains("\"g\":1.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "another type")]
+    fn type_clash_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+}

@@ -1,0 +1,155 @@
+//! Pluggable JSONL sinks.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Something JSONL lines are written to. One call per line; implementations
+/// must keep lines atomic under concurrency.
+pub trait Sink: Send + Sync {
+    /// Append one line (without trailing newline).
+    fn write_line(&self, line: &str);
+    /// Flush buffered output.
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn write_line(&self, _line: &str) {}
+}
+
+/// A bounded in-memory ring buffer of lines — the test sink.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    lines: Mutex<VecDeque<String>>,
+}
+
+impl RingSink {
+    /// Create with a maximum retained line count.
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(RingSink {
+            cap: cap.max(1),
+            lines: Mutex::new(VecDeque::new()),
+        })
+    }
+
+    /// Snapshot of the retained lines, oldest first.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The whole buffer joined with newlines (a JSONL document).
+    pub fn to_jsonl(&self) -> String {
+        let mut s = self.lines().join("\n");
+        if !s.is_empty() {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of retained lines.
+    pub fn len(&self) -> usize {
+        self.lines.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn write_line(&self, line: &str) {
+        let mut l = self.lines.lock().unwrap();
+        if l.len() == self.cap {
+            l.pop_front();
+        }
+        l.push_back(line.to_string());
+    }
+}
+
+/// A buffered JSONL file writer for `results/` traces.
+#[derive(Debug)]
+pub struct FileSink {
+    path: PathBuf,
+    w: Mutex<BufWriter<File>>,
+}
+
+impl FileSink {
+    /// Create (truncating) the file at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Arc<Self>> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let f = File::create(&path)?;
+        Ok(Arc::new(FileSink {
+            path,
+            w: Mutex::new(BufWriter::new(f)),
+        }))
+    }
+
+    /// The file being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for FileSink {
+    fn write_line(&self, line: &str) {
+        let mut w = self.w.lock().unwrap();
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.w.lock().unwrap().flush();
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        let _ = self.w.lock().unwrap().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_and_orders() {
+        let r = RingSink::new(3);
+        for i in 0..5 {
+            r.write_line(&format!("l{i}"));
+        }
+        assert_eq!(r.lines(), vec!["l2", "l3", "l4"]);
+        assert_eq!(r.len(), 3);
+        assert!(r.to_jsonl().ends_with("l4\n"));
+    }
+
+    #[test]
+    fn file_sink_writes_lines() {
+        let dir = std::env::temp_dir().join("overgen-telemetry-test");
+        let path = dir.join("t.jsonl");
+        let s = FileSink::create(&path).unwrap();
+        s.write_line("{\"a\":1}");
+        s.write_line("{\"b\":2}");
+        s.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,69 @@
+//! Hierarchical spans with monotonic timers.
+//!
+//! A span is opened with the [`span!`](crate::span!) macro and closed when
+//! the returned [`SpanGuard`] drops; the close emits one `span` event
+//! carrying the name, nesting depth, start timestamp, and duration. Depth is
+//! tracked per thread so concurrent workers do not interleave their nesting.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+use crate::{Collector, FieldValue};
+
+thread_local! {
+    static DEPTH: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII guard for an open span. Emits the `span` event on drop. A guard
+/// created while no collector is installed is a no-op.
+#[must_use = "a span closes (and is recorded) when its guard drops"]
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+struct SpanInner {
+    collector: Arc<Collector>,
+    name: &'static str,
+    depth: u64,
+    start: u64,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Open a span against the currently installed collector (if any).
+    /// Prefer the [`span!`](crate::span!) macro.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        match crate::current() {
+            Some(collector) => {
+                let depth = DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v + 1);
+                    v
+                });
+                let start = collector.now();
+                SpanGuard {
+                    inner: Some(SpanInner {
+                        collector,
+                        name,
+                        depth,
+                        start,
+                        fields,
+                    }),
+                }
+            }
+            None => SpanGuard { inner: None },
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            let end = inner.collector.now();
+            inner
+                .collector
+                .emit_span(inner.name, inner.depth, inner.start, end, &inner.fields);
+        }
+    }
+}

@@ -109,9 +109,25 @@ mod tests {
         let uniq: std::collections::BTreeSet<&String> = names.iter().collect();
         assert_eq!(uniq.len(), 19);
         for n in [
-            "cholesky", "fft", "fir", "solver", "mm", "stencil-3d", "crs", "gemm",
-            "stencil-2d", "ellpack", "channel-ext", "bgr2grey", "blur", "accumulate",
-            "acc-sqr", "vecmax", "acc-weight", "convert-bit", "derivative",
+            "cholesky",
+            "fft",
+            "fir",
+            "solver",
+            "mm",
+            "stencil-3d",
+            "crs",
+            "gemm",
+            "stencil-2d",
+            "ellpack",
+            "channel-ext",
+            "bgr2grey",
+            "blur",
+            "accumulate",
+            "acc-sqr",
+            "vecmax",
+            "acc-weight",
+            "convert-bit",
+            "derivative",
         ] {
             assert!(names.iter().any(|x| x == n), "missing {n}");
         }
@@ -160,10 +176,22 @@ mod tests {
 
     #[test]
     fn tuned_variants_exist_for_table_iv_kernels() {
-        for n in ["cholesky", "fft", "crs", "bgr2grey", "blur", "channel-ext", "stencil-3d"] {
+        for n in [
+            "cholesky",
+            "fft",
+            "crs",
+            "bgr2grey",
+            "blur",
+            "channel-ext",
+            "stencil-3d",
+        ] {
             let t = hls_tuned(n).unwrap_or_else(|| panic!("no HLS tuned {n}"));
             assert!(t.tuning().tuned);
-            assert!(!t.traits().variable_trip_count || t.nest().has_variable_trip() == false || t.tuning().tuned);
+            assert!(
+                !t.traits().variable_trip_count
+                    || t.nest().has_variable_trip() == false
+                    || t.tuning().tuned
+            );
         }
         for n in ["fft", "gemm", "stencil-2d", "blur"] {
             assert!(og_tuned(n).is_some(), "no OG tuned {n}");

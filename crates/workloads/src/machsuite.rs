@@ -28,7 +28,9 @@ pub fn stencil_3d() -> Kernel {
             expr::load("coef", expr::idx_const(0))
                 * expr::load(
                     "src",
-                    expr::idx_scaled("i", plane) + expr::idx_scaled("j", n) + expr::idx_scaled("k", 2),
+                    expr::idx_scaled("i", plane)
+                        + expr::idx_scaled("j", n)
+                        + expr::idx_scaled("k", 2),
                 )
                 + expr::load("coef", expr::idx_const(1))
                     * (expr::load(
@@ -205,11 +207,7 @@ mod tests {
     fn stencil_3d_has_seven_reads_and_strides() {
         let k = stencil_3d();
         // 7 src loads + coef loads
-        let src_reads = k
-            .reads()
-            .iter()
-            .filter(|r| r.array == "src")
-            .count();
+        let src_reads = k.reads().iter().filter(|r| r.array == "src").count();
         assert_eq!(src_reads, 7);
         assert!(k.traits().strided_innermost);
     }

@@ -261,7 +261,9 @@ fn gemm_og() -> Kernel {
             expr::load("a", expr::idx_scaled("i", n) + expr::idx("k"))
                 * expr::load(
                     "b",
-                    expr::idx_scaled("k", n) + expr::idx_scaled("jj", 16) + expr::idx_scaled("j", 2),
+                    expr::idx_scaled("k", n)
+                        + expr::idx_scaled("jj", 16)
+                        + expr::idx_scaled("j", 2),
                 ),
         ))
         .stmt(Stmt::accum(
@@ -321,7 +323,13 @@ mod tests {
     #[test]
     fn hls_tuned_set_matches_table_iv() {
         let names = [
-            "cholesky", "fft", "crs", "bgr2grey", "blur", "channel-ext", "stencil-3d",
+            "cholesky",
+            "fft",
+            "crs",
+            "bgr2grey",
+            "blur",
+            "channel-ext",
+            "stencil-3d",
         ];
         for n in names {
             assert!(hls_tuned(n).is_some(), "missing tuned {n}");
@@ -339,7 +347,15 @@ mod tests {
 
     #[test]
     fn tuned_kernels_build_and_flag() {
-        for n in ["cholesky", "fft", "crs", "bgr2grey", "blur", "channel-ext", "stencil-3d"] {
+        for n in [
+            "cholesky",
+            "fft",
+            "crs",
+            "bgr2grey",
+            "blur",
+            "channel-ext",
+            "stencil-3d",
+        ] {
             let k = hls_tuned(n).unwrap();
             assert!(k.tuning().tuned);
             assert_eq!(k.name(), n);
@@ -362,8 +378,24 @@ mod tests {
         use overgen_compiler::{lower, LowerChoices};
         let plain = crate::by_name("stencil-2d").unwrap();
         let tuned = og_tuned("stencil-2d").unwrap();
-        let lp = lower(&plain, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
-        let lt = lower(&tuned, 0, &LowerChoices { unroll: 1, ..Default::default() }).unwrap();
+        let lp = lower(
+            &plain,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let lt = lower(
+            &tuned,
+            0,
+            &LowerChoices {
+                unroll: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // two outputs per firing but fewer than 2x the input streams
         assert_eq!(lt.output_stream_count(), 2);
         assert!(lt.input_stream_count() < 2 * lp.input_stream_count());

@@ -32,7 +32,11 @@ pub fn channel_ext() -> Kernel {
         .array_input("rgba", PIXELS * 4)
         .array_output("ch", PIXELS)
         .loop_const("i", PIXELS)
-        .assign("ch", expr::idx("i"), expr::load("rgba", expr::idx_scaled("i", 4)))
+        .assign(
+            "ch",
+            expr::idx("i"),
+            expr::load("rgba", expr::idx_scaled("i", 4)),
+        )
         .build()
         .expect("channel-ext is well formed")
 }
@@ -213,10 +217,7 @@ pub fn derivative() -> Kernel {
                     + (expr::load(
                         "src",
                         expr::idx_scaled("r", w) + expr::idx("c").offset(w + 2),
-                    ) - expr::load(
-                        "src",
-                        expr::idx_scaled("r", w) + expr::idx("c").offset(w),
-                    )),
+                    ) - expr::load("src", expr::idx_scaled("r", w) + expr::idx("c").offset(w))),
                 2,
             ),
         )

@@ -37,11 +37,18 @@ fn main() {
     println!("chosen system: {:?}", overlay.sys_adg.sys);
     println!("{}\n", overlay.summary());
 
-    println!("{:<12} {:>12} {:>10} {:>12}", "kernel", "run (ms)", "unroll", "compile (s)");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "kernel", "run (ms)", "unroll", "compile (s)"
+    );
     for k in &domain {
         match overlay.compile(k) {
             Ok(app) => {
-                let seen = if k.name() == held_out { " (unseen!)" } else { "" };
+                let seen = if k.name() == held_out {
+                    " (unseen!)"
+                } else {
+                    ""
+                };
                 println!(
                     "{:<12} {:>12.4} {:>10} {:>12.2}{seen}",
                     k.name(),

@@ -1,19 +1,24 @@
 #!/bin/sh
 # Regenerates every paper table/figure into results/.
+# Each binary publishes its own artifacts atomically (temp file + rename):
+#   results/<name>.txt          rendered table (also printed below)
+#   results/<name>.json         run manifest (seed, iters, wall time, metrics)
+#   results/<name>.trace.jsonl  JSONL event trace, when OVERGEN_TRACE=1
 # OVERGEN_DSE_ITERS scales DSE effort (EXPERIMENTS.md runs used 100).
+# Summarize a trace with: $B/trace-summary results/<name>.trace.jsonl
 set -x
 B=./target/release
-$B/table1_model_training      > results/table1.txt 2>&1
-$B/table2_workloads           > results/table2.txt 2>&1
-$B/table3_suite_overlays      > results/table3.txt 2>&1
-$B/table4_hls_ii              > results/table4.txt 2>&1
-$B/fig13_overall_performance  > results/fig13.txt 2>&1
-$B/fig14_kernel_tuning        > results/fig14.txt 2>&1
-$B/fig15_dse_time             > results/fig15.txt 2>&1
-$B/fig16_resource_breakdown   > results/fig16.txt 2>&1
-$B/fig17_leave_one_out        > results/fig17.txt 2>&1
-$B/fig18_incremental          > results/fig18.txt 2>&1
-$B/fig19_dram_channels        > results/fig19.txt 2>&1
-$B/fig20_schedule_preserving  > results/fig20.txt 2>&1
-$B/ablations                  > results/ablations.txt 2>&1
+$B/table1_model_training
+$B/table2_workloads
+$B/table3_suite_overlays
+$B/table4_hls_ii
+$B/fig13_overall_performance
+$B/fig14_kernel_tuning
+$B/fig15_dse_time
+$B/fig16_resource_breakdown
+$B/fig17_leave_one_out
+$B/fig18_incremental
+$B/fig19_dram_channels
+$B/fig20_schedule_preserving
+$B/ablations
 echo ALL_DONE

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repo health check: tier-1 verify + formatting + trace determinism.
+# Run from the repo root: ./scripts/check.sh
+set -e
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== formatting =="
+cargo fmt --check
+
+echo "== trace determinism (byte-identical seeded JSONL) =="
+cargo test -q --test telemetry_trace deterministic_trace_is_byte_identical_and_well_formed
+
+echo "ALL CHECKS PASSED"

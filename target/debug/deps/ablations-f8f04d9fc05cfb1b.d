@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f8f04d9fc05cfb1b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f8f04d9fc05cfb1b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

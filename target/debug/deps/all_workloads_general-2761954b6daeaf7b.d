@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_workloads_general-2761954b6daeaf7b.d: tests/all_workloads_general.rs
+
+/root/repo/target/debug/deps/all_workloads_general-2761954b6daeaf7b: tests/all_workloads_general.rs
+
+tests/all_workloads_general.rs:

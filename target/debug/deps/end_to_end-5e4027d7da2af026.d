@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5e4027d7da2af026.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5e4027d7da2af026: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_overall_performance-6d754c4fae7b34bb.d: crates/bench/src/bin/fig13_overall_performance.rs
+
+/root/repo/target/debug/deps/fig13_overall_performance-6d754c4fae7b34bb: crates/bench/src/bin/fig13_overall_performance.rs
+
+crates/bench/src/bin/fig13_overall_performance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_kernel_tuning-c9b76d05fc2592e1.d: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+/root/repo/target/debug/deps/fig14_kernel_tuning-c9b76d05fc2592e1: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+crates/bench/src/bin/fig14_kernel_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_dse_time-50c3ee81bec8e32b.d: crates/bench/src/bin/fig15_dse_time.rs
+
+/root/repo/target/debug/deps/fig15_dse_time-50c3ee81bec8e32b: crates/bench/src/bin/fig15_dse_time.rs
+
+crates/bench/src/bin/fig15_dse_time.rs:

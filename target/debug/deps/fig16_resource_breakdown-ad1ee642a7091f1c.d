@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_resource_breakdown-ad1ee642a7091f1c.d: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+/root/repo/target/debug/deps/fig16_resource_breakdown-ad1ee642a7091f1c: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+crates/bench/src/bin/fig16_resource_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_leave_one_out-2d6286c99525ccde.d: crates/bench/src/bin/fig17_leave_one_out.rs
+
+/root/repo/target/debug/deps/fig17_leave_one_out-2d6286c99525ccde: crates/bench/src/bin/fig17_leave_one_out.rs
+
+crates/bench/src/bin/fig17_leave_one_out.rs:

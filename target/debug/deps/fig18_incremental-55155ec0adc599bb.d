@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_incremental-55155ec0adc599bb.d: crates/bench/src/bin/fig18_incremental.rs
+
+/root/repo/target/debug/deps/fig18_incremental-55155ec0adc599bb: crates/bench/src/bin/fig18_incremental.rs
+
+crates/bench/src/bin/fig18_incremental.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_dram_channels-8cf69db35c30906d.d: crates/bench/src/bin/fig19_dram_channels.rs
+
+/root/repo/target/debug/deps/fig19_dram_channels-8cf69db35c30906d: crates/bench/src/bin/fig19_dram_channels.rs
+
+crates/bench/src/bin/fig19_dram_channels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_schedule_preserving-04f3eb333a3627d0.d: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+/root/repo/target/debug/deps/fig20_schedule_preserving-04f3eb333a3627d0: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+crates/bench/src/bin/fig20_schedule_preserving.rs:

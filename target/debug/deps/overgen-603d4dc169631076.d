@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/overgen-603d4dc169631076.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libovergen-603d4dc169631076.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libovergen-603d4dc169631076.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

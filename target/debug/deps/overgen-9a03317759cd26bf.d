@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overgen-9a03317759cd26bf.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/overgen-9a03317759cd26bf: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

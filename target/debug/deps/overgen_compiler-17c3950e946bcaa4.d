@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/overgen_compiler-17c3950e946bcaa4.d: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+/root/repo/target/debug/deps/overgen_compiler-17c3950e946bcaa4: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/reuse.rs:
+crates/compiler/src/variants.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/overgen_compiler-44a5d722dc5ca8cb.d: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+/root/repo/target/debug/deps/libovergen_compiler-44a5d722dc5ca8cb.rlib: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+/root/repo/target/debug/deps/libovergen_compiler-44a5d722dc5ca8cb.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/reuse.rs:
+crates/compiler/src/variants.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/overgen_hls-ccd38e919994fde9.d: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+/root/repo/target/debug/deps/overgen_hls-ccd38e919994fde9: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/design.rs:
+crates/hls/src/explorer.rs:
+crates/hls/src/ii.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/overgen_hls-f6168d228ead5d67.d: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+/root/repo/target/debug/deps/libovergen_hls-f6168d228ead5d67.rlib: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+/root/repo/target/debug/deps/libovergen_hls-f6168d228ead5d67.rmeta: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/design.rs:
+crates/hls/src/explorer.rs:
+crates/hls/src/ii.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/overgen_ir-92e1856120ad8079.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+/root/repo/target/debug/deps/libovergen_ir-92e1856120ad8079.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+/root/repo/target/debug/deps/libovergen_ir-92e1856120ad8079.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/expression.rs:
+crates/ir/src/kernel.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/op.rs:
+crates/ir/src/stmt.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/overgen_ir-bac5482a1c4815ef.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+/root/repo/target/debug/deps/overgen_ir-bac5482a1c4815ef: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/expression.rs:
+crates/ir/src/kernel.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/op.rs:
+crates/ir/src/stmt.rs:

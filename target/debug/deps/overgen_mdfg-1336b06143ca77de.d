@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/overgen_mdfg-1336b06143ca77de.d: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+/root/repo/target/debug/deps/overgen_mdfg-1336b06143ca77de: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+crates/mdfg/src/lib.rs:
+crates/mdfg/src/graph.rs:
+crates/mdfg/src/node.rs:
+crates/mdfg/src/reuse.rs:

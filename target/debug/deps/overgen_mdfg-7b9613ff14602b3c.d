@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/overgen_mdfg-7b9613ff14602b3c.d: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+/root/repo/target/debug/deps/libovergen_mdfg-7b9613ff14602b3c.rlib: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+/root/repo/target/debug/deps/libovergen_mdfg-7b9613ff14602b3c.rmeta: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+crates/mdfg/src/lib.rs:
+crates/mdfg/src/graph.rs:
+crates/mdfg/src/node.rs:
+crates/mdfg/src/reuse.rs:

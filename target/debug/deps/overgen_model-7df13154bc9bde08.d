@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/overgen_model-7df13154bc9bde08.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+/root/repo/target/debug/deps/overgen_model-7df13154bc9bde08: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/estimate.rs:
+crates/model/src/mlp.rs:
+crates/model/src/perf.rs:
+crates/model/src/resources.rs:
+crates/model/src/synthesis.rs:
+crates/model/src/time.rs:

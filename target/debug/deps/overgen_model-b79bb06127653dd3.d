@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/overgen_model-b79bb06127653dd3.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+/root/repo/target/debug/deps/libovergen_model-b79bb06127653dd3.rlib: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+/root/repo/target/debug/deps/libovergen_model-b79bb06127653dd3.rmeta: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/estimate.rs:
+crates/model/src/mlp.rs:
+crates/model/src/perf.rs:
+crates/model/src/resources.rs:
+crates/model/src/synthesis.rs:
+crates/model/src/time.rs:

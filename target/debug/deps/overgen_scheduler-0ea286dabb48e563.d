@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/overgen_scheduler-0ea286dabb48e563.d: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+/root/repo/target/debug/deps/libovergen_scheduler-0ea286dabb48e563.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+/root/repo/target/debug/deps/libovergen_scheduler-0ea286dabb48e563.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/place.rs:
+crates/scheduler/src/repair.rs:
+crates/scheduler/src/types.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/overgen_scheduler-99a8683878103d51.d: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+/root/repo/target/debug/deps/overgen_scheduler-99a8683878103d51: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/place.rs:
+crates/scheduler/src/repair.rs:
+crates/scheduler/src/types.rs:

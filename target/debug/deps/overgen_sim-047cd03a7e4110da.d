@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/overgen_sim-047cd03a7e4110da.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/overgen_sim-047cd03a7e4110da: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/report.rs:

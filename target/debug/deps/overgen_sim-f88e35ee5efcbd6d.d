@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overgen_sim-f88e35ee5efcbd6d.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libovergen_sim-f88e35ee5efcbd6d.rlib: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+/root/repo/target/debug/deps/libovergen_sim-f88e35ee5efcbd6d.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/overgen_suite-04849c36fba82b7b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libovergen_suite-04849c36fba82b7b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libovergen_suite-04849c36fba82b7b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overgen_suite-a32566a78428d1e6.d: src/lib.rs
+
+/root/repo/target/debug/deps/overgen_suite-a32566a78428d1e6: src/lib.rs
+
+src/lib.rs:

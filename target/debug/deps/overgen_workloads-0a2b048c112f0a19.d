@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/overgen_workloads-0a2b048c112f0a19.d: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+/root/repo/target/debug/deps/libovergen_workloads-0a2b048c112f0a19.rlib: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+/root/repo/target/debug/deps/libovergen_workloads-0a2b048c112f0a19.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dsp.rs:
+crates/workloads/src/machsuite.rs:
+crates/workloads/src/tuned.rs:
+crates/workloads/src/vision.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overgen_workloads-ecfbad64f439ace7.d: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+/root/repo/target/debug/deps/overgen_workloads-ecfbad64f439ace7: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dsp.rs:
+crates/workloads/src/machsuite.rs:
+crates/workloads/src/tuned.rs:
+crates/workloads/src/vision.rs:

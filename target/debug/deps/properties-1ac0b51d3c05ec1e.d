@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1ac0b51d3c05ec1e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1ac0b51d3c05ec1e: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_roundtrip-9f24887b3f85c7f2.d: tests/serde_roundtrip.rs
+
+/root/repo/target/debug/deps/serde_roundtrip-9f24887b3f85c7f2: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_model_training-dbf17565be15abfd.d: crates/bench/src/bin/table1_model_training.rs
+
+/root/repo/target/debug/deps/table1_model_training-dbf17565be15abfd: crates/bench/src/bin/table1_model_training.rs
+
+crates/bench/src/bin/table1_model_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-b9d4d64e5c62e9b3.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/table2_workloads-b9d4d64e5c62e9b3: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_suite_overlays-bd02cf619a8597d7.d: crates/bench/src/bin/table3_suite_overlays.rs
+
+/root/repo/target/debug/deps/table3_suite_overlays-bd02cf619a8597d7: crates/bench/src/bin/table3_suite_overlays.rs
+
+crates/bench/src/bin/table3_suite_overlays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_hls_ii-ff610e02aad62d49.d: crates/bench/src/bin/table4_hls_ii.rs
+
+/root/repo/target/debug/deps/table4_hls_ii-ff610e02aad62d49: crates/bench/src/bin/table4_hls_ii.rs
+
+crates/bench/src/bin/table4_hls_ii.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_trace-cdba5c87bb0a6818.d: tests/telemetry_trace.rs
+
+/root/repo/target/debug/deps/telemetry_trace-cdba5c87bb0a6818: tests/telemetry_trace.rs
+
+tests/telemetry_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_summary-a90693e920c08df8.d: crates/bench/src/bin/trace_summary.rs
+
+/root/repo/target/debug/deps/trace_summary-a90693e920c08df8: crates/bench/src/bin/trace_summary.rs
+
+crates/bench/src/bin/trace_summary.rs:

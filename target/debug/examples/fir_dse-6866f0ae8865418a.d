@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fir_dse-6866f0ae8865418a.d: examples/fir_dse.rs
+
+/root/repo/target/debug/examples/fir_dse-6866f0ae8865418a: examples/fir_dse.rs
+
+examples/fir_dse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_workload_overlay-b7c4c33ea83f42a4.d: examples/multi_workload_overlay.rs
+
+/root/repo/target/debug/examples/multi_workload_overlay-b7c4c33ea83f42a4: examples/multi_workload_overlay.rs
+
+examples/multi_workload_overlay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-55966511e09aad69.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-55966511e09aad69: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_model-a6e8c19a33131102.d: examples/resource_model.rs
+
+/root/repo/target/debug/examples/resource_model-a6e8c19a33131102: examples/resource_model.rs
+
+examples/resource_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-e38cac5d6e7d6aea.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-e38cac5d6e7d6aea: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

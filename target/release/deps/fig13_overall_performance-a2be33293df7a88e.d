@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_overall_performance-a2be33293df7a88e.d: crates/bench/src/bin/fig13_overall_performance.rs
+
+/root/repo/target/release/deps/fig13_overall_performance-a2be33293df7a88e: crates/bench/src/bin/fig13_overall_performance.rs
+
+crates/bench/src/bin/fig13_overall_performance.rs:

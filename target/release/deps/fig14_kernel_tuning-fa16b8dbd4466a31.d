@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_kernel_tuning-fa16b8dbd4466a31.d: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+/root/repo/target/release/deps/fig14_kernel_tuning-fa16b8dbd4466a31: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+crates/bench/src/bin/fig14_kernel_tuning.rs:

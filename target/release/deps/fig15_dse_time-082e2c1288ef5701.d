@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_dse_time-082e2c1288ef5701.d: crates/bench/src/bin/fig15_dse_time.rs
+
+/root/repo/target/release/deps/fig15_dse_time-082e2c1288ef5701: crates/bench/src/bin/fig15_dse_time.rs
+
+crates/bench/src/bin/fig15_dse_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_resource_breakdown-1c32c72e41ae0867.d: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+/root/repo/target/release/deps/fig16_resource_breakdown-1c32c72e41ae0867: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+crates/bench/src/bin/fig16_resource_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_leave_one_out-1208949beadc5ce6.d: crates/bench/src/bin/fig17_leave_one_out.rs
+
+/root/repo/target/release/deps/fig17_leave_one_out-1208949beadc5ce6: crates/bench/src/bin/fig17_leave_one_out.rs
+
+crates/bench/src/bin/fig17_leave_one_out.rs:

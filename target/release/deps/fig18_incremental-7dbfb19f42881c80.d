@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_incremental-7dbfb19f42881c80.d: crates/bench/src/bin/fig18_incremental.rs
+
+/root/repo/target/release/deps/fig18_incremental-7dbfb19f42881c80: crates/bench/src/bin/fig18_incremental.rs
+
+crates/bench/src/bin/fig18_incremental.rs:

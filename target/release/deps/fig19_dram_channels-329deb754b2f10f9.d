@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_dram_channels-329deb754b2f10f9.d: crates/bench/src/bin/fig19_dram_channels.rs
+
+/root/repo/target/release/deps/fig19_dram_channels-329deb754b2f10f9: crates/bench/src/bin/fig19_dram_channels.rs
+
+crates/bench/src/bin/fig19_dram_channels.rs:

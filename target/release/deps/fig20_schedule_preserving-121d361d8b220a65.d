@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_schedule_preserving-121d361d8b220a65.d: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+/root/repo/target/release/deps/fig20_schedule_preserving-121d361d8b220a65: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+crates/bench/src/bin/fig20_schedule_preserving.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/overgen-2b96aa4ec3756e08.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libovergen-2b96aa4ec3756e08.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libovergen-2b96aa4ec3756e08.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

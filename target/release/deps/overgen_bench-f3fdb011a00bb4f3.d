@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/overgen_bench-f3fdb011a00bb4f3.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libovergen_bench-f3fdb011a00bb4f3.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libovergen_bench-f3fdb011a00bb4f3.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig20.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/harness.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/fig13.rs:
+crates/bench/src/experiments/fig14.rs:
+crates/bench/src/experiments/fig15.rs:
+crates/bench/src/experiments/fig16.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig20.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/overgen_compiler-48a358fe44ea33fd.d: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+/root/repo/target/release/deps/libovergen_compiler-48a358fe44ea33fd.rlib: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+/root/repo/target/release/deps/libovergen_compiler-48a358fe44ea33fd.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lower.rs crates/compiler/src/reuse.rs crates/compiler/src/variants.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lower.rs:
+crates/compiler/src/reuse.rs:
+crates/compiler/src/variants.rs:

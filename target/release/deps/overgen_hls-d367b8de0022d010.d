@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/overgen_hls-d367b8de0022d010.d: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+/root/repo/target/release/deps/libovergen_hls-d367b8de0022d010.rlib: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+/root/repo/target/release/deps/libovergen_hls-d367b8de0022d010.rmeta: crates/hls/src/lib.rs crates/hls/src/design.rs crates/hls/src/explorer.rs crates/hls/src/ii.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/design.rs:
+crates/hls/src/explorer.rs:
+crates/hls/src/ii.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/overgen_ir-4c8a46b7b2ff608f.d: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+/root/repo/target/release/deps/libovergen_ir-4c8a46b7b2ff608f.rlib: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+/root/repo/target/release/deps/libovergen_ir-4c8a46b7b2ff608f.rmeta: crates/ir/src/lib.rs crates/ir/src/affine.rs crates/ir/src/dtype.rs crates/ir/src/expression.rs crates/ir/src/kernel.rs crates/ir/src/loops.rs crates/ir/src/op.rs crates/ir/src/stmt.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/affine.rs:
+crates/ir/src/dtype.rs:
+crates/ir/src/expression.rs:
+crates/ir/src/kernel.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/op.rs:
+crates/ir/src/stmt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/overgen_mdfg-c7eaad27419d0b2f.d: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+/root/repo/target/release/deps/libovergen_mdfg-c7eaad27419d0b2f.rlib: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+/root/repo/target/release/deps/libovergen_mdfg-c7eaad27419d0b2f.rmeta: crates/mdfg/src/lib.rs crates/mdfg/src/graph.rs crates/mdfg/src/node.rs crates/mdfg/src/reuse.rs
+
+crates/mdfg/src/lib.rs:
+crates/mdfg/src/graph.rs:
+crates/mdfg/src/node.rs:
+crates/mdfg/src/reuse.rs:

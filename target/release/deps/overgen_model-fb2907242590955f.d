@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/overgen_model-fb2907242590955f.d: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+/root/repo/target/release/deps/libovergen_model-fb2907242590955f.rlib: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+/root/repo/target/release/deps/libovergen_model-fb2907242590955f.rmeta: crates/model/src/lib.rs crates/model/src/dataset.rs crates/model/src/estimate.rs crates/model/src/mlp.rs crates/model/src/perf.rs crates/model/src/resources.rs crates/model/src/synthesis.rs crates/model/src/time.rs
+
+crates/model/src/lib.rs:
+crates/model/src/dataset.rs:
+crates/model/src/estimate.rs:
+crates/model/src/mlp.rs:
+crates/model/src/perf.rs:
+crates/model/src/resources.rs:
+crates/model/src/synthesis.rs:
+crates/model/src/time.rs:

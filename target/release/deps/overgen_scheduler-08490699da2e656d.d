@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/overgen_scheduler-08490699da2e656d.d: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+/root/repo/target/release/deps/libovergen_scheduler-08490699da2e656d.rlib: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+/root/repo/target/release/deps/libovergen_scheduler-08490699da2e656d.rmeta: crates/scheduler/src/lib.rs crates/scheduler/src/place.rs crates/scheduler/src/repair.rs crates/scheduler/src/types.rs
+
+crates/scheduler/src/lib.rs:
+crates/scheduler/src/place.rs:
+crates/scheduler/src/repair.rs:
+crates/scheduler/src/types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/overgen_sim-3ec59a2d57b59cfe.d: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libovergen_sim-3ec59a2d57b59cfe.rlib: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+/root/repo/target/release/deps/libovergen_sim-3ec59a2d57b59cfe.rmeta: crates/sim/src/lib.rs crates/sim/src/flow.rs crates/sim/src/report.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/flow.rs:
+crates/sim/src/report.rs:

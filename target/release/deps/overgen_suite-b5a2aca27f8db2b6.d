@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/overgen_suite-b5a2aca27f8db2b6.d: src/lib.rs
+
+/root/repo/target/release/deps/libovergen_suite-b5a2aca27f8db2b6.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libovergen_suite-b5a2aca27f8db2b6.rmeta: src/lib.rs
+
+src/lib.rs:

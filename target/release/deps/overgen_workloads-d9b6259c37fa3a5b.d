@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/overgen_workloads-d9b6259c37fa3a5b.d: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+/root/repo/target/release/deps/libovergen_workloads-d9b6259c37fa3a5b.rlib: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+/root/repo/target/release/deps/libovergen_workloads-d9b6259c37fa3a5b.rmeta: crates/workloads/src/lib.rs crates/workloads/src/dsp.rs crates/workloads/src/machsuite.rs crates/workloads/src/tuned.rs crates/workloads/src/vision.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/dsp.rs:
+crates/workloads/src/machsuite.rs:
+crates/workloads/src/tuned.rs:
+crates/workloads/src/vision.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_model_training-79dc7d7058489afd.d: crates/bench/src/bin/table1_model_training.rs
+
+/root/repo/target/release/deps/table1_model_training-79dc7d7058489afd: crates/bench/src/bin/table1_model_training.rs
+
+crates/bench/src/bin/table1_model_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_workloads-93353a38fc011b41.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/release/deps/table2_workloads-93353a38fc011b41: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_suite_overlays-fbdc37ce0756d04d.d: crates/bench/src/bin/table3_suite_overlays.rs
+
+/root/repo/target/release/deps/table3_suite_overlays-fbdc37ce0756d04d: crates/bench/src/bin/table3_suite_overlays.rs
+
+crates/bench/src/bin/table3_suite_overlays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_hls_ii-4b937f0372323cf4.d: crates/bench/src/bin/table4_hls_ii.rs
+
+/root/repo/target/release/deps/table4_hls_ii-4b937f0372323cf4: crates/bench/src/bin/table4_hls_ii.rs
+
+crates/bench/src/bin/table4_hls_ii.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_summary-324a078e2999dfce.d: crates/bench/src/bin/trace_summary.rs
+
+/root/repo/target/release/deps/trace_summary-324a078e2999dfce: crates/bench/src/bin/trace_summary.rs
+
+crates/bench/src/bin/trace_summary.rs:

@@ -28,8 +28,7 @@ fn all_nineteen_workloads_run_on_the_general_overlay() {
                     spad_bw,
                     &app.schedule.placement,
                 );
-                let peak = app.mdfg.insts_per_firing()
-                    * f64::from(overlay.sys_adg.sys.tiles);
+                let peak = app.mdfg.insts_per_firing() * f64::from(overlay.sys_adg.sys.tiles);
                 assert!(
                     r.ipc <= peak + 1e-9,
                     "{}: sim ipc {} above theoretical peak {}",

@@ -25,7 +25,10 @@ fn quick_dse(iterations: usize, seed: u64) -> GenerateConfig {
 fn generate_compile_execute_dsp_domain() {
     let domain = workloads::suite(Suite::Dsp);
     let overlay = generate(&domain, &quick_dse(12, 1));
-    overlay.sys_adg.validate().expect("generated hardware is valid");
+    overlay
+        .sys_adg
+        .validate()
+        .expect("generated hardware is valid");
     let mut ran = 0;
     for k in &domain {
         let app = overlay

@@ -1,3 +1,7 @@
+// Gated: requires the `proptest-tests` feature AND restoring the proptest
+// dev-dependency in the root Cargo.toml (removed for offline builds).
+#![cfg(feature = "proptest-tests")]
+
 //! Property-based tests over the core pipeline: randomly generated
 //! kernels and fabrics must never break the compile -> schedule ->
 //! simulate invariants.
@@ -13,8 +17,8 @@ use overgen_sim::{simulate, SimConfig};
 /// A random but well-formed elementwise kernel.
 fn arb_kernel() -> impl Strategy<Value = Kernel> {
     (
-        1u64..=4096,           // n
-        0usize..3,             // op shape selector
+        1u64..=4096, // n
+        0usize..3,   // op shape selector
         prop_oneof![
             Just(DataType::I16),
             Just(DataType::I64),

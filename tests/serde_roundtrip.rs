@@ -1,3 +1,7 @@
+// Gated: requires the `serde` feature AND restoring the serde/serde_json
+// dependencies in the workspace manifests (removed for offline builds).
+#![cfg(feature = "serde")]
+
 //! Serialization round-trips: overlays and kernels are data a downstream
 //! user will want to persist (the "sysADG + RTL" artifact of Figure 3).
 

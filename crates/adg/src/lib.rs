@@ -30,12 +30,14 @@
 //! # Ok::<(), overgen_adg::AdgError>(())
 //! ```
 
+mod fingerprint;
 mod graph;
 mod node;
 mod summary;
 mod system;
 mod topology;
 
+pub use fingerprint::StableHasher;
 pub use graph::{Adg, AdgError, NodeId};
 pub use node::{
     AdgNode, DmaNode, GenNode, InPortNode, NodeKind, OutPortNode, PeNode, RecNode, RegNode,

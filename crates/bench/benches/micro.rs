@@ -109,6 +109,7 @@ mod benches {
                     },
                 )
                 .run()
+                .unwrap()
             })
         });
     }

@@ -39,7 +39,9 @@ pub fn run() -> Vec<Curves> {
                         let mut cfg =
                             dse_config(dse_iters(), seed() ^ 0xF16_20 ^ suite as u64 ^ (i << 8));
                         cfg.schedule_preserving = preserving;
-                        Dse::new(domain.clone(), cfg).run()
+                        Dse::new(domain.clone(), cfg)
+                            .run()
+                            .expect("suite domain schedules on the seed mesh")
                     })
                     .collect();
                 runs.sort_by(|a, b| a.objective.total_cmp(&b.objective));

@@ -32,6 +32,41 @@ pub fn seed() -> u64 {
         .unwrap_or(2022)
 }
 
+/// Read `--<flag> N` / `--<flag>=N` from the process arguments.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix(&format!("--{flag}=")) {
+            return Some(v.to_string());
+        }
+        if a == format!("--{flag}") {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// DSE worker threads (`--threads N` or env `OVERGEN_DSE_THREADS`).
+/// `0` means one worker per core; the default of 1 runs serially. Results
+/// and traces are identical for any value — this only changes wall-clock.
+pub fn dse_threads() -> usize {
+    arg_value("threads")
+        .or_else(|| std::env::var("OVERGEN_DSE_THREADS").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Parallel annealing chains (`--chains N` or env `OVERGEN_DSE_CHAINS`,
+/// default 1). Unlike `--threads`, this changes what is explored: each
+/// chain anneals independently with periodic best-state exchange.
+pub fn dse_chains() -> usize {
+    arg_value("chains")
+        .or_else(|| std::env::var("OVERGEN_DSE_CHAINS").ok())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// Directory experiment artifacts land in (env `OVERGEN_RESULTS_DIR`,
 /// default `results`).
 pub fn results_dir() -> PathBuf {
@@ -107,7 +142,10 @@ pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
     }
 }
 
-/// DSE configuration used by all experiments.
+/// DSE configuration used by all experiments. Parallelism comes from
+/// `--threads`/`--chains` (or `OVERGEN_DSE_THREADS`/`OVERGEN_DSE_CHAINS`);
+/// the thread count is intentionally kept out of emitted trace events so
+/// traces stay byte-identical across worker counts.
 pub fn dse_config(iterations: usize, seed: u64) -> DseConfig {
     DseConfig {
         iterations,
@@ -117,6 +155,9 @@ pub fn dse_config(iterations: usize, seed: u64) -> DseConfig {
         compile: CompileOptions::default(),
         weights: Default::default(),
         mutations_per_step: 2,
+        threads: dse_threads(),
+        chains: dse_chains(),
+        ..Default::default()
     }
 }
 

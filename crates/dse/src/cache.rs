@@ -1,0 +1,151 @@
+//! Evaluation memoization for the DSE.
+//!
+//! The annealer frequently revisits structurally identical design points:
+//! rejected proposals leave `cur` unchanged, saturated resizes produce the
+//! same graph, and parallel chains overlap near the seed. [`Memo`] is a
+//! concurrent table keyed by a canonical 64-bit fingerprint (see
+//! [`overgen_adg::StableHasher`]); the stored value carries everything an
+//! evaluation produced — result, simulated cost, captured telemetry trace,
+//! and metric deltas — so a hit can be made observationally identical to
+//! re-running the evaluation.
+//!
+//! Hit/miss totals are deterministic under any thread scheduling: racing
+//! lookups of one key block inside `OnceLock::get_or_init` so exactly one
+//! caller computes, making misses = distinct keys and hits = lookups −
+//! distinct keys.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use overgen_adg::StableHasher;
+use overgen_model::Placement;
+use overgen_scheduler::Schedule;
+
+/// A concurrent memo table from fingerprint keys to lazily-computed
+/// values.
+pub(crate) struct Memo<V> {
+    map: Mutex<BTreeMap<u64, Arc<OnceLock<V>>>>,
+}
+
+impl<V> Memo<V> {
+    pub(crate) fn new() -> Self {
+        Memo {
+            map: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Look up `key`, computing the value with `compute` on first sight.
+    /// Returns the (now initialized) cell plus whether *this* call did the
+    /// computation — i.e. whether the lookup was a miss.
+    pub(crate) fn get_or_compute(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> V,
+    ) -> (Arc<OnceLock<V>>, bool) {
+        let cell = self
+            .map
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::new(OnceLock::new()))
+            .clone();
+        let mut miss = false;
+        cell.get_or_init(|| {
+            miss = true;
+            compute()
+        });
+        (cell, miss)
+    }
+
+    /// Number of distinct keys ever computed.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}
+
+/// Absorb a full schedule into a fingerprint: everything `repair` and the
+/// performance model can observe. The derived quantities (`est`,
+/// `balance_penalty`) are functions of the rest and are skipped.
+pub(crate) fn hash_schedule(h: &mut StableHasher, s: &Schedule) {
+    h.write_str(&s.mdfg_name);
+    h.write_u64(u64::from(s.variant));
+    h.write_u64(s.assignment.len() as u64);
+    for (m, a) in &s.assignment {
+        h.write_u64(m.index() as u64);
+        h.write_u64(a.index() as u64);
+    }
+    h.write_u64(s.stream_engines.len() as u64);
+    for (m, e) in &s.stream_engines {
+        h.write_u64(m.index() as u64);
+        h.write_u64(e.index() as u64);
+    }
+    h.write_u64(s.routes.len() as u64);
+    for ((src, dst), path) in &s.routes {
+        h.write_u64(src.index() as u64);
+        h.write_u64(dst.index() as u64);
+        h.write_u64(path.len() as u64);
+        for n in path {
+            h.write_u64(n.index() as u64);
+        }
+    }
+    hash_placement(h, &s.placement);
+}
+
+/// Absorb a scratchpad placement (sorted array names).
+pub(crate) fn hash_placement(h: &mut StableHasher, p: &Placement) {
+    h.write_u64(p.spad_arrays.len() as u64);
+    for a in &p.spad_arrays {
+        h.write_str(a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn computes_each_key_once() {
+        let memo: Memo<u64> = Memo::new();
+        let computed = AtomicU64::new(0);
+        let mut hits = 0;
+        let mut misses = 0;
+        for key in [1u64, 2, 1, 1, 2, 3] {
+            let (cell, miss) = memo.get_or_compute(key, || {
+                computed.fetch_add(1, Ordering::Relaxed);
+                key * 10
+            });
+            assert_eq!(*cell.get().unwrap(), key * 10);
+            if miss {
+                misses += 1;
+            } else {
+                hits += 1;
+            }
+        }
+        assert_eq!(computed.load(Ordering::Relaxed), 3);
+        assert_eq!((misses, hits), (3, 3));
+        assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_on_miss_totals() {
+        let memo: Memo<u64> = Memo::new();
+        let misses = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for key in 0..32u64 {
+                        let (_, miss) = memo.get_or_compute(key % 8, || key % 8);
+                        if miss {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 4 threads x 32 lookups over 8 distinct keys: exactly 8 misses.
+        assert_eq!(misses.load(Ordering::Relaxed), 8);
+        assert_eq!(memo.len(), 8);
+    }
+}

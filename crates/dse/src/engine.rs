@@ -1,25 +1,46 @@
-//! The simulated-annealing DSE driver (paper Figure 6).
+//! The simulated-annealing DSE driver (paper Figure 6), parallelized on
+//! two axes with `std::thread::scope` only:
+//!
+//! * **intra-proposal fan-out** — every workload's schedule/repair runs on
+//!   a worker pool, and the nested system DSE sweeps tile counts in
+//!   parallel;
+//! * **multi-chain annealing** — [`DseConfig::chains`] independent chains
+//!   (seeds derived with [`Rng::split`]) run concurrently and exchange
+//!   their best state every [`DseConfig::exchange_interval`] iterations.
+//!
+//! Determinism is by construction: workers emit telemetry through
+//! capture/replay (`overgen_telemetry::capture`), per-workload results and
+//! simulated-time deltas are folded in workload-name order, and chain
+//! traces replay in chain order — so the `DseResult` and the
+//! deterministic-clock JSONL trace are byte-identical for any thread
+//! count. An evaluation cache keyed by [`Adg::fingerprint`] memoizes both
+//! full evaluations and system-DSE winners; a hit replays the stored trace
+//! and metric deltas, making it observationally identical to a fresh run.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
-use overgen_telemetry::{event, span, Counter, Histogram, Rng};
+use overgen_telemetry::{capture, capture_isolated, event, replay, span, Counter, Registry, Rng};
 
-use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, SysAdg, SystemParams};
+use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, StableHasher, SysAdg, SystemParams};
 use overgen_compiler::{compile_variants, CompileOptions};
 use overgen_ir::{Expr, FuCap, Kernel, Op};
 use overgen_mdfg::Mdfg;
-use overgen_model::{accelerator_resources, AnalyticModel, ResourceModel, TimeModel};
+use overgen_model::{accelerator_resources, AnalyticModel, Placement, ResourceModel, TimeModel};
 use overgen_scheduler::{repair, schedule, RepairOutcome, Schedule};
 
+use crate::cache::{hash_placement, hash_schedule, Memo};
+use crate::pool::fan_out;
 use crate::system::{system_dse, SystemDseConfig};
 use crate::transforms::{random_mutation, TransformCtx};
 
 /// DSE configuration.
 #[derive(Debug, Clone)]
 pub struct DseConfig {
-    /// Simulated-annealing iterations.
+    /// Simulated-annealing iterations (total, per chain).
     pub iterations: usize,
-    /// RNG seed.
+    /// RNG seed. Chain RNGs are derived from it with [`Rng::split`], so
+    /// every chain explores a distinct but reproducible trajectory.
     pub seed: u64,
     /// Enable schedule-preserving transformations (§V-B). Disabling this
     /// reproduces the "non-preserved" curves of Figure 20.
@@ -32,6 +53,19 @@ pub struct DseConfig {
     pub weights: BTreeMap<String, f64>,
     /// Mutations applied per proposal.
     pub mutations_per_step: usize,
+    /// Worker threads for intra-proposal fan-out (per-workload
+    /// scheduling, system-DSE sweep) and for running chains concurrently.
+    /// `0` = one worker per available core. The result and trace are
+    /// independent of this value.
+    pub threads: usize,
+    /// Independent annealing chains run as an island model with periodic
+    /// best-state exchange. The result depends on `chains` (more chains =
+    /// more exploration) but not on how many threads execute them.
+    pub chains: usize,
+    /// Iterations between best-state exchanges among chains.
+    pub exchange_interval: usize,
+    /// Memoize evaluations and system-DSE winners by ADG fingerprint.
+    pub cache: bool,
 }
 
 impl Default for DseConfig {
@@ -44,9 +78,38 @@ impl Default for DseConfig {
             compile: CompileOptions::default(),
             weights: BTreeMap::new(),
             mutations_per_step: 2,
+            threads: 1,
+            chains: 1,
+            exchange_interval: 25,
+            cache: true,
         }
     }
 }
+
+/// Why a DSE run could not start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DseError {
+    /// The seed accelerator could not schedule every workload in the
+    /// domain, even after repeatedly widening its ports.
+    UnschedulableSeed {
+        /// Port-widening rounds attempted before giving up.
+        widenings: usize,
+    },
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::UnschedulableSeed { widenings } => write!(
+                f,
+                "seed accelerator cannot schedule the domain \
+                 (after {widenings} port-widening rounds)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
 
 /// Counters of what the DSE did.
 ///
@@ -54,7 +117,7 @@ impl Default for DseConfig {
 /// [`Counter`]s (named `dse.iterations`, `dse.accepted`, …) registered on
 /// the installed collector, and a `DseStats` is the per-run delta read off
 /// them when [`Dse::run`] returns. With no collector installed the counters
-/// are detached (private to the run) and the semantics are unchanged.
+/// live on a private run registry and the semantics are unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DseStats {
     /// Proposals evaluated.
@@ -69,73 +132,67 @@ pub struct DseStats {
     pub repairs: usize,
     /// Repairs that found the schedule intact.
     pub intact: usize,
+    /// Evaluations served from the fingerprint cache.
+    pub cache_hits: usize,
+    /// Evaluations computed fresh (distinct design points visited).
+    pub cache_misses: usize,
 }
 
-/// The live counters behind [`DseStats`], shared with the installed
-/// telemetry registry when one is present.
+/// Live counters on the run registry. Only the values updated *directly*
+/// by the driver live here; scheduling-side counters (`dse.full_schedules`,
+/// `dse.repairs`, `dse.intact`, `dse.repair_moved`, `sched.*`) are
+/// incremented inside isolated evaluation captures and reach the run
+/// registry through [`Registry::merge_from`] — identically on a cache miss
+/// and on every hit.
 struct DseCounters {
     iterations: Counter,
     accepted: Counter,
     invalid: Counter,
-    full_schedules: Counter,
-    repairs: Counter,
-    intact: Counter,
-    /// Nodes moved per successful repair.
-    repair_moved: Histogram,
+    cache_hit: Counter,
+    cache_miss: Counter,
+    cache_system_hit: Counter,
+    cache_system_miss: Counter,
 }
 
 impl DseCounters {
-    /// Bind to the current collector's registry, or detached counters when
-    /// no collector is installed.
-    fn attach() -> Self {
-        match overgen_telemetry::current() {
-            Some(c) => {
-                let r = c.registry();
-                DseCounters {
-                    iterations: r.counter("dse.iterations"),
-                    accepted: r.counter("dse.accepted"),
-                    invalid: r.counter("dse.invalid"),
-                    full_schedules: r.counter("dse.full_schedules"),
-                    repairs: r.counter("dse.repairs"),
-                    intact: r.counter("dse.intact"),
-                    repair_moved: r.histogram("dse.repair_moved"),
-                }
-            }
-            None => DseCounters {
-                iterations: Counter::detached(),
-                accepted: Counter::detached(),
-                invalid: Counter::detached(),
-                full_schedules: Counter::detached(),
-                repairs: Counter::detached(),
-                intact: Counter::detached(),
-                repair_moved: Histogram::detached(),
-            },
+    fn attach(r: &Registry) -> Self {
+        DseCounters {
+            iterations: r.counter("dse.iterations"),
+            accepted: r.counter("dse.accepted"),
+            invalid: r.counter("dse.invalid"),
+            cache_hit: r.counter("dse.cache.hit"),
+            cache_miss: r.counter("dse.cache.miss"),
+            cache_system_hit: r.counter("dse.cache.system_hit"),
+            cache_system_miss: r.counter("dse.cache.system_miss"),
         }
     }
+}
 
-    /// Absolute counter values (used as a baseline at run start).
-    fn totals(&self) -> DseStats {
-        DseStats {
-            iterations: self.iterations.get() as usize,
-            accepted: self.accepted.get() as usize,
-            invalid: self.invalid.get() as usize,
-            full_schedules: self.full_schedules.get() as usize,
-            repairs: self.repairs.get() as usize,
-            intact: self.intact.get() as usize,
-        }
+/// Absolute counter values on `reg` (used as a baseline at run start).
+fn stat_totals(reg: &Registry) -> DseStats {
+    DseStats {
+        iterations: reg.counter_value("dse.iterations") as usize,
+        accepted: reg.counter_value("dse.accepted") as usize,
+        invalid: reg.counter_value("dse.invalid") as usize,
+        full_schedules: reg.counter_value("dse.full_schedules") as usize,
+        repairs: reg.counter_value("dse.repairs") as usize,
+        intact: reg.counter_value("dse.intact") as usize,
+        cache_hits: reg.counter_value("dse.cache.hit") as usize,
+        cache_misses: reg.counter_value("dse.cache.miss") as usize,
     }
+}
 
-    /// Per-run delta since `base`.
-    fn since(&self, base: &DseStats) -> DseStats {
-        let now = self.totals();
-        DseStats {
-            iterations: now.iterations - base.iterations,
-            accepted: now.accepted - base.accepted,
-            invalid: now.invalid - base.invalid,
-            full_schedules: now.full_schedules - base.full_schedules,
-            repairs: now.repairs - base.repairs,
-            intact: now.intact - base.intact,
-        }
+fn stat_delta(reg: &Registry, base: &DseStats) -> DseStats {
+    let now = stat_totals(reg);
+    DseStats {
+        iterations: now.iterations - base.iterations,
+        accepted: now.accepted - base.accepted,
+        invalid: now.invalid - base.invalid,
+        full_schedules: now.full_schedules - base.full_schedules,
+        repairs: now.repairs - base.repairs,
+        intact: now.intact - base.intact,
+        cache_hits: now.cache_hits - base.cache_hits,
+        cache_misses: now.cache_misses - base.cache_misses,
     }
 }
 
@@ -153,12 +210,65 @@ pub struct DseResult {
     pub mdfgs: BTreeMap<String, Vec<Mdfg>>,
     /// Final objective: weighted geomean estimated IPC.
     pub objective: f64,
-    /// Convergence history: (simulated hours, best objective so far).
+    /// Convergence history of the winning chain: (simulated hours, best
+    /// objective so far).
     pub history: Vec<(f64, f64)>,
-    /// Total simulated DSE hours (Figure 15 accounting).
+    /// Total simulated DSE hours (Figure 15 accounting): chains run
+    /// concurrently, so this is the *maximum* over chains, not the sum.
     pub dse_hours: f64,
-    /// Activity counters.
+    /// Activity counters (summed over all chains).
     pub stats: DseStats,
+}
+
+/// A memoized evaluation: outcome plus every side effect it produced, so
+/// replaying the trace and merging the registry makes a cache hit
+/// indistinguishable from re-running.
+struct CachedEval {
+    state: Option<EvalState>,
+    sim: f64,
+    trace: overgen_telemetry::CapturedTrace,
+    registry: Registry,
+}
+
+/// A memoized system-DSE winner (no metrics: `system_dse` only traces).
+struct CachedSystem {
+    result: Option<(SystemParams, f64)>,
+    trace: overgen_telemetry::CapturedTrace,
+}
+
+/// Shared, read-only run context: everything chains and evaluation workers
+/// need. All interior mutability is thread-safe and commutative.
+struct RunCtx<'a> {
+    mdfgs: &'a BTreeMap<String, Vec<Mdfg>>,
+    model: &'a dyn ResourceModel,
+    counters: DseCounters,
+    run_registry: &'a Registry,
+    eval_cache: Memo<CachedEval>,
+    sys_cache: Memo<CachedSystem>,
+    cfg_hash: u64,
+    threads: usize,
+    cache_enabled: bool,
+}
+
+/// Handles for the counters an evaluation updates, bound to the isolated
+/// capture registry so they travel with the cached artifact.
+struct EvalCounters {
+    full_schedules: Counter,
+    repairs: Counter,
+    intact: Counter,
+    repair_moved: overgen_telemetry::Histogram,
+}
+
+/// One annealing chain's mutable state.
+struct ChainState {
+    rng: Rng,
+    cur_adg: Adg,
+    cur: EvalState,
+    best_adg: Adg,
+    best: EvalState,
+    sim_seconds: f64,
+    history: Vec<(f64, f64)>,
+    t0: f64,
 }
 
 /// The DSE driver.
@@ -169,8 +279,11 @@ pub struct Dse {
 }
 
 impl Dse {
-    /// Create a DSE over a set of workloads (the domain).
-    pub fn new(workloads: Vec<Kernel>, cfg: DseConfig) -> Self {
+    /// Create a DSE over a set of workloads (the domain). Workloads are
+    /// kept sorted by name: name order is the canonical fold order for all
+    /// parallel per-workload work.
+    pub fn new(mut workloads: Vec<Kernel>, cfg: DseConfig) -> Self {
+        workloads.sort_by(|a, b| a.name().cmp(b.name()));
         Dse {
             workloads,
             cfg,
@@ -245,18 +358,56 @@ impl Dse {
         })
     }
 
-    /// Run the exploration.
-    pub fn run(&self) -> DseResult {
+    /// Everything outside the ADG that evaluation outcomes depend on.
+    /// Folded into every cache key so a `Memo` never confuses two
+    /// configurations (cheap insurance, even though caches are per-run).
+    fn config_hash(cfg: &DseConfig) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str(cfg.system.device.name);
+        h.write_f64(cfg.system.device.total.lut);
+        h.write_f64(cfg.system.device.total.ff);
+        h.write_f64(cfg.system.device.total.bram);
+        h.write_f64(cfg.system.device.total.dsp);
+        h.write_f64(cfg.system.util_cap);
+        h.write_u64(u64::from(cfg.system.max_tiles));
+        h.write_u64(u64::from(cfg.system.dram_channels));
+        for grid in [
+            &cfg.system.l2_banks_grid,
+            &cfg.system.l2_kb_grid,
+            &cfg.system.noc_bw_grid,
+        ] {
+            h.write_u64(grid.len() as u64);
+            for v in grid {
+                h.write_u64(u64::from(*v));
+            }
+        }
+        h.write_u64(cfg.weights.len() as u64);
+        for (name, w) in &cfg.weights {
+            h.write_str(name);
+            h.write_f64(*w);
+        }
+        h.finish()
+    }
+
+    /// Run the exploration. Fails with [`DseError::UnschedulableSeed`]
+    /// when the domain cannot even be scheduled on a widened seed mesh.
+    pub fn run(&self) -> Result<DseResult, DseError> {
+        let chains = self.cfg.chains.max(1);
+        let threads = match self.cfg.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            t => t,
+        };
         let _run_span = span!(
             "dse.run",
             seed = self.cfg.seed,
             iterations = self.cfg.iterations,
             workloads = self.workloads.len(),
             preserving = self.cfg.schedule_preserving,
+            chains = chains,
         );
-        let mut rng = Rng::seed_from_u64(self.cfg.seed);
         let model: &dyn ResourceModel = &AnalyticModel;
-        let caps = Self::cap_pool(&self.workloads);
 
         // Up-front variant generation (once; §V-A).
         let mut mdfgs: BTreeMap<String, Vec<Mdfg>> = BTreeMap::new();
@@ -268,53 +419,154 @@ impl Dse {
             }
         }
 
-        let mut sim_seconds = 0.0f64;
-        let counters = DseCounters::attach();
-        let base = counters.totals();
-
-        let mut cur_adg = Self::seed_adg(&self.workloads);
-        let mut cur_state = self.evaluate(
-            &cur_adg,
-            &mdfgs,
-            &BTreeMap::new(),
+        // The run registry: the ambient collector's when telemetry is on,
+        // a private one otherwise. Stats are deltas against it either way.
+        let ambient_registry = overgen_telemetry::current().map(|c| c.registry().clone());
+        let run_registry = ambient_registry.unwrap_or_default();
+        let rc = RunCtx {
+            mdfgs: &mdfgs,
             model,
-            &mut sim_seconds,
-            &counters,
-        );
-        // The seed must evaluate; grow ports until it does.
-        let mut guard = 0;
-        while cur_state.is_none() && guard < 8 {
-            // widen everything as a fallback seed fix
+            counters: DseCounters::attach(&run_registry),
+            run_registry: &run_registry,
+            eval_cache: Memo::new(),
+            sys_cache: Memo::new(),
+            cfg_hash: Self::config_hash(&self.cfg),
+            threads,
+            cache_enabled: self.cfg.cache,
+        };
+        let base = stat_totals(&run_registry);
+
+        // Seed: evaluate, widening ports until the domain schedules.
+        let mut cur_adg = Self::seed_adg(&self.workloads);
+        let mut seed_sim = 0.0f64;
+        let mut widenings = 0usize;
+        let seed_state = loop {
+            let (state, sim) = self.evaluate_cached(&cur_adg, &BTreeMap::new(), &rc);
+            seed_sim += sim;
+            if let Some(s) = state {
+                break s;
+            }
+            if widenings >= 8 {
+                return Err(DseError::UnschedulableSeed { widenings });
+            }
+            // Widen every input port as a fallback seed fix.
             for id in cur_adg.nodes_of_kind(overgen_adg::NodeKind::InPort) {
                 if let Some(overgen_adg::AdgNode::InPort(p)) = cur_adg.node_mut(id) {
                     p.width_bytes = (p.width_bytes * 2).min(64);
                 }
             }
-            cur_state = self.evaluate(
-                &cur_adg,
-                &mdfgs,
-                &BTreeMap::new(),
-                model,
-                &mut sim_seconds,
-                &counters,
-            );
-            guard += 1;
+            widenings += 1;
+        };
+
+        // Chains all start from the same seed state with split-derived
+        // RNGs.
+        let t0 = (seed_state.objective * 0.25).max(1e-3);
+        let mut master = Rng::seed_from_u64(self.cfg.seed);
+        let mut states: Vec<ChainState> = (0..chains)
+            .map(|_| ChainState {
+                rng: master.split(),
+                cur_adg: cur_adg.clone(),
+                cur: seed_state.clone(),
+                best_adg: cur_adg.clone(),
+                best: seed_state.clone(),
+                sim_seconds: seed_sim,
+                history: vec![(seed_sim / 3600.0, seed_state.objective)],
+                t0,
+            })
+            .collect();
+
+        // Island-model segments: run every chain for `exchange_interval`
+        // iterations (concurrently when threads allow), replay their
+        // telemetry in chain order, then share the globally best state.
+        let exchange = self.cfg.exchange_interval.max(1);
+        let parent = overgen_telemetry::current();
+        let mut done = 0usize;
+        while done < self.cfg.iterations {
+            let seg = exchange.min(self.cfg.iterations - done);
+            let jobs: Vec<(usize, ChainState)> = states.into_iter().enumerate().collect();
+            let outputs = fan_out(threads.min(chains), jobs, |(idx, mut st)| {
+                let ((), trace) = capture(parent.as_ref(), || {
+                    self.run_segment(&mut st, idx, done, seg, &rc);
+                });
+                (st, trace)
+            });
+            states = outputs
+                .into_iter()
+                .map(|(st, trace)| {
+                    replay(&trace);
+                    st
+                })
+                .collect();
+            done += seg;
+
+            if chains > 1 && done < self.cfg.iterations {
+                // Deterministic exchange: the best chain (ties to the
+                // lowest index) seeds everyone's *current* state; each
+                // chain's own best/history stay untouched.
+                let winner = best_chain(&states);
+                let (gb_adg, gb) = (states[winner].best_adg.clone(), states[winner].best.clone());
+                event!(
+                    "dse.exchange",
+                    at = done,
+                    winner = winner as u64,
+                    objective = gb.objective,
+                );
+                for (idx, st) in states.iter_mut().enumerate() {
+                    if idx != winner && gb.combined > st.cur.combined {
+                        st.cur_adg = gb_adg.clone();
+                        st.cur = gb.clone();
+                    }
+                }
+            }
         }
-        let mut cur = cur_state.expect("seed accelerator must schedule the domain");
 
-        let mut best_adg = cur_adg.clone();
-        let mut best = cur.clone();
-        let mut history = vec![(sim_seconds / 3600.0, best.objective)];
+        let winner = best_chain(&states);
+        let dse_hours = states
+            .iter()
+            .map(|s| s.sim_seconds / 3600.0)
+            .fold(0.0f64, f64::max);
+        let champ = states.swap_remove(winner);
+        let stats = stat_delta(&run_registry, &base);
+        event!(
+            "dse.done",
+            objective = champ.best.objective,
+            accepted = stats.accepted,
+            invalid = stats.invalid,
+            cache_hits = stats.cache_hits,
+            dse_hours = dse_hours,
+        );
+        Ok(DseResult {
+            sys_adg: SysAdg::new(champ.best_adg, champ.best.sys),
+            schedules: champ.best.schedules,
+            variants: champ.best.variants,
+            mdfgs,
+            objective: champ.best.objective,
+            history: champ.history,
+            dse_hours,
+            stats,
+        })
+    }
 
-        let t0 = (cur.objective * 0.25).max(1e-3);
-        for it in 0..self.cfg.iterations {
-            let _iter_span = span!("dse.iteration", iter = it);
-            counters.iterations.inc();
-            let temp = t0 * (0.985f64).powi(it as i32);
+    /// Run `len` annealing iterations (numbers `start..start+len`) on one
+    /// chain. Runs under a capture collector when telemetry is active, so
+    /// chains may execute concurrently.
+    fn run_segment(
+        &self,
+        st: &mut ChainState,
+        chain: usize,
+        start: usize,
+        len: usize,
+        rc: &RunCtx,
+    ) {
+        let caps = Self::cap_pool(&self.workloads);
+        for it in start..start + len {
+            let _iter_span = span!("dse.iteration", iter = it, chain = chain);
+            rc.counters.iterations.inc();
+            let temp = st.t0 * (0.985f64).powi(it as i32);
 
             // Propose.
-            let mut prop_adg = cur_adg.clone();
-            let mut prop_schedules: Vec<Schedule> = cur.schedules.values().cloned().collect();
+            let mut prop_adg = st.cur_adg.clone();
+            let mut prop_schedules: Vec<Schedule> = st.cur.schedules.values().cloned().collect();
             let mut kinds = String::new();
             {
                 // "ADG* is constructed using a combination of random and
@@ -322,13 +574,13 @@ impl Dse {
                 // guidance applies to most mutations, but some stay fully
                 // random so the annealer can restructure used hardware.
                 for _ in 0..self.cfg.mutations_per_step {
-                    let preserving = self.cfg.schedule_preserving && rng.gen_bool(0.7);
+                    let preserving = self.cfg.schedule_preserving && st.rng.gen_bool(0.7);
                     let mut ctx = TransformCtx {
                         cap_pool: &caps,
                         schedules: &mut prop_schedules,
                         preserving,
                     };
-                    let m = random_mutation(&mut prop_adg, &mut ctx, &mut rng);
+                    let m = random_mutation(&mut prop_adg, &mut ctx, &mut st.rng);
                     if !kinds.is_empty() {
                         kinds.push(',');
                     }
@@ -344,30 +596,27 @@ impl Dse {
                 temp = temp,
                 mutations = kinds.as_str()
             );
-            sim_seconds += 0.5; // proposal overhead
+            st.sim_seconds += 0.5; // proposal overhead
 
             let prior: BTreeMap<String, Schedule> = prop_schedules
                 .into_iter()
                 .map(|s| (s.mdfg_name.clone(), s))
                 .collect();
-            let Some(prop) = self.evaluate(
-                &prop_adg,
-                &mdfgs,
-                &prior,
-                model,
-                &mut sim_seconds,
-                &counters,
-            ) else {
-                counters.invalid.inc();
+            let (state, sim) = self.evaluate_cached(&prop_adg, &prior, rc);
+            st.sim_seconds += sim;
+            let Some(prop) = state else {
+                rc.counters.invalid.inc();
                 event!("dse.invalid", iter = it);
-                history.push((sim_seconds / 3600.0, best.objective));
+                st.history
+                    .push((st.sim_seconds / 3600.0, st.best.objective));
                 continue;
             };
 
-            let delta = prop.combined - cur.combined;
-            let accept = prop.combined >= cur.combined || rng.gen_f64() < (delta / temp).exp();
+            let delta = prop.combined - st.cur.combined;
+            let accept =
+                prop.combined >= st.cur.combined || st.rng.gen_f64() < (delta / temp).exp();
             if accept {
-                counters.accepted.inc();
+                rc.counters.accepted.inc();
                 event!(
                     "dse.accept",
                     iter = it,
@@ -375,117 +624,132 @@ impl Dse {
                     temp = temp,
                     objective = prop.objective,
                 );
-                cur_adg = prop_adg;
-                cur = prop;
-                if cur.combined > best.combined {
-                    best = cur.clone();
-                    best_adg = cur_adg.clone();
+                st.cur_adg = prop_adg;
+                st.cur = prop;
+                if st.cur.combined > st.best.combined {
+                    st.best = st.cur.clone();
+                    st.best_adg = st.cur_adg.clone();
                 }
             } else {
                 event!("dse.reject", iter = it, delta = delta, temp = temp);
             }
-            history.push((sim_seconds / 3600.0, best.objective));
-        }
-
-        let stats = counters.since(&base);
-        event!(
-            "dse.done",
-            objective = best.objective,
-            accepted = stats.accepted,
-            invalid = stats.invalid,
-            dse_hours = sim_seconds / 3600.0,
-        );
-        DseResult {
-            sys_adg: SysAdg::new(best_adg, best.sys),
-            schedules: best.schedules,
-            variants: best.variants,
-            mdfgs,
-            objective: best.objective,
-            history,
-            dse_hours: sim_seconds / 3600.0,
-            stats,
+            st.history
+                .push((st.sim_seconds / 3600.0, st.best.objective));
         }
     }
 
-    fn evaluate(
+    /// Evaluate an ADG through the fingerprint cache. Returns the outcome
+    /// and the simulated seconds to charge. On a hit the memoized trace is
+    /// replayed and the memoized metric deltas merged, so hits and misses
+    /// are observationally identical; with the cache disabled the same
+    /// capture/replay path runs without memoization, keeping traces
+    /// identical between cache modes.
+    fn evaluate_cached(
         &self,
         adg: &Adg,
-        mdfgs: &BTreeMap<String, Vec<Mdfg>>,
         prior: &BTreeMap<String, Schedule>,
-        model: &dyn ResourceModel,
-        sim_seconds: &mut f64,
-        counters: &DseCounters,
-    ) -> Option<EvalState> {
+        rc: &RunCtx,
+    ) -> (Option<EvalState>, f64) {
+        let run = || {
+            let (out, trace, registry) =
+                capture_isolated(|| self.evaluate_uncached(adg, prior, rc));
+            let (state, sim) = out;
+            CachedEval {
+                state,
+                sim,
+                trace,
+                registry,
+            }
+        };
+        if rc.cache_enabled {
+            let mut h = StableHasher::new();
+            h.write_u64(rc.cfg_hash);
+            adg.fingerprint_into(&mut h);
+            h.write_u64(prior.len() as u64);
+            for s in prior.values() {
+                hash_schedule(&mut h, s);
+            }
+            let (cell, miss) = rc.eval_cache.get_or_compute(h.finish(), run);
+            if miss {
+                rc.counters.cache_miss.inc();
+            } else {
+                rc.counters.cache_hit.inc();
+            }
+            let c = cell.get().expect("memo cell initialized");
+            replay(&c.trace);
+            rc.run_registry.merge_from(&c.registry);
+            (c.state.clone(), c.sim)
+        } else {
+            let c = run();
+            replay(&c.trace);
+            rc.run_registry.merge_from(&c.registry);
+            (c.state, c.sim)
+        }
+    }
+
+    /// One full evaluation (Figure 6 steps 2-3): schedule or repair every
+    /// workload (fanned out across `rc.threads` workers, folded in
+    /// workload-name order), then run the nested system DSE. Always runs
+    /// under an isolated capture collector (see [`capture_isolated`]).
+    ///
+    /// Every workload is processed even after one fails, so the recorded
+    /// operation stream does not depend on which worker finishes first.
+    fn evaluate_uncached(
+        &self,
+        adg: &Adg,
+        prior: &BTreeMap<String, Schedule>,
+        rc: &RunCtx,
+    ) -> (Option<EvalState>, f64) {
+        let mut sim = 0.0f64;
         let sys_probe = SysAdg::new(adg.clone(), SystemParams::default());
         if sys_probe.validate().is_err() {
-            return None;
+            return (None, sim);
         }
         let adg_nodes = adg.node_count();
 
-        let mut schedules = BTreeMap::new();
-        let mut variants = BTreeMap::new();
-        for k in &self.workloads {
-            let name = k.name().to_string();
-            let vs = mdfgs.get(&name)?;
-            let mut found = None;
-            for v in vs {
-                // Prefer repairing the prior schedule when it is for the
-                // same variant.
-                let attempt = match prior.get(&name) {
-                    Some(p) if p.variant == v.variant() => match repair(p, v, &sys_probe) {
-                        Ok((s, RepairOutcome::Intact)) => {
-                            counters.intact.inc();
-                            event!("dse.repair", workload = name.as_str(), outcome = "intact");
-                            *sim_seconds += self.time.repair_seconds(2, adg_nodes);
-                            Some(s)
-                        }
-                        Ok((s, RepairOutcome::Repaired { moved })) => {
-                            counters.repairs.inc();
-                            counters.repair_moved.record(moved as u64);
-                            event!(
-                                "dse.repair",
-                                workload = name.as_str(),
-                                outcome = "repaired",
-                                moved = moved,
-                            );
-                            *sim_seconds += self.time.repair_seconds(moved.max(1), adg_nodes);
-                            Some(s)
-                        }
-                        Err(_) => {
-                            counters.full_schedules.inc();
-                            event!(
-                                "dse.repair",
-                                workload = name.as_str(),
-                                outcome = "reschedule",
-                            );
-                            *sim_seconds += self.time.schedule_seconds(v.node_count(), adg_nodes);
-                            schedule(v, &sys_probe, Some(p)).ok()
-                        }
-                    },
-                    _ => {
-                        counters.full_schedules.inc();
-                        *sim_seconds += self.time.schedule_seconds(v.node_count(), adg_nodes);
-                        schedule(v, &sys_probe, None).ok()
-                    }
-                };
-                if let Some(s) = attempt {
-                    found = Some((v, s));
-                    break;
+        let eval_collector =
+            overgen_telemetry::current().expect("evaluate_uncached runs under capture_isolated");
+        let reg = eval_collector.registry().clone();
+        let counters = EvalCounters {
+            full_schedules: reg.counter("dse.full_schedules"),
+            repairs: reg.counter("dse.repairs"),
+            intact: reg.counter("dse.intact"),
+            repair_moved: reg.histogram("dse.repair_moved"),
+        };
+
+        let jobs: Vec<&Kernel> = self.workloads.iter().collect();
+        let outs = fan_out(rc.threads, jobs, |k| {
+            capture(Some(&eval_collector), || {
+                self.schedule_workload(k, &sys_probe, prior, rc, &counters, adg_nodes)
+            })
+        });
+
+        let mut schedules: BTreeMap<String, Schedule> = BTreeMap::new();
+        let mut variants: BTreeMap<String, u32> = BTreeMap::new();
+        let mut complete = true;
+        for (k, ((found, sim_delta), trace)) in self.workloads.iter().zip(outs) {
+            replay(&trace);
+            sim += sim_delta;
+            match found {
+                Some((variant, s)) => {
+                    variants.insert(k.name().to_string(), variant);
+                    schedules.insert(k.name().to_string(), s);
                 }
+                None => complete = false,
             }
-            let (v, s) = found?;
-            variants.insert(name.clone(), v.variant());
-            schedules.insert(name, s);
+        }
+        if !complete {
+            return (None, sim);
         }
 
-        // Nested system DSE.
-        let per: Vec<(&Mdfg, &overgen_model::Placement, f64)> = self
+        // Nested system DSE, memoized by (ADG, per-workload mapping).
+        let per: Vec<(&Mdfg, &Placement, f64)> = self
             .workloads
             .iter()
             .map(|k| {
                 let name = k.name();
                 let variant = variants[name];
-                let m = mdfgs[name]
+                let m = rc.mdfgs[name]
                     .iter()
                     .find(|v| v.variant() == variant)
                     .expect("variant exists");
@@ -494,7 +758,40 @@ impl Dse {
                 (m, placement, w)
             })
             .collect();
-        let (sys, _raw) = system_dse(adg, &per, model, &self.cfg.system)?;
+        let run_system = || {
+            let (result, trace) = capture(overgen_telemetry::current().as_ref(), || {
+                system_dse(adg, &per, rc.model, &self.cfg.system, rc.threads)
+            });
+            CachedSystem { result, trace }
+        };
+        let sys_opt = if rc.cache_enabled {
+            let mut h = StableHasher::new();
+            h.write_u64(rc.cfg_hash);
+            h.write_str("system");
+            adg.fingerprint_into(&mut h);
+            for k in &self.workloads {
+                let name = k.name();
+                h.write_str(name);
+                h.write_u64(u64::from(variants[name]));
+                hash_placement(&mut h, &schedules[name].placement);
+            }
+            let (cell, miss) = rc.sys_cache.get_or_compute(h.finish(), run_system);
+            if miss {
+                rc.counters.cache_system_miss.inc();
+            } else {
+                rc.counters.cache_system_hit.inc();
+            }
+            let c = cell.get().expect("memo cell initialized");
+            replay(&c.trace);
+            c.result
+        } else {
+            let c = run_system();
+            replay(&c.trace);
+            c.result
+        };
+        let Some((sys, _raw)) = sys_opt else {
+            return (None, sim);
+        };
 
         // Objective: estimated IPC weighted-geomean (including the
         // schedule's balance penalty) as primary, small pressure on
@@ -506,7 +803,7 @@ impl Dse {
                 .map(|k| {
                     let s = &schedules[k.name()];
                     let variant = variants[k.name()];
-                    let m = mdfgs[k.name()]
+                    let m = rc.mdfgs[k.name()]
                         .iter()
                         .find(|v| v.variant() == variant)
                         .expect("variant exists");
@@ -516,25 +813,97 @@ impl Dse {
                         .sum();
                     let est = overgen_model::estimate_ipc(m, &sys, spad_bw, &s.placement);
                     let w = self.cfg.weights.get(k.name()).copied().unwrap_or(1.0);
-                    (
-                        est.ipc * s.balance_penalty * f64::from(sys.tiles) / f64::from(sys.tiles),
-                        w,
-                    )
+                    (est.ipc * s.balance_penalty, w)
                 })
                 .collect();
             overgen_model::weighted_geomean_ipc(&ipcs)
         };
-        let acc = accelerator_resources(adg, model);
+        let acc = accelerator_resources(adg, rc.model);
         let combined = objective * (1.0 - 0.05 * (acc.lut / 1.0e6).min(1.0));
 
-        Some(EvalState {
-            sys,
-            schedules,
-            variants,
-            objective,
-            combined,
-        })
+        (
+            Some(EvalState {
+                sys,
+                schedules,
+                variants,
+                objective,
+                combined,
+            }),
+            sim,
+        )
     }
+
+    /// Schedule one workload: walk its variants, preferring repair of the
+    /// prior schedule, then full scheduling. Returns the chosen (variant,
+    /// schedule) and the simulated seconds spent.
+    fn schedule_workload(
+        &self,
+        k: &Kernel,
+        sys_probe: &SysAdg,
+        prior: &BTreeMap<String, Schedule>,
+        rc: &RunCtx,
+        counters: &EvalCounters,
+        adg_nodes: usize,
+    ) -> (Option<(u32, Schedule)>, f64) {
+        let mut sim = 0.0f64;
+        let name = k.name();
+        let Some(vs) = rc.mdfgs.get(name) else {
+            return (None, sim);
+        };
+        for v in vs {
+            // Prefer repairing the prior schedule when it is for the
+            // same variant.
+            let attempt = match prior.get(name) {
+                Some(p) if p.variant == v.variant() => match repair(p, v, sys_probe) {
+                    Ok((s, RepairOutcome::Intact)) => {
+                        counters.intact.inc();
+                        event!("dse.repair", workload = name, outcome = "intact");
+                        sim += self.time.repair_seconds(2, adg_nodes);
+                        Some(s)
+                    }
+                    Ok((s, RepairOutcome::Repaired { moved })) => {
+                        counters.repairs.inc();
+                        counters.repair_moved.record(moved as u64);
+                        event!(
+                            "dse.repair",
+                            workload = name,
+                            outcome = "repaired",
+                            moved = moved,
+                        );
+                        sim += self.time.repair_seconds(moved.max(1), adg_nodes);
+                        Some(s)
+                    }
+                    Err(_) => {
+                        counters.full_schedules.inc();
+                        event!("dse.repair", workload = name, outcome = "reschedule");
+                        sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
+                        schedule(v, sys_probe, Some(p)).ok()
+                    }
+                },
+                _ => {
+                    counters.full_schedules.inc();
+                    sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
+                    schedule(v, sys_probe, None).ok()
+                }
+            };
+            if let Some(s) = attempt {
+                return (Some((v.variant(), s)), sim);
+            }
+        }
+        (None, sim)
+    }
+}
+
+/// Index of the chain with the best `best.combined`; ties break to the
+/// lowest index so selection never depends on scheduling.
+fn best_chain(states: &[ChainState]) -> usize {
+    let mut winner = 0usize;
+    for (idx, st) in states.iter().enumerate().skip(1) {
+        if st.best.combined > states[winner].best.combined {
+            winner = idx;
+        }
+    }
+    winner
 }
 
 #[derive(Debug, Clone)]
@@ -608,7 +977,7 @@ mod tests {
     #[test]
     fn seed_schedules_and_dse_improves() {
         let dse = Dse::new(vec![vecadd(), fir()], quick_cfg(30, true));
-        let r = dse.run();
+        let r = dse.run().unwrap();
         assert!(r.objective > 0.0);
         assert_eq!(r.schedules.len(), 2);
         assert!(r.history.len() > 10);
@@ -623,7 +992,7 @@ mod tests {
 
     #[test]
     fn preserving_reduces_full_schedules() {
-        let with = Dse::new(vec![fir()], quick_cfg(40, true)).run();
+        let with = Dse::new(vec![fir()], quick_cfg(40, true)).run().unwrap();
         let without = Dse::new(
             vec![fir()],
             DseConfig {
@@ -631,7 +1000,8 @@ mod tests {
                 ..quick_cfg(40, false)
             },
         )
-        .run();
+        .run()
+        .unwrap();
         // preserving mode should do more repairs/intact checks and fewer
         // full schedules per iteration
         let with_rate = with.stats.full_schedules as f64 / with.stats.iterations.max(1) as f64;
@@ -650,7 +1020,50 @@ mod tests {
     fn weights_steer_objective() {
         let mut cfg = quick_cfg(10, true);
         cfg.weights.insert("fir".into(), 5.0);
-        let r = Dse::new(vec![vecadd(), fir()], cfg).run();
+        let r = Dse::new(vec![vecadd(), fir()], cfg).run().unwrap();
         assert!(r.objective > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_on_revisited_designs() {
+        let r = Dse::new(vec![fir()], quick_cfg(40, true)).run().unwrap();
+        assert_eq!(
+            r.stats.cache_hits + r.stats.cache_misses,
+            r.stats.iterations + 1, // +1: the seed evaluation
+        );
+        assert!(r.stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn cache_off_matches_cache_on() {
+        let on = Dse::new(vec![fir()], quick_cfg(20, true)).run().unwrap();
+        let off = Dse::new(
+            vec![fir()],
+            DseConfig {
+                cache: false,
+                ..quick_cfg(20, true)
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(on.objective.to_bits(), off.objective.to_bits());
+        assert_eq!(on.variants, off.variants);
+        assert_eq!(on.history, off.history);
+        assert_eq!((off.stats.cache_hits, off.stats.cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn multi_chain_runs_and_improves() {
+        let cfg = DseConfig {
+            chains: 3,
+            exchange_interval: 5,
+            ..quick_cfg(15, true)
+        };
+        let r = Dse::new(vec![fir()], cfg).run().unwrap();
+        assert!(r.objective > 0.0);
+        // every chain contributes iterations
+        assert_eq!(r.stats.iterations, 45);
+        // history covers only the winning chain
+        assert_eq!(r.history.len(), 16);
     }
 }

@@ -20,6 +20,14 @@
 //! cheap — which is exactly why schedule-preserving transformations reduce
 //! DSE time (Q8).
 //!
+//! The driver is parallel and deterministic: [`DseConfig::threads`] fans
+//! per-workload scheduling and the system-DSE sweep out over
+//! `std::thread::scope` workers, [`DseConfig::chains`] runs independent
+//! annealing chains with periodic best-state exchange, and an evaluation
+//! cache keyed by [`overgen_adg::Adg::fingerprint`] memoizes repeated
+//! design points. Results and telemetry traces are byte-identical for any
+//! thread count (see `engine` module docs).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -32,14 +40,18 @@
 //!     .assign("c", expr::idx("i"),
 //!             expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")))
 //!     .build().unwrap();
-//! let result = Dse::new(vec![k], DseConfig { iterations: 50, ..Default::default() }).run();
+//! let result = Dse::new(vec![k], DseConfig { iterations: 50, ..Default::default() })
+//!     .run()
+//!     .expect("domain schedules on the seed mesh");
 //! println!("estimated IPC {:.1}", result.objective);
 //! ```
 
+mod cache;
 mod engine;
+mod pool;
 mod system;
 mod transforms;
 
-pub use engine::{Dse, DseConfig, DseResult, DseStats};
+pub use engine::{Dse, DseConfig, DseError, DseResult, DseStats};
 pub use system::{system_dse, SystemDseConfig};
 pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

@@ -1,0 +1,79 @@
+//! A minimal scoped-thread work pool (`std::thread::scope` only — no
+//! dependencies).
+//!
+//! [`fan_out`] runs one closure over a batch of items on up to `threads`
+//! workers and returns the results **in item order**, regardless of which
+//! worker finished when. Determinism therefore rests on two rules the DSE
+//! follows everywhere: closures communicate only through their return
+//! value (or commutative atomics like telemetry counters), and the caller
+//! folds the ordered results sequentially.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item on up to `threads` workers; results come back
+/// in item order. `threads <= 1` (or a single item) runs inline on the
+/// calling thread — same code path, no spawn overhead.
+pub(crate) fn fan_out<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = queue[i].lock().unwrap().take().expect("item taken once");
+                let out = f(item);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_item_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = fan_out(threads, (0..50usize).collect(), |i| i * i);
+            assert_eq!(out, (0..50usize).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_fewer_items_than_threads() {
+        assert_eq!(fan_out(8, vec![41], |i: i32| i + 1), vec![42]);
+        assert_eq!(fan_out(8, Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn closures_see_each_item_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = fan_out(4, (0..100u64).collect(), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+}

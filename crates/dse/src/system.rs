@@ -9,8 +9,12 @@ use overgen_model::resources::FpgaDevice;
 use overgen_model::{breakdown, estimate_ipc, weighted_geomean_ipc, Placement, ResourceModel};
 use overgen_telemetry::{event, span};
 
-/// System DSE configuration.
-#[derive(Debug, Clone, Copy)]
+use crate::pool::fan_out;
+
+/// System DSE configuration, including the candidate grids the exhaustive
+/// sweep walks. The grids are plain data so tests can shrink or extend the
+/// sweep and so evaluation-cache keys can cover non-default grids.
+#[derive(Debug, Clone)]
 pub struct SystemDseConfig {
     /// Device budget.
     pub device: FpgaDevice,
@@ -21,6 +25,12 @@ pub struct SystemDseConfig {
     pub max_tiles: u32,
     /// DRAM channels (fixed by the experiment; 1 for the paper's FPGA).
     pub dram_channels: u32,
+    /// Candidate L2 bank counts.
+    pub l2_banks_grid: Vec<u32>,
+    /// Candidate total L2 capacities in KiB.
+    pub l2_kb_grid: Vec<u32>,
+    /// Candidate NoC bandwidths in bytes/cycle.
+    pub noc_bw_grid: Vec<u32>,
 }
 
 impl Default for SystemDseConfig {
@@ -30,18 +40,36 @@ impl Default for SystemDseConfig {
             util_cap: 0.97,
             max_tiles: 16,
             dram_channels: 1,
+            l2_banks_grid: vec![2, 4, 8, 16],
+            l2_kb_grid: vec![256, 512, 1024, 2048],
+            noc_bw_grid: vec![32, 64],
         }
     }
+}
+
+/// One tile-count slice of the sweep: every (banks, kb, noc) combination
+/// scored in grid order, plus the slice's candidate/over-budget tallies.
+struct TileSlice {
+    scored: Vec<(SystemParams, f64)>,
+    candidates: u64,
+    over_budget: u64,
 }
 
 /// Exhaustively choose the best system parameters for an accelerator ADG
 /// given the best-scheduled mDFG (plus its scratchpad placement) per
 /// workload. Returns `None` when not even a single tile fits the budget.
+///
+/// With `threads > 1` the per-tile-count slices of the sweep are scored on
+/// a scoped worker pool; the winner is still selected by folding every
+/// candidate in the canonical serial order, so the choice (including the
+/// order-dependent near-tie handling below) is identical for any thread
+/// count.
 pub fn system_dse(
     adg: &Adg,
     per_workload: &[(&Mdfg, &Placement, f64)], // (mdfg, placement, weight)
     model: &dyn ResourceModel,
     cfg: &SystemDseConfig,
+    threads: usize,
 ) -> Option<(SystemParams, f64)> {
     let _span = span!("dse.system", max_tiles = cfg.max_tiles);
     let spad_bw: f64 = adg
@@ -49,13 +77,15 @@ pub fn system_dse(
         .filter_map(|(_, n)| n.as_spad().map(|s| f64::from(s.bw_bytes)))
         .sum();
 
-    let mut candidates = 0u64;
-    let mut over_budget = 0u64;
-    let mut best: Option<(SystemParams, f64)> = None;
-    for tiles in 1..=cfg.max_tiles {
-        for &l2_banks in &[2u32, 4, 8, 16] {
-            for &l2_kb in &[256u32, 512, 1024, 2048] {
-                for &noc_bw in &[32u32, 64] {
+    let slices = fan_out(threads, (1..=cfg.max_tiles).collect(), |tiles| {
+        let mut slice = TileSlice {
+            scored: Vec::new(),
+            candidates: 0,
+            over_budget: 0,
+        };
+        for &l2_banks in &cfg.l2_banks_grid {
+            for &l2_kb in &cfg.l2_kb_grid {
+                for &noc_bw in &cfg.noc_bw_grid {
                     let sys = SystemParams {
                         tiles,
                         l2_banks,
@@ -63,34 +93,47 @@ pub fn system_dse(
                         noc_bw_bytes: noc_bw,
                         dram_channels: cfg.dram_channels,
                     };
-                    candidates += 1;
+                    slice.candidates += 1;
                     let sys_adg = SysAdg::new(adg.clone(), sys);
                     let used = breakdown(&sys_adg, model).total();
                     if !cfg.device.fits(&used, cfg.util_cap) {
-                        over_budget += 1;
+                        slice.over_budget += 1;
                         continue;
                     }
                     let ipcs: Vec<(f64, f64)> = per_workload
                         .iter()
                         .map(|(m, p, w)| (estimate_ipc(m, &sys, spad_bw, p).ipc, *w))
                         .collect();
-                    let score = weighted_geomean_ipc(&ipcs);
-                    // Prefer strictly better scores; on (near-)ties prefer
-                    // MORE tiles — the paper's DSE "greedily consumes as
-                    // many resources as possible, even if there is no
-                    // parallelism" (Q4), which is what pushes overlays to
-                    // 81-97% LUT occupancy.
-                    let better = match &best {
-                        None => true,
-                        Some((b_sys, b_score)) => {
-                            score > b_score * 1.001
-                                || (score >= b_score * 0.999 && sys.tiles > b_sys.tiles)
-                        }
-                    };
-                    if better {
-                        best = Some((sys, score));
-                    }
+                    slice.scored.push((sys, weighted_geomean_ipc(&ipcs)));
                 }
+            }
+        }
+        slice
+    });
+
+    let mut candidates = 0u64;
+    let mut over_budget = 0u64;
+    let mut best: Option<(SystemParams, f64)> = None;
+    // Fold in ascending-tile (= serial sweep) order: the near-tie rule
+    // below depends on which candidate is seen first, so the fold order is
+    // part of the function's contract.
+    for slice in slices {
+        candidates += slice.candidates;
+        over_budget += slice.over_budget;
+        for (sys, score) in slice.scored {
+            // Prefer strictly better scores; on (near-)ties prefer
+            // MORE tiles — the paper's DSE "greedily consumes as
+            // many resources as possible, even if there is no
+            // parallelism" (Q4), which is what pushes overlays to
+            // 81-97% LUT occupancy.
+            let better = match &best {
+                None => true,
+                Some((b_sys, b_score)) => {
+                    score > b_score * 1.001 || (score >= b_score * 0.999 && sys.tiles > b_sys.tiles)
+                }
+            };
+            if better {
+                best = Some((sys, score));
             }
         }
     }
@@ -185,7 +228,7 @@ mod tests {
         let placement = Placement::from_prefs(&m);
         let per = vec![(&m, &placement, 1.0)];
         let (sys, score) =
-            system_dse(&adg, &per, &AnalyticModel, &SystemDseConfig::default()).unwrap();
+            system_dse(&adg, &per, &AnalyticModel, &SystemDseConfig::default(), 1).unwrap();
         assert!(score > 0.0);
         // a tiny accelerator tile running a compute-bound kernel should
         // replicate several times
@@ -200,8 +243,8 @@ mod tests {
         let placement = Placement::from_prefs(&m);
         let per = vec![(&m, &placement, 1.0)];
         let cfg = SystemDseConfig::default();
-        let (s_small, _) = system_dse(&small, &per, &AnalyticModel, &cfg).unwrap();
-        let (s_general, _) = system_dse(&general, &per, &AnalyticModel, &cfg).unwrap();
+        let (s_small, _) = system_dse(&small, &per, &AnalyticModel, &cfg, 1).unwrap();
+        let (s_general, _) = system_dse(&general, &per, &AnalyticModel, &cfg, 1).unwrap();
         assert!(s_general.tiles <= 4, "general tiles {}", s_general.tiles);
         assert!(s_small.tiles > s_general.tiles);
     }
@@ -216,7 +259,7 @@ mod tests {
         let placement = Placement::default();
         let per = vec![(&m, &placement, 1.0)];
         let (_, score) =
-            system_dse(&adg, &per, &AnalyticModel, &SystemDseConfig::default()).unwrap();
+            system_dse(&adg, &per, &AnalyticModel, &SystemDseConfig::default(), 1).unwrap();
         let one_tile = overgen_model::estimate_ipc(
             &m,
             &SystemParams {
@@ -249,6 +292,38 @@ mod tests {
             device: tiny_device,
             ..Default::default()
         };
-        assert!(system_dse(&adg, &per, &AnalyticModel, &cfg).is_none());
+        assert!(system_dse(&adg, &per, &AnalyticModel, &cfg, 1).is_none());
+    }
+
+    #[test]
+    fn threaded_sweep_matches_serial() {
+        let adg = mesh(&MeshSpec::default());
+        let m = fir_mdfg(2);
+        let placement = Placement::from_prefs(&m);
+        let per = vec![(&m, &placement, 1.0)];
+        let cfg = SystemDseConfig::default();
+        let serial = system_dse(&adg, &per, &AnalyticModel, &cfg, 1);
+        for threads in [2, 4, 7] {
+            let par = system_dse(&adg, &per, &AnalyticModel, &cfg, threads);
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn custom_grids_restrict_the_search() {
+        let adg = mesh(&MeshSpec::default());
+        let m = fir_mdfg(2);
+        let placement = Placement::from_prefs(&m);
+        let per = vec![(&m, &placement, 1.0)];
+        let cfg = SystemDseConfig {
+            l2_banks_grid: vec![8],
+            l2_kb_grid: vec![512],
+            noc_bw_grid: vec![64],
+            ..Default::default()
+        };
+        let (sys, _) = system_dse(&adg, &per, &AnalyticModel, &cfg, 1).unwrap();
+        assert_eq!(sys.l2_banks, 8);
+        assert_eq!(sys.l2_kb, 512);
+        assert_eq!(sys.noc_bw_bytes, 64);
     }
 }

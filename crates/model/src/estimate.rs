@@ -7,8 +7,10 @@ use crate::resources::{ResourceBreakdown, Resources};
 use crate::synthesis::{features_of, mean_cost, ComponentFeatures};
 
 /// A per-component resource estimator. The DSE queries this instead of
-/// running synthesis (paper §V-D).
-pub trait ResourceModel {
+/// running synthesis (paper §V-D). `Send + Sync` is required so one model
+/// instance can serve the DSE's scoped worker threads through a shared
+/// `&dyn ResourceModel`.
+pub trait ResourceModel: Send + Sync {
     /// Estimate one learned-class component.
     fn component(&self, feats: &ComponentFeatures) -> Resources;
 }

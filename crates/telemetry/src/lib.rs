@@ -44,6 +44,7 @@
 //! When no collector is installed, `span!`/`event!` are cheap no-ops, so
 //! library crates instrument unconditionally and binaries opt in.
 
+pub mod capture;
 pub mod clock;
 pub mod fs;
 pub mod json;
@@ -54,13 +55,16 @@ mod span;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
+pub use capture::{capture, capture_isolated, replay, CapturedTrace};
 pub use clock::{Clock, ClockMode};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use rng::Rng;
 pub use sink::{FileSink, NullSink, RingSink, Sink};
 pub use span::SpanGuard;
+
+use capture::CaptureOp;
 
 use json::Obj;
 
@@ -134,12 +138,20 @@ fn push_fields(mut obj: Obj, fields: &[(&str, FieldValue)]) -> Obj {
     obj
 }
 
+/// Where a collector's events go: straight to a [`Sink`] (stamped with
+/// `seq`/`t` at emit time) or into an in-memory capture buffer to be
+/// re-stamped later by [`replay`].
+enum Backend {
+    Sink(Arc<dyn Sink>),
+    Capture(Mutex<Vec<CaptureOp>>),
+}
+
 /// The telemetry hub: a metrics [`Registry`], a [`Sink`] for JSONL events,
 /// a [`Clock`], and a sequence counter. Shared via `Arc`; installed
 /// per-thread with [`install`].
 pub struct Collector {
     registry: Registry,
-    sink: Arc<dyn Sink>,
+    backend: Backend,
     clock: Clock,
     seq: AtomicU64,
 }
@@ -158,10 +170,29 @@ impl Collector {
     pub fn new(sink: Arc<dyn Sink>, mode: ClockMode) -> Arc<Self> {
         Arc::new(Collector {
             registry: Registry::new(),
-            sink,
+            backend: Backend::Sink(sink),
             clock: Clock::new(mode),
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// A capture collector recording ops instead of stamping lines; shares
+    /// `registry` with its parent so metric updates land directly.
+    pub(crate) fn capture(registry: Registry) -> Arc<Self> {
+        Arc::new(Collector {
+            registry,
+            backend: Backend::Capture(Mutex::new(Vec::new())),
+            clock: Clock::new(ClockMode::Deterministic),
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Drain the capture buffer (empty for sink-backed collectors).
+    pub(crate) fn take_ops(&self) -> Vec<CaptureOp> {
+        match &self.backend {
+            Backend::Sink(_) => Vec::new(),
+            Backend::Capture(ops) => std::mem::take(&mut ops.lock().unwrap()),
+        }
     }
 
     /// Convenience: a deterministic collector plus its in-memory ring, for
@@ -188,22 +219,37 @@ impl Collector {
 
     /// Emit one event line: `{"seq":..,"t":..,"type":kind, ...fields}`.
     pub fn emit(&self, kind: &str, fields: &[(&str, FieldValue)]) {
-        let obj = self.header(kind);
-        self.sink.write_line(&push_fields(obj, fields).finish());
+        match &self.backend {
+            Backend::Sink(sink) => {
+                let obj = self.header(kind);
+                sink.write_line(&push_fields(obj, fields).finish());
+            }
+            Backend::Capture(ops) => ops.lock().unwrap().push(CaptureOp::Event {
+                kind: kind.to_string(),
+                fields: capture::own_fields(fields),
+            }),
+        }
     }
 
     /// Emit a `metrics` event embedding the full registry snapshot.
     pub fn snapshot_metrics(&self) {
-        let line = self
-            .header("metrics")
-            .raw("metrics", &self.registry.snapshot_json())
-            .finish();
-        self.sink.write_line(&line);
+        match &self.backend {
+            Backend::Sink(sink) => {
+                let line = self
+                    .header("metrics")
+                    .raw("metrics", &self.registry.snapshot_json())
+                    .finish();
+                sink.write_line(&line);
+            }
+            Backend::Capture(ops) => ops.lock().unwrap().push(CaptureOp::Metrics),
+        }
     }
 
-    /// Flush the underlying sink.
+    /// Flush the underlying sink (no-op while capturing).
     pub fn flush(&self) {
-        self.sink.flush();
+        if let Backend::Sink(sink) = &self.backend {
+            sink.flush();
+        }
     }
 
     fn header(&self, kind: &str) -> Obj {
@@ -222,13 +268,80 @@ impl Collector {
         end: u64,
         fields: &[(&str, FieldValue)],
     ) {
+        let Backend::Sink(sink) = &self.backend else {
+            debug_assert!(false, "emit_span on a capture collector");
+            return;
+        };
         let obj = self
             .header("span")
             .str("name", name)
             .u64("depth", depth)
             .u64("start", start)
             .u64("dur", end.saturating_sub(start));
-        self.sink.write_line(&push_fields(obj, fields).finish());
+        sink.write_line(&push_fields(obj, fields).finish());
+    }
+
+    /// Span-enter hook: for a sink backend, returns the start timestamp
+    /// (consuming one clock tick); for capture, records the open and
+    /// returns the matching token.
+    pub(crate) fn span_open(&self) -> u64 {
+        match &self.backend {
+            Backend::Sink(_) => self.now(),
+            Backend::Capture(ops) => {
+                let token = capture::next_token();
+                ops.lock().unwrap().push(CaptureOp::SpanOpen { token });
+                token
+            }
+        }
+    }
+
+    /// Span-exit hook; `handle` is whatever [`Collector::span_open`]
+    /// returned for this span.
+    pub(crate) fn span_close(
+        &self,
+        handle: u64,
+        name: &str,
+        depth: u64,
+        fields: &[(&str, FieldValue)],
+    ) {
+        match &self.backend {
+            Backend::Sink(_) => {
+                let end = self.now();
+                self.emit_span(name, depth, handle, end, fields);
+            }
+            Backend::Capture(ops) => ops.lock().unwrap().push(CaptureOp::SpanClose {
+                token: handle,
+                name: name.to_string(),
+                rel_depth: depth,
+                fields: capture::own_fields(fields),
+            }),
+        }
+    }
+
+    /// Replay recorded ops into this collector, rebasing span depths onto
+    /// `base_depth`. Sink backends re-stamp `seq`/`t`; capture backends
+    /// splice the ops into their own buffer (nested capture).
+    pub(crate) fn replay_ops(&self, ops: &[CaptureOp], base_depth: u64) {
+        match &self.backend {
+            Backend::Sink(_) => capture::replay_into_sink(self, ops, base_depth),
+            Backend::Capture(dst) => {
+                let mut dst = dst.lock().unwrap();
+                dst.extend(ops.iter().map(|op| match op {
+                    CaptureOp::SpanClose {
+                        token,
+                        name,
+                        rel_depth,
+                        fields,
+                    } => CaptureOp::SpanClose {
+                        token: *token,
+                        name: name.clone(),
+                        rel_depth: base_depth + rel_depth,
+                        fields: fields.clone(),
+                    },
+                    other => other.clone(),
+                }));
+            }
+        }
     }
 }
 

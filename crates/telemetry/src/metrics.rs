@@ -153,6 +153,19 @@ impl Histogram {
         }
     }
 
+    /// Fold another histogram's samples into this one (bucket-wise add).
+    fn merge_from(&self, other: &Histogram) {
+        for (dst, src) in self.0.buckets.iter().zip(other.0.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.0.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
     /// Approximate percentile (`p` in 0..=100): the lower bound of the
     /// bucket holding the p-th sample. Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -253,6 +266,39 @@ impl Registry {
         obj.finish()
     }
 
+    /// Fold every metric of `other` into this registry by name: counters
+    /// add, histograms merge bucket-wise, gauges take `other`'s value.
+    /// Used to apply a captured evaluation's metric deltas to the run
+    /// registry — both when the evaluation just ran and when a cache hit
+    /// re-applies a stored delta, so hits and misses are indistinguishable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is registered with different metric types in the
+    /// two registries (same invariant as the accessors).
+    pub fn merge_from(&self, other: &Registry) {
+        if Arc::ptr_eq(&self.metrics, &other.metrics) {
+            return;
+        }
+        let src = other.metrics.lock().unwrap();
+        for (name, metric) in src.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    let v = c.get();
+                    if v != 0 {
+                        self.counter(name).add(v);
+                    }
+                }
+                Metric::Gauge(g) => self.gauge(name).set(g.get()),
+                Metric::Histogram(h) => {
+                    if h.count() != 0 {
+                        self.histogram(name).merge_from(h);
+                    }
+                }
+            }
+        }
+    }
+
     /// Current value of a counter by name (0 when absent or not a counter).
     pub fn counter_value(&self, name: &str) -> u64 {
         let m = self.metrics.lock().unwrap();
@@ -349,5 +395,33 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    fn merge_from_folds_all_metric_kinds() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(2);
+        b.counter("c").add(3);
+        b.counter("only_b").inc();
+        b.gauge("g").set(4.5);
+        b.histogram("h").record(7);
+        b.histogram("h").record(100);
+        a.histogram("h").record(1);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("c"), 5);
+        assert_eq!(a.counter_value("only_b"), 1);
+        assert_eq!(a.gauge("g").get(), 4.5);
+        let h = a.histogram("h");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(h.max(), 100);
+        // merging twice adds again (deltas are applied per call)
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("c"), 8);
+        // self-merge is a no-op, not a deadlock
+        let a2 = a.clone();
+        a.merge_from(&a2);
+        assert_eq!(a.counter_value("c"), 8);
     }
 }

@@ -14,6 +14,32 @@ thread_local! {
     static DEPTH: Cell<u64> = const { Cell::new(0) };
 }
 
+/// This thread's current span nesting depth.
+pub(crate) fn current_depth() -> u64 {
+    DEPTH.with(Cell::get)
+}
+
+/// Zeroes this thread's span depth until dropped, so telemetry captured
+/// inline on a coordinating thread nests identically to telemetry captured
+/// on a fresh worker thread (which starts at depth 0).
+pub(crate) struct DepthResetGuard {
+    saved: u64,
+}
+
+impl DepthResetGuard {
+    pub(crate) fn new() -> Self {
+        DepthResetGuard {
+            saved: DEPTH.with(|d| d.replace(0)),
+        }
+    }
+}
+
+impl Drop for DepthResetGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(self.saved));
+    }
+}
+
 /// RAII guard for an open span. Emits the `span` event on drop. A guard
 /// created while no collector is installed is a no-op.
 #[must_use = "a span closes (and is recorded) when its guard drops"]
@@ -25,7 +51,9 @@ struct SpanInner {
     collector: Arc<Collector>,
     name: &'static str,
     depth: u64,
-    start: u64,
+    /// Start timestamp (sink backend) or capture token (capture backend);
+    /// opaque here, interpreted by [`Collector::span_close`].
+    handle: u64,
     fields: Vec<(&'static str, FieldValue)>,
 }
 
@@ -40,13 +68,13 @@ impl SpanGuard {
                     d.set(v + 1);
                     v
                 });
-                let start = collector.now();
+                let handle = collector.span_open();
                 SpanGuard {
                     inner: Some(SpanInner {
                         collector,
                         name,
                         depth,
-                        start,
+                        handle,
                         fields,
                     }),
                 }
@@ -60,10 +88,9 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
             DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-            let end = inner.collector.now();
             inner
                 .collector
-                .emit_span(inner.name, inner.depth, inner.start, end, &inner.fields);
+                .span_close(inner.handle, inner.name, inner.depth, &inner.fields);
         }
     }
 }

@@ -9,10 +9,31 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== release tests (full suite under optimizations) =="
+cargo test -q --release
+
 echo "== formatting =="
 cargo fmt --check
 
 echo "== trace determinism (byte-identical seeded JSONL) =="
 cargo test -q --test telemetry_trace deterministic_trace_is_byte_identical_and_well_formed
+
+echo "== parallel determinism (results + traces invariant in worker count) =="
+# The suite compares threads=1 vs 4 and chains at 1 vs 4 workers internally;
+# running it under both env defaults also covers the bench-harness plumbing.
+OVERGEN_DSE_THREADS=1 cargo test -q --test parallel_determinism
+OVERGEN_DSE_THREADS=4 cargo test -q --test parallel_determinism
+
+echo "== trace diff across worker counts (bench harness end to end) =="
+TRACE_TMP=$(mktemp -d)
+trap 'rm -rf "$TRACE_TMP"' EXIT INT TERM
+OVERGEN_TRACE=1 OVERGEN_DSE_ITERS=10 OVERGEN_RESULTS_DIR="$TRACE_TMP/t1" \
+    OVERGEN_DSE_THREADS=1 cargo run -q --release -p overgen-bench \
+    --bin fig18_incremental >/dev/null
+OVERGEN_TRACE=1 OVERGEN_DSE_ITERS=10 OVERGEN_RESULTS_DIR="$TRACE_TMP/t4" \
+    OVERGEN_DSE_THREADS=4 cargo run -q --release -p overgen-bench \
+    --bin fig18_incremental >/dev/null
+diff "$TRACE_TMP/t1/fig18.trace.jsonl" "$TRACE_TMP/t4/fig18.trace.jsonl" \
+    || { echo "FAIL: traces differ across worker counts"; exit 1; }
 
 echo "ALL CHECKS PASSED"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-1435f11c93c893f6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-1435f11c93c893f6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg_props-0fe07764ba90382e.d: crates/bench/src/bin/dbg_props.rs
+
+/root/repo/target/debug/deps/dbg_props-0fe07764ba90382e: crates/bench/src/bin/dbg_props.rs
+
+crates/bench/src/bin/dbg_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_overall_performance-2ccb773fcdbd4606.d: crates/bench/src/bin/fig13_overall_performance.rs
+
+/root/repo/target/debug/deps/fig13_overall_performance-2ccb773fcdbd4606: crates/bench/src/bin/fig13_overall_performance.rs
+
+crates/bench/src/bin/fig13_overall_performance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_kernel_tuning-10d8f7604c889917.d: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+/root/repo/target/debug/deps/fig14_kernel_tuning-10d8f7604c889917: crates/bench/src/bin/fig14_kernel_tuning.rs
+
+crates/bench/src/bin/fig14_kernel_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_dse_time-b0a9ead946849b69.d: crates/bench/src/bin/fig15_dse_time.rs
+
+/root/repo/target/debug/deps/fig15_dse_time-b0a9ead946849b69: crates/bench/src/bin/fig15_dse_time.rs
+
+crates/bench/src/bin/fig15_dse_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_resource_breakdown-0de3ae57fe7f60bd.d: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+/root/repo/target/debug/deps/fig16_resource_breakdown-0de3ae57fe7f60bd: crates/bench/src/bin/fig16_resource_breakdown.rs
+
+crates/bench/src/bin/fig16_resource_breakdown.rs:

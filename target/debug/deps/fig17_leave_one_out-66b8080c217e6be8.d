@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_leave_one_out-66b8080c217e6be8.d: crates/bench/src/bin/fig17_leave_one_out.rs
+
+/root/repo/target/debug/deps/fig17_leave_one_out-66b8080c217e6be8: crates/bench/src/bin/fig17_leave_one_out.rs
+
+crates/bench/src/bin/fig17_leave_one_out.rs:

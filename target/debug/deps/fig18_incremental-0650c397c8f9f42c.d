@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_incremental-0650c397c8f9f42c.d: crates/bench/src/bin/fig18_incremental.rs
+
+/root/repo/target/debug/deps/fig18_incremental-0650c397c8f9f42c: crates/bench/src/bin/fig18_incremental.rs
+
+crates/bench/src/bin/fig18_incremental.rs:

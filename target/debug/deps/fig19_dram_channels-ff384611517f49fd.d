@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_dram_channels-ff384611517f49fd.d: crates/bench/src/bin/fig19_dram_channels.rs
+
+/root/repo/target/debug/deps/fig19_dram_channels-ff384611517f49fd: crates/bench/src/bin/fig19_dram_channels.rs
+
+crates/bench/src/bin/fig19_dram_channels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_schedule_preserving-f5b671d46256af5d.d: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+/root/repo/target/debug/deps/fig20_schedule_preserving-f5b671d46256af5d: crates/bench/src/bin/fig20_schedule_preserving.rs
+
+crates/bench/src/bin/fig20_schedule_preserving.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/overgen_adg-28f97e6fbae13576.d: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/debug/deps/overgen_adg-28f97e6fbae13576.d: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
-/root/repo/target/debug/deps/overgen_adg-28f97e6fbae13576: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/debug/deps/overgen_adg-28f97e6fbae13576: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
 crates/adg/src/lib.rs:
+crates/adg/src/fingerprint.rs:
 crates/adg/src/graph.rs:
 crates/adg/src/node.rs:
 crates/adg/src/summary.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/overgen_adg-bf4f7a3be8566746.d: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/debug/deps/overgen_adg-bf4f7a3be8566746.d: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
-/root/repo/target/debug/deps/libovergen_adg-bf4f7a3be8566746.rlib: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/debug/deps/libovergen_adg-bf4f7a3be8566746.rlib: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
-/root/repo/target/debug/deps/libovergen_adg-bf4f7a3be8566746.rmeta: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/debug/deps/libovergen_adg-bf4f7a3be8566746.rmeta: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
 crates/adg/src/lib.rs:
+crates/adg/src/fingerprint.rs:
 crates/adg/src/graph.rs:
 crates/adg/src/node.rs:
 crates/adg/src/summary.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/overgen_dse-4b1f9ca2a1d72d7c.d: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/debug/deps/overgen_dse-4b1f9ca2a1d72d7c.d: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
-/root/repo/target/debug/deps/libovergen_dse-4b1f9ca2a1d72d7c.rlib: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/debug/deps/libovergen_dse-4b1f9ca2a1d72d7c.rlib: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
-/root/repo/target/debug/deps/libovergen_dse-4b1f9ca2a1d72d7c.rmeta: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/debug/deps/libovergen_dse-4b1f9ca2a1d72d7c.rmeta: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
 crates/dse/src/lib.rs:
+crates/dse/src/cache.rs:
 crates/dse/src/engine.rs:
+crates/dse/src/pool.rs:
 crates/dse/src/system.rs:
 crates/dse/src/transforms.rs:

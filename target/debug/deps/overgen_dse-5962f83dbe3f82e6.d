@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/overgen_dse-5962f83dbe3f82e6.d: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/debug/deps/overgen_dse-5962f83dbe3f82e6.d: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
-/root/repo/target/debug/deps/overgen_dse-5962f83dbe3f82e6: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/debug/deps/overgen_dse-5962f83dbe3f82e6: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
 crates/dse/src/lib.rs:
+crates/dse/src/cache.rs:
 crates/dse/src/engine.rs:
+crates/dse/src/pool.rs:
 crates/dse/src/system.rs:
 crates/dse/src/transforms.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/overgen_telemetry-07ced524189dcdc2.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/overgen_telemetry-07ced524189dcdc2.d: crates/telemetry/src/lib.rs crates/telemetry/src/capture.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/debug/deps/overgen_telemetry-07ced524189dcdc2: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/debug/deps/overgen_telemetry-07ced524189dcdc2: crates/telemetry/src/lib.rs crates/telemetry/src/capture.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
 crates/telemetry/src/lib.rs:
+crates/telemetry/src/capture.rs:
 crates/telemetry/src/clock.rs:
 crates/telemetry/src/fs.rs:
 crates/telemetry/src/json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-292e17cbe061c360.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-292e17cbe061c360: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_model_training-b64d94fdbbf02da2.d: crates/bench/src/bin/table1_model_training.rs
+
+/root/repo/target/debug/deps/table1_model_training-b64d94fdbbf02da2: crates/bench/src/bin/table1_model_training.rs
+
+crates/bench/src/bin/table1_model_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_workloads-8e87fd37fec41e76.d: crates/bench/src/bin/table2_workloads.rs
+
+/root/repo/target/debug/deps/table2_workloads-8e87fd37fec41e76: crates/bench/src/bin/table2_workloads.rs
+
+crates/bench/src/bin/table2_workloads.rs:

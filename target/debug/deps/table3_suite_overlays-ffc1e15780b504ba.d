@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_suite_overlays-ffc1e15780b504ba.d: crates/bench/src/bin/table3_suite_overlays.rs
+
+/root/repo/target/debug/deps/table3_suite_overlays-ffc1e15780b504ba: crates/bench/src/bin/table3_suite_overlays.rs
+
+crates/bench/src/bin/table3_suite_overlays.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_hls_ii-92c14383b402f280.d: crates/bench/src/bin/table4_hls_ii.rs
+
+/root/repo/target/debug/deps/table4_hls_ii-92c14383b402f280: crates/bench/src/bin/table4_hls_ii.rs
+
+crates/bench/src/bin/table4_hls_ii.rs:

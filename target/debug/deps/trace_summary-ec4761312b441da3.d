@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_summary-ec4761312b441da3.d: crates/bench/src/bin/trace_summary.rs
+
+/root/repo/target/debug/deps/trace_summary-ec4761312b441da3: crates/bench/src/bin/trace_summary.rs
+
+crates/bench/src/bin/trace_summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_workloads_general-0d62c74524df0b0b.d: tests/all_workloads_general.rs
+
+/root/repo/target/release/deps/all_workloads_general-0d62c74524df0b0b: tests/all_workloads_general.rs
+
+tests/all_workloads_general.rs:

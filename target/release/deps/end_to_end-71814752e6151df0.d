@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-71814752e6151df0.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-71814752e6151df0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

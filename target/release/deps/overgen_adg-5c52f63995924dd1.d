@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/overgen_adg-5c52f63995924dd1.d: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/release/deps/overgen_adg-5c52f63995924dd1.d: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
-/root/repo/target/release/deps/libovergen_adg-5c52f63995924dd1.rlib: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/release/deps/libovergen_adg-5c52f63995924dd1.rlib: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
-/root/repo/target/release/deps/libovergen_adg-5c52f63995924dd1.rmeta: crates/adg/src/lib.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
+/root/repo/target/release/deps/libovergen_adg-5c52f63995924dd1.rmeta: crates/adg/src/lib.rs crates/adg/src/fingerprint.rs crates/adg/src/graph.rs crates/adg/src/node.rs crates/adg/src/summary.rs crates/adg/src/system.rs crates/adg/src/topology.rs
 
 crates/adg/src/lib.rs:
+crates/adg/src/fingerprint.rs:
 crates/adg/src/graph.rs:
 crates/adg/src/node.rs:
 crates/adg/src/summary.rs:

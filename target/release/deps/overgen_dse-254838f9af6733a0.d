@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/overgen_dse-254838f9af6733a0.d: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/release/deps/overgen_dse-254838f9af6733a0.d: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
-/root/repo/target/release/deps/libovergen_dse-254838f9af6733a0.rlib: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/release/deps/libovergen_dse-254838f9af6733a0.rlib: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
-/root/repo/target/release/deps/libovergen_dse-254838f9af6733a0.rmeta: crates/dse/src/lib.rs crates/dse/src/engine.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
+/root/repo/target/release/deps/libovergen_dse-254838f9af6733a0.rmeta: crates/dse/src/lib.rs crates/dse/src/cache.rs crates/dse/src/engine.rs crates/dse/src/pool.rs crates/dse/src/system.rs crates/dse/src/transforms.rs
 
 crates/dse/src/lib.rs:
+crates/dse/src/cache.rs:
 crates/dse/src/engine.rs:
+crates/dse/src/pool.rs:
 crates/dse/src/system.rs:
 crates/dse/src/transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overgen_suite-ebebed7a30860e19.d: src/lib.rs
+
+/root/repo/target/release/deps/overgen_suite-ebebed7a30860e19: src/lib.rs
+
+src/lib.rs:

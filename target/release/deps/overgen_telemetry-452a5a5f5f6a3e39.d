@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/overgen_telemetry-452a5a5f5f6a3e39.d: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/overgen_telemetry-452a5a5f5f6a3e39.d: crates/telemetry/src/lib.rs crates/telemetry/src/capture.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/release/deps/libovergen_telemetry-452a5a5f5f6a3e39.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libovergen_telemetry-452a5a5f5f6a3e39.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/capture.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
-/root/repo/target/release/deps/libovergen_telemetry-452a5a5f5f6a3e39.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
+/root/repo/target/release/deps/libovergen_telemetry-452a5a5f5f6a3e39.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/capture.rs crates/telemetry/src/clock.rs crates/telemetry/src/fs.rs crates/telemetry/src/json.rs crates/telemetry/src/metrics.rs crates/telemetry/src/rng.rs crates/telemetry/src/sink.rs crates/telemetry/src/span.rs
 
 crates/telemetry/src/lib.rs:
+crates/telemetry/src/capture.rs:
 crates/telemetry/src/clock.rs:
 crates/telemetry/src/fs.rs:
 crates/telemetry/src/json.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_determinism-bb25a097735390a7.d: tests/parallel_determinism.rs
+
+/root/repo/target/release/deps/parallel_determinism-bb25a097735390a7: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

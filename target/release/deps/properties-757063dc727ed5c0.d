@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-757063dc727ed5c0.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-757063dc727ed5c0: tests/properties.rs
+
+tests/properties.rs:

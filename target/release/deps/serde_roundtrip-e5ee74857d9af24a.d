@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_roundtrip-e5ee74857d9af24a.d: tests/serde_roundtrip.rs
+
+/root/repo/target/release/deps/serde_roundtrip-e5ee74857d9af24a: tests/serde_roundtrip.rs
+
+tests/serde_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_trace-056fc06df4e59836.d: tests/telemetry_trace.rs
+
+/root/repo/target/release/deps/telemetry_trace-056fc06df4e59836: tests/telemetry_trace.rs
+
+tests/telemetry_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fir_dse-e2c3c95a6dc79310.d: examples/fir_dse.rs
+
+/root/repo/target/release/examples/fir_dse-e2c3c95a6dc79310: examples/fir_dse.rs
+
+examples/fir_dse.rs:

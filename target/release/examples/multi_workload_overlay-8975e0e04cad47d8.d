@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_workload_overlay-8975e0e04cad47d8.d: examples/multi_workload_overlay.rs
+
+/root/repo/target/release/examples/multi_workload_overlay-8975e0e04cad47d8: examples/multi_workload_overlay.rs
+
+examples/multi_workload_overlay.rs:

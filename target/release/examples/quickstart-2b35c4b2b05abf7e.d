@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2b35c4b2b05abf7e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2b35c4b2b05abf7e: examples/quickstart.rs
+
+examples/quickstart.rs:

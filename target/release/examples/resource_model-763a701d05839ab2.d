@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resource_model-763a701d05839ab2.d: examples/resource_model.rs
+
+/root/repo/target/release/examples/resource_model-763a701d05839ab2: examples/resource_model.rs
+
+examples/resource_model.rs:

@@ -1,165 +1,425 @@
-// Gated: requires the `proptest-tests` feature AND restoring the proptest
-// dev-dependency in the root Cargo.toml (removed for offline builds).
-#![cfg(feature = "proptest-tests")]
+//! Property-based tests over the core pipeline, driven by the in-tree
+//! deterministic PRNG (`overgen_telemetry::Rng`) so they run with zero
+//! external dependencies. The original `proptest` versions live in the
+//! feature-gated module at the bottom.
 
-//! Property-based tests over the core pipeline: randomly generated
-//! kernels and fabrics must never break the compile -> schedule ->
-//! simulate invariants.
+use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
-use overgen_adg::{mesh, AdgSummary, MeshSpec, SysAdg, SystemParams};
-use overgen_compiler::{compile_variants, lower, CompileOptions, LowerChoices};
-use overgen_ir::{expr, AffineExpr, DataType, Kernel, KernelBuilder, Suite};
-use overgen_scheduler::schedule;
-use overgen_sim::{simulate, SimConfig};
+use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
+use overgen_compiler::{lower, CompileOptions, LowerChoices};
+use overgen_dse::{random_mutation, Dse, DseConfig, TransformCtx};
+use overgen_ir::{expr, DataType, Kernel, KernelBuilder, Suite};
+use overgen_mdfg::Mdfg;
+use overgen_scheduler::{repair, schedule, RepairOutcome, Schedule};
+use overgen_telemetry::Rng;
 
 /// A random but well-formed elementwise kernel.
-fn arb_kernel() -> impl Strategy<Value = Kernel> {
-    (
-        1u64..=4096, // n
-        0usize..3,   // op shape selector
-        prop_oneof![
-            Just(DataType::I16),
-            Just(DataType::I64),
-            Just(DataType::F64)
-        ],
-        any::<bool>(), // accumulate
-    )
-        .prop_map(|(n, shape, dtype, accum)| {
-            let n = n.max(4);
-            let value = match shape {
-                0 => expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
-                1 => expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i")),
-                _ => {
-                    expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i"))
-                        + expr::load("a", expr::idx("i"))
-                }
-            };
-            let b = KernelBuilder::new("rand", Suite::Dsp, dtype)
-                .array_input("a", n)
-                .array_input("b", n)
-                .array_output("c", n)
-                .loop_const("i", n);
-            let b = if accum {
-                b.accum("c", expr::idx("i"), value)
-            } else {
-                b.assign("c", expr::idx("i"), value)
-            };
-            b.build().expect("generated kernel is well formed")
-        })
+fn arb_kernel(rng: &mut Rng, tag: usize) -> Kernel {
+    let n = rng.gen_range(4u64..=4096);
+    let shape = rng.gen_range(0usize..3);
+    let dtype = match rng.gen_range(0usize..3) {
+        0 => DataType::I16,
+        1 => DataType::I64,
+        _ => DataType::F64,
+    };
+    let accum = rng.gen_bool(0.5);
+    let value = match shape {
+        0 => expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+        1 => expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i")),
+        _ => {
+            expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i"))
+                + expr::load("a", expr::idx("i"))
+        }
+    };
+    let name = format!("rand{tag}");
+    let b = KernelBuilder::new(&name, Suite::Dsp, dtype)
+        .array_input("a", n)
+        .array_input("b", n)
+        .array_output("c", n)
+        .loop_const("i", n);
+    let b = if accum {
+        b.accum("c", expr::idx("i"), value)
+    } else {
+        b.assign("c", expr::idx("i"), value)
+    };
+    b.build().expect("generated kernel is well formed")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn compile_variants_always_validate(k in arb_kernel()) {
-        let vs = compile_variants(&k, &CompileOptions::default()).unwrap();
-        prop_assert!(!vs.is_empty());
-        for v in &vs {
-            v.validate().unwrap();
-            // unrolls never exceed the innermost trip count
-            prop_assert!(u64::from(v.unroll()) <= k.nest().innermost().unwrap().trip.max());
-            // firing count covers the iteration space
-            prop_assert!(v.firings() * f64::from(v.unroll()) >= k.total_iterations());
+/// The invariants any schedule must uphold against the hardware it claims
+/// to map onto: complete assignment onto live nodes, exclusive PEs, routes
+/// that start/end at assigned nodes and walk real edges.
+fn assert_schedule_valid(sched: &Schedule, mdfg: &Mdfg, sys: &SysAdg) {
+    assert_eq!(sched.assignment.len(), mdfg.node_count());
+    for hw in sched.assignment.values() {
+        assert!(sys.adg.contains(*hw), "assignment onto dead node");
+    }
+    let mut pes = std::collections::BTreeSet::new();
+    for (mid, hw) in &sched.assignment {
+        if mdfg.node(*mid).unwrap().as_inst().is_some() {
+            assert!(pes.insert(*hw), "PE shared by two instructions");
         }
     }
+    for ((src, dst), path) in &sched.routes {
+        assert_eq!(path[0], sched.assignment[src]);
+        assert_eq!(*path.last().unwrap(), sched.assignment[dst]);
+        for w in path.windows(2) {
+            assert!(sys.adg.has_edge(w[0], w[1]), "route uses missing edge");
+        }
+    }
+}
 
-    #[test]
-    fn schedule_assignments_are_exclusive_and_complete(k in arb_kernel()) {
+/// The mapping portion of a schedule (everything except the re-scorable
+/// performance estimate).
+fn mapping_of(s: &Schedule) -> impl PartialEq + std::fmt::Debug + '_ {
+    (
+        &s.mdfg_name,
+        s.variant,
+        &s.assignment,
+        &s.stream_engines,
+        &s.routes,
+        &s.placement,
+    )
+}
+
+#[test]
+fn repair_on_unchanged_hardware_is_intact_and_identical() {
+    let mut rng = Rng::seed_from_u64(0x9E37);
+    let mut exercised = 0;
+    for tag in 0..24 {
+        let k = arb_kernel(&mut rng, tag);
         let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
-        let sched = match schedule(&mdfg, &sys, None) {
-            Ok(s) => s,
-            Err(_) => return Ok(()), // not all random kernels fit; that is legal
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Ok(prior) = schedule(&mdfg, &sys, None) else {
+            continue; // not every random kernel fits; that is legal
         };
-        // every mdfg node assigned to live hardware
-        prop_assert_eq!(sched.assignment.len(), mdfg.node_count());
-        for hw in sched.assignment.values() {
-            prop_assert!(sys.adg.contains(*hw));
+        let (repaired, outcome) = repair(&prior, &mdfg, &sys).expect("intact prior must repair");
+        assert_eq!(outcome, RepairOutcome::Intact);
+        assert_eq!(
+            repaired, prior,
+            "re-scoring unchanged hardware must be a no-op"
+        );
+        exercised += 1;
+    }
+    assert!(exercised >= 12, "only {exercised} kernels scheduled");
+}
+
+#[test]
+fn repair_after_mutations_yields_valid_schedules() {
+    let mut rng = Rng::seed_from_u64(0xDA7A);
+    let mut repaired_some = 0;
+    for tag in 0..24 {
+        let k = arb_kernel(&mut rng, tag);
+        let cap_pool = Dse::cap_pool(&[k.clone()]);
+        let base = mesh(&MeshSpec::general());
+        let sys = SysAdg::new(base.clone(), SystemParams::default());
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Ok(prior) = schedule(&mdfg, &sys, None) else {
+            continue;
+        };
+
+        // Mutate the hardware the way the annealer does, keeping the
+        // schedule list updated by preserving transforms.
+        let mut adg = base;
+        let mut schedules = vec![prior];
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let preserving = rng.gen_bool(0.7);
+            let mut ctx = TransformCtx {
+                cap_pool: &cap_pool,
+                schedules: &mut schedules,
+                preserving,
+            };
+            random_mutation(&mut adg, &mut ctx, &mut rng);
         }
-        // dedicated PEs: no two instructions share one
-        let mut pes = std::collections::BTreeSet::new();
-        for (mid, hw) in &sched.assignment {
-            if mdfg.node(*mid).unwrap().as_inst().is_some() {
-                prop_assert!(pes.insert(*hw), "PE shared by two instructions");
-            }
+        let prior = schedules.pop().unwrap();
+        let mutated = SysAdg::new(adg, SystemParams::default());
+        if mutated.validate().is_err() {
+            continue;
         }
-        // routes start/end at assigned nodes and use real edges
-        for ((src, dst), path) in &sched.routes {
-            prop_assert_eq!(path[0], sched.assignment[src]);
-            prop_assert_eq!(*path.last().unwrap(), sched.assignment[dst]);
-            for w in path.windows(2) {
-                prop_assert!(sys.adg.has_edge(w[0], w[1]));
+
+        match repair(&prior, &mdfg, &mutated) {
+            Ok((s, RepairOutcome::Intact)) => {
+                // Intact = every placement decision survived; routes may
+                // still be re-found when a mutation opens a better path.
+                assert_eq!(s.mdfg_name, prior.mdfg_name);
+                assert_eq!(s.variant, prior.variant);
+                assert_eq!(s.assignment, prior.assignment);
+                assert_eq!(s.stream_engines, prior.stream_engines);
+                assert_eq!(s.placement, prior.placement);
+                assert_schedule_valid(&s, &mdfg, &mutated);
+                repaired_some += 1;
             }
+            Ok((s, RepairOutcome::Repaired { moved })) => {
+                // `moved` counts assignment changes; a zero-move repair is
+                // legal (e.g. only a route lost an edge) but must still
+                // have rewritten *something* in the mapping.
+                if moved == 0 {
+                    assert!(
+                        mapping_of(&s) != mapping_of(&prior),
+                        "Repaired outcome left the mapping untouched"
+                    );
+                }
+                assert_schedule_valid(&s, &mdfg, &mutated);
+                repaired_some += 1;
+            }
+            Err(_) => {} // mutation broke the mapping beyond repair; legal
         }
     }
+    assert!(repaired_some >= 8, "only {repaired_some} repairs exercised");
+}
 
-    #[test]
-    fn simulation_terminates_and_conserves_work(k in arb_kernel()) {
-        let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
-        let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
-        let sched = match schedule(&mdfg, &sys, None) {
-            Ok(s) => s,
-            Err(_) => return Ok(()),
+#[test]
+fn cached_evaluations_equal_fresh_evaluations() {
+    // Identical configs except for the cache must walk identical
+    // trajectories and land on bit-identical results: a cache hit is
+    // observationally a fresh evaluation.
+    let mut rng = Rng::seed_from_u64(0xCAC4E);
+    for tag in 0..3 {
+        let k = arb_kernel(&mut rng, tag);
+        let mk_cfg = |cache: bool| DseConfig {
+            iterations: 8,
+            seed: 0xBEEF + tag as u64,
+            cache,
+            compile: CompileOptions {
+                max_unroll: 4,
+                ..Default::default()
+            },
+            ..Default::default()
         };
-        let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
-        prop_assert!(!r.truncated);
-        // all firings delivered for this tile's share
-        let tiles = u64::from(sys.sys.tiles);
-        let expect = (mdfg.firings() as u64).div_ceil(tiles);
-        prop_assert_eq!(r.firings, expect);
-        // IPC is bounded by the theoretical peak
-        prop_assert!(r.ipc <= mdfg.insts_per_firing() * tiles as f64 + 1e-9);
+        let on = Dse::new(vec![k.clone()], mk_cfg(true)).run().unwrap();
+        let off = Dse::new(vec![k], mk_cfg(false)).run().unwrap();
+        assert_eq!(on.objective.to_bits(), off.objective.to_bits());
+        assert_eq!(on.history, off.history);
+        assert_eq!(on.variants, off.variants);
+        assert_eq!(on.schedules, off.schedules);
+        assert_eq!(
+            on.sys_adg.fingerprint(),
+            off.sys_adg.fingerprint(),
+            "cache changed the chosen hardware"
+        );
+        assert_eq!((off.stats.cache_hits, off.stats.cache_misses), (0, 0));
+    }
+}
+
+#[test]
+fn dse_stats_account_every_cache_lookup() {
+    let mut rng = Rng::seed_from_u64(0x10CA);
+    let k = arb_kernel(&mut rng, 99);
+    let cfg = DseConfig {
+        iterations: 12,
+        compile: CompileOptions {
+            max_unroll: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let r = Dse::new(vec![k], cfg).run().unwrap();
+    // one lookup per annealing iteration plus the seed evaluation(s)
+    assert!(r.stats.cache_hits + r.stats.cache_misses >= r.stats.iterations + 1);
+    assert!(r.stats.cache_misses >= 1);
+}
+
+/// A prior schedule for workload maps survives round-tripping through the
+/// DSE result: every returned schedule satisfies the validity invariants
+/// on the returned hardware.
+#[test]
+fn dse_results_carry_valid_schedules() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    let k = arb_kernel(&mut rng, 7);
+    let cfg = DseConfig {
+        iterations: 6,
+        compile: CompileOptions {
+            max_unroll: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let r = Dse::new(vec![k], cfg).run().unwrap();
+    let by_variant: BTreeMap<&String, u32> = r.variants.iter().map(|(k, v)| (k, *v)).collect();
+    for (name, sched) in &r.schedules {
+        let variant = by_variant[name];
+        let mdfg = r.mdfgs[name]
+            .iter()
+            .find(|m| m.variant() == variant)
+            .expect("chosen variant exists");
+        assert_schedule_valid(sched, mdfg, &r.sys_adg);
+    }
+}
+
+// Gated: requires the `proptest-tests` feature AND restoring the proptest
+// dev-dependency in the root Cargo.toml (removed for offline builds).
+#[cfg(feature = "proptest-tests")]
+mod with_proptest {
+    use proptest::prelude::*;
+
+    use overgen_adg::{mesh, AdgSummary, MeshSpec, SysAdg, SystemParams};
+    use overgen_compiler::{compile_variants, lower, CompileOptions, LowerChoices};
+    use overgen_ir::{expr, AffineExpr, DataType, Kernel, KernelBuilder, Suite};
+    use overgen_scheduler::schedule;
+    use overgen_sim::{simulate, SimConfig};
+
+    /// A random but well-formed elementwise kernel.
+    fn arb_kernel() -> impl Strategy<Value = Kernel> {
+        (
+            1u64..=4096, // n
+            0usize..3,   // op shape selector
+            prop_oneof![
+                Just(DataType::I16),
+                Just(DataType::I64),
+                Just(DataType::F64)
+            ],
+            any::<bool>(), // accumulate
+        )
+            .prop_map(|(n, shape, dtype, accum)| {
+                let n = n.max(4);
+                let value = match shape {
+                    0 => expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+                    1 => expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i")),
+                    _ => {
+                        expr::load("a", expr::idx("i")) * expr::load("b", expr::idx("i"))
+                            + expr::load("a", expr::idx("i"))
+                    }
+                };
+                let b = KernelBuilder::new("rand", Suite::Dsp, dtype)
+                    .array_input("a", n)
+                    .array_input("b", n)
+                    .array_output("c", n)
+                    .loop_const("i", n);
+                let b = if accum {
+                    b.accum("c", expr::idx("i"), value)
+                } else {
+                    b.assign("c", expr::idx("i"), value)
+                };
+                b.build().expect("generated kernel is well formed")
+            })
     }
 
-    #[test]
-    fn affine_range_contains_samples(
-        c0 in -50i64..50,
-        c1 in -4i64..4,
-        c2 in -4i64..4,
-        n1 in 1u64..40,
-        n2 in 1u64..40,
-    ) {
-        let e = AffineExpr::var("x").scaled(c1) + AffineExpr::var("y").scaled(c2);
-        let e = e.offset(c0);
-        let extent = |v: &str| -> Option<u64> {
-            match v { "x" => Some(n1), "y" => Some(n2), _ => None }
-        };
-        let (lo, hi) = e.value_range(&extent);
-        for x in [0, (n1 - 1) / 2, n1 - 1] {
-            for y in [0, (n2 - 1) / 2, n2 - 1] {
-                let mut env = std::collections::BTreeMap::new();
-                env.insert("x".to_string(), x as i64);
-                env.insert("y".to_string(), y as i64);
-                let v = e.eval(&env);
-                prop_assert!(v >= lo && v <= hi, "{v} outside [{lo},{hi}]");
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn compile_variants_always_validate(k in arb_kernel()) {
+            let vs = compile_variants(&k, &CompileOptions::default()).unwrap();
+            prop_assert!(!vs.is_empty());
+            for v in &vs {
+                v.validate().unwrap();
+                // unrolls never exceed the innermost trip count
+                prop_assert!(u64::from(v.unroll()) <= k.nest().innermost().unwrap().trip.max());
+                // firing count covers the iteration space
+                prop_assert!(v.firings() * f64::from(v.unroll()) >= k.total_iterations());
             }
         }
-    }
 
-    #[test]
-    fn mesh_specs_always_build_valid_graphs(
-        rows in 1usize..5,
-        cols in 1usize..6,
-        in_ports in 1usize..8,
-        out_ports in 1usize..6,
-        width in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)],
-    ) {
-        let spec = MeshSpec {
-            rows,
-            cols,
-            in_ports,
-            out_ports,
-            port_width_bytes: width,
-            ..MeshSpec::default()
-        };
-        let adg = mesh(&spec);
-        adg.validate().unwrap();
-        let s = AdgSummary::of(&adg);
-        prop_assert_eq!(s.pes, rows * cols);
-        prop_assert_eq!(s.switches, (rows + 1) * (cols + 1));
-        prop_assert_eq!(s.in_port_bw, in_ports as u64 * u64::from(width));
+        #[test]
+        fn schedule_assignments_are_exclusive_and_complete(k in arb_kernel()) {
+            let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+            let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+            let sched = match schedule(&mdfg, &sys, None) {
+                Ok(s) => s,
+                Err(_) => return Ok(()), // not all random kernels fit; that is legal
+            };
+            // every mdfg node assigned to live hardware
+            prop_assert_eq!(sched.assignment.len(), mdfg.node_count());
+            for hw in sched.assignment.values() {
+                prop_assert!(sys.adg.contains(*hw));
+            }
+            // dedicated PEs: no two instructions share one
+            let mut pes = std::collections::BTreeSet::new();
+            for (mid, hw) in &sched.assignment {
+                if mdfg.node(*mid).unwrap().as_inst().is_some() {
+                    prop_assert!(pes.insert(*hw), "PE shared by two instructions");
+                }
+            }
+            // routes start/end at assigned nodes and use real edges
+            for ((src, dst), path) in &sched.routes {
+                prop_assert_eq!(path[0], sched.assignment[src]);
+                prop_assert_eq!(*path.last().unwrap(), sched.assignment[dst]);
+                for w in path.windows(2) {
+                    prop_assert!(sys.adg.has_edge(w[0], w[1]));
+                }
+            }
+        }
+
+        #[test]
+        fn simulation_terminates_and_conserves_work(k in arb_kernel()) {
+            let sys = SysAdg::new(mesh(&MeshSpec::general()), SystemParams::default());
+            let mdfg = lower(&k, 0, &LowerChoices { unroll: 2, ..Default::default() }).unwrap();
+            let sched = match schedule(&mdfg, &sys, None) {
+                Ok(s) => s,
+                Err(_) => return Ok(()),
+            };
+            let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
+            prop_assert!(!r.truncated);
+            // all firings delivered for this tile's share
+            let tiles = u64::from(sys.sys.tiles);
+            let expect = (mdfg.firings() as u64).div_ceil(tiles);
+            prop_assert_eq!(r.firings, expect);
+            // IPC is bounded by the theoretical peak
+            prop_assert!(r.ipc <= mdfg.insts_per_firing() * tiles as f64 + 1e-9);
+        }
+
+        #[test]
+        fn affine_range_contains_samples(
+            c0 in -50i64..50,
+            c1 in -4i64..4,
+            c2 in -4i64..4,
+            n1 in 1u64..40,
+            n2 in 1u64..40,
+        ) {
+            let e = AffineExpr::var("x").scaled(c1) + AffineExpr::var("y").scaled(c2);
+            let e = e.offset(c0);
+            let extent = |v: &str| -> Option<u64> {
+                match v { "x" => Some(n1), "y" => Some(n2), _ => None }
+            };
+            let (lo, hi) = e.value_range(&extent);
+            for x in [0, (n1 - 1) / 2, n1 - 1] {
+                for y in [0, (n2 - 1) / 2, n2 - 1] {
+                    let mut env = std::collections::BTreeMap::new();
+                    env.insert("x".to_string(), x as i64);
+                    env.insert("y".to_string(), y as i64);
+                    let v = e.eval(&env);
+                    prop_assert!(v >= lo && v <= hi, "{v} outside [{lo},{hi}]");
+                }
+            }
+        }
+
+        #[test]
+        fn mesh_specs_always_build_valid_graphs(
+            rows in 1usize..5,
+            cols in 1usize..6,
+            in_ports in 1usize..8,
+            out_ports in 1usize..6,
+            width in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)],
+        ) {
+            let spec = MeshSpec {
+                rows,
+                cols,
+                in_ports,
+                out_ports,
+                port_width_bytes: width,
+                ..MeshSpec::default()
+            };
+            let adg = mesh(&spec);
+            adg.validate().unwrap();
+            let s = AdgSummary::of(&adg);
+            prop_assert_eq!(s.pes, rows * cols);
+            prop_assert_eq!(s.switches, (rows + 1) * (cols + 1));
+            prop_assert_eq!(s.in_port_bw, in_ports as u64 * u64::from(width));
+        }
     }
 }

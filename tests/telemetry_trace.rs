@@ -27,7 +27,7 @@ fn traced_run() -> (String, DseStats, DseStats) {
         },
         ..Default::default()
     };
-    let result = Dse::new(domain.clone(), cfg).run();
+    let result = Dse::new(domain.clone(), cfg).run().unwrap();
     let stats = result.stats;
 
     // Exercise the simulator under the same collector.
@@ -45,6 +45,8 @@ fn traced_run() -> (String, DseStats, DseStats) {
         full_schedules: r.counter_value("dse.full_schedules") as usize,
         repairs: r.counter_value("dse.repairs") as usize,
         intact: r.counter_value("dse.intact") as usize,
+        cache_hits: r.counter_value("dse.cache.hit") as usize,
+        cache_misses: r.counter_value("dse.cache.miss") as usize,
     };
     (ring.to_jsonl(), stats, registry_view)
 }

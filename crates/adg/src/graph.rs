@@ -259,30 +259,25 @@ impl Adg {
     pub fn validate(&self) -> Result<(), AdgError> {
         for (id, n) in self.nodes() {
             match n.kind() {
-                NodeKind::InPort => {
+                NodeKind::InPort
                     if !self
                         .preds(id)
                         .iter()
-                        .any(|p| self.kind(*p).is_some_and(NodeKind::is_engine))
-                    {
-                        return Err(AdgError::Invalid(format!(
-                            "input port {id} has no feeding stream engine"
-                        )));
-                    }
+                        .any(|p| self.kind(*p).is_some_and(NodeKind::is_engine)) =>
+                {
+                    return Err(AdgError::Invalid(format!(
+                        "input port {id} has no feeding stream engine"
+                    )));
                 }
-                NodeKind::OutPort => {
-                    if self.succs(id).is_empty() {
-                        return Err(AdgError::Invalid(format!(
-                            "output port {id} has no draining stream engine"
-                        )));
-                    }
+                NodeKind::OutPort if self.succs(id).is_empty() => {
+                    return Err(AdgError::Invalid(format!(
+                        "output port {id} has no draining stream engine"
+                    )));
                 }
-                NodeKind::Pe | NodeKind::Switch => {
-                    if self.radix(id) == 0 {
-                        return Err(AdgError::Invalid(format!(
-                            "fabric node {id} is disconnected"
-                        )));
-                    }
+                NodeKind::Pe | NodeKind::Switch if self.radix(id) == 0 => {
+                    return Err(AdgError::Invalid(format!(
+                        "fabric node {id} is disconnected"
+                    )));
                 }
                 _ => {}
             }

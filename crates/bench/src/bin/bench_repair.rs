@@ -1,0 +1,9 @@
+//! Benchmarks the incremental repair fast path against full re-placement
+//! and records the speedup in `results/BENCH_repair.json`.
+
+fn main() {
+    overgen_bench::run_experiment("repair", || {
+        let report = overgen_bench::experiments::repair::run();
+        overgen_bench::experiments::repair::render(&report)
+    });
+}

@@ -37,7 +37,7 @@ pub fn run() -> Vec<Curves> {
                 let mut runs: Vec<_> = (0..SEEDS)
                     .map(|i| {
                         let mut cfg =
-                            dse_config(dse_iters(), seed() ^ 0xF16_20 ^ suite as u64 ^ (i << 8));
+                            dse_config(dse_iters(), seed() ^ 0xF1620 ^ suite as u64 ^ (i << 8));
                         cfg.schedule_preserving = preserving;
                         Dse::new(domain.clone(), cfg)
                             .run()

@@ -67,6 +67,18 @@ pub fn dse_chains() -> usize {
         .max(1)
 }
 
+/// Incremental repair fast path (env `OVERGEN_REPAIR`, default on).
+/// `OVERGEN_REPAIR=0` switches every eligible repair into verification
+/// mode: a silent full placement asserted equal to the fast
+/// reconstruction. Results, counters, and traces are byte-identical in
+/// both modes — the determinism gate in `scripts/check.sh` diffs them.
+pub fn repair_enabled() -> bool {
+    !matches!(
+        std::env::var("OVERGEN_REPAIR").as_deref(),
+        Ok("0") | Ok("false") | Ok("no")
+    )
+}
+
 /// Directory experiment artifacts land in (env `OVERGEN_RESULTS_DIR`,
 /// default `results`).
 pub fn results_dir() -> PathBuf {
@@ -157,6 +169,7 @@ pub fn dse_config(iterations: usize, seed: u64) -> DseConfig {
         mutations_per_step: 2,
         threads: dse_threads(),
         chains: dse_chains(),
+        repair: repair_enabled(),
         ..Default::default()
     }
 }
@@ -175,7 +188,7 @@ pub fn suite_overlay(suite: Suite) -> Overlay {
 /// Generate a workload-specialised overlay.
 pub fn workload_overlay(kernel: &Kernel) -> Overlay {
     generate(
-        &[kernel.clone()],
+        std::slice::from_ref(kernel),
         &GenerateConfig {
             dse: dse_config(dse_iters(), seed() ^ hash_name(kernel.name())),
         },

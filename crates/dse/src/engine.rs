@@ -27,7 +27,7 @@ use overgen_compiler::{compile_variants, CompileOptions};
 use overgen_ir::{Expr, FuCap, Kernel, Op};
 use overgen_mdfg::Mdfg;
 use overgen_model::{accelerator_resources, AnalyticModel, Placement, ResourceModel, TimeModel};
-use overgen_scheduler::{repair, schedule, RepairOutcome, Schedule};
+use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint};
 
 use crate::cache::{hash_placement, hash_schedule, Memo};
 use crate::pool::fan_out;
@@ -66,6 +66,12 @@ pub struct DseConfig {
     pub exchange_interval: usize,
     /// Memoize evaluations and system-DSE winners by ADG fingerprint.
     pub cache: bool,
+    /// Take the incremental repair fast path when a mutation's dirty set is
+    /// empty (the default). When `false` (env `OVERGEN_REPAIR=0` in the
+    /// bench harness), eligible repairs run a silent full placement and
+    /// assert it equals the fast reconstruction — results, counters, and
+    /// traces must be byte-identical in both modes.
+    pub repair: bool,
 }
 
 impl Default for DseConfig {
@@ -82,6 +88,7 @@ impl Default for DseConfig {
             chains: 1,
             exchange_interval: 25,
             cache: true,
+            repair: true,
         }
     }
 }
@@ -136,6 +143,11 @@ pub struct DseStats {
     pub cache_hits: usize,
     /// Evaluations computed fresh (distinct design points visited).
     pub cache_misses: usize,
+    /// Repairs resolved on the incremental fast path (empty dirty set — no
+    /// placement search ran).
+    pub repair_fast: usize,
+    /// Repairs that fell back to a seeded full placement.
+    pub repair_fallback: usize,
 }
 
 /// Live counters on the run registry. Only the values updated *directly*
@@ -179,6 +191,8 @@ fn stat_totals(reg: &Registry) -> DseStats {
         intact: reg.counter_value("dse.intact") as usize,
         cache_hits: reg.counter_value("dse.cache.hit") as usize,
         cache_misses: reg.counter_value("dse.cache.miss") as usize,
+        repair_fast: reg.counter_value("scheduler.repair.fast") as usize,
+        repair_fallback: reg.counter_value("scheduler.repair.fallback") as usize,
     }
 }
 
@@ -193,6 +207,8 @@ fn stat_delta(reg: &Registry, base: &DseStats) -> DseStats {
         intact: now.intact - base.intact,
         cache_hits: now.cache_hits - base.cache_hits,
         cache_misses: now.cache_misses - base.cache_misses,
+        repair_fast: now.repair_fast - base.repair_fast,
+        repair_fallback: now.repair_fallback - base.repair_fallback,
     }
 }
 
@@ -441,7 +457,8 @@ impl Dse {
         let mut seed_sim = 0.0f64;
         let mut widenings = 0usize;
         let seed_state = loop {
-            let (state, sim) = self.evaluate_cached(&cur_adg, &BTreeMap::new(), &rc);
+            let (state, sim) =
+                self.evaluate_cached(&cur_adg, &BTreeMap::new(), ScheduleFootprint::Pure, &rc);
             seed_sim += sim;
             if let Some(s) = state {
                 break s;
@@ -568,6 +585,7 @@ impl Dse {
             let mut prop_adg = st.cur_adg.clone();
             let mut prop_schedules: Vec<Schedule> = st.cur.schedules.values().cloned().collect();
             let mut kinds = String::new();
+            let mut footprint = ScheduleFootprint::Pure;
             {
                 // "ADG* is constructed using a combination of random and
                 // schedule-preserving transformations" (§V-A): preserving
@@ -580,7 +598,8 @@ impl Dse {
                         schedules: &mut prop_schedules,
                         preserving,
                     };
-                    let m = random_mutation(&mut prop_adg, &mut ctx, &mut st.rng);
+                    let (m, fp) = random_mutation(&mut prop_adg, &mut ctx, &mut st.rng);
+                    footprint = footprint.merge(fp);
                     if !kinds.is_empty() {
                         kinds.push(',');
                     }
@@ -594,7 +613,8 @@ impl Dse {
                 "dse.propose",
                 iter = it,
                 temp = temp,
-                mutations = kinds.as_str()
+                mutations = kinds.as_str(),
+                footprint = footprint.name(),
             );
             st.sim_seconds += 0.5; // proposal overhead
 
@@ -602,7 +622,7 @@ impl Dse {
                 .into_iter()
                 .map(|s| (s.mdfg_name.clone(), s))
                 .collect();
-            let (state, sim) = self.evaluate_cached(&prop_adg, &prior, rc);
+            let (state, sim) = self.evaluate_cached(&prop_adg, &prior, footprint, rc);
             st.sim_seconds += sim;
             let Some(prop) = state else {
                 rc.counters.invalid.inc();
@@ -648,11 +668,12 @@ impl Dse {
         &self,
         adg: &Adg,
         prior: &BTreeMap<String, Schedule>,
+        footprint: ScheduleFootprint,
         rc: &RunCtx,
     ) -> (Option<EvalState>, f64) {
         let run = || {
             let (out, trace, registry) =
-                capture_isolated(|| self.evaluate_uncached(adg, prior, rc));
+                capture_isolated(|| self.evaluate_uncached(adg, prior, footprint, rc));
             let (state, sim) = out;
             CachedEval {
                 state,
@@ -665,6 +686,10 @@ impl Dse {
             let mut h = StableHasher::new();
             h.write_u64(rc.cfg_hash);
             adg.fingerprint_into(&mut h);
+            // The footprint is advisory but recorded in repair trace
+            // events, so two proposals that differ only in footprint must
+            // not share a cached trace.
+            h.write_u64(u64::from(footprint.code()));
             h.write_u64(prior.len() as u64);
             for s in prior.values() {
                 hash_schedule(&mut h, s);
@@ -698,6 +723,7 @@ impl Dse {
         &self,
         adg: &Adg,
         prior: &BTreeMap<String, Schedule>,
+        footprint: ScheduleFootprint,
         rc: &RunCtx,
     ) -> (Option<EvalState>, f64) {
         let mut sim = 0.0f64;
@@ -705,7 +731,6 @@ impl Dse {
         if sys_probe.validate().is_err() {
             return (None, sim);
         }
-        let adg_nodes = adg.node_count();
 
         let eval_collector =
             overgen_telemetry::current().expect("evaluate_uncached runs under capture_isolated");
@@ -720,7 +745,7 @@ impl Dse {
         let jobs: Vec<&Kernel> = self.workloads.iter().collect();
         let outs = fan_out(rc.threads, jobs, |k| {
             capture(Some(&eval_collector), || {
-                self.schedule_workload(k, &sys_probe, prior, rc, &counters, adg_nodes)
+                self.schedule_workload(k, &sys_probe, prior, footprint, rc, &counters)
             })
         });
 
@@ -833,33 +858,43 @@ impl Dse {
         )
     }
 
-    /// Schedule one workload: walk its variants, preferring repair of the
-    /// prior schedule, then full scheduling. Returns the chosen (variant,
-    /// schedule) and the simulated seconds spent.
+    /// Schedule one workload: repair the prior schedule's variant first
+    /// (the common path — no placement search when the dirty set is
+    /// empty), then walk the remaining variants with full scheduling only
+    /// if repair proved impossible. Returns the chosen (variant, schedule)
+    /// and the simulated seconds spent.
+    ///
+    /// Simulated-time charges are a pure function of the repair
+    /// *classification* (intact / moved count / reschedule), never of the
+    /// execution path, so `cfg.repair` on/off produces identical `sim`.
     fn schedule_workload(
         &self,
         k: &Kernel,
         sys_probe: &SysAdg,
         prior: &BTreeMap<String, Schedule>,
+        footprint: ScheduleFootprint,
         rc: &RunCtx,
         counters: &EvalCounters,
-        adg_nodes: usize,
     ) -> (Option<(u32, Schedule)>, f64) {
+        let adg_nodes = sys_probe.adg.node_count();
         let mut sim = 0.0f64;
         let name = k.name();
         let Some(vs) = rc.mdfgs.get(name) else {
             return (None, sim);
         };
-        for v in vs {
-            // Prefer repairing the prior schedule when it is for the
-            // same variant.
-            let attempt = match prior.get(name) {
-                Some(p) if p.variant == v.variant() => match repair(p, v, sys_probe) {
+        let opts = RepairOptions {
+            incremental: self.cfg.repair,
+            footprint: Some(footprint),
+        };
+        let mut repair_failed_variant = None;
+        if let Some(p) = prior.get(name) {
+            if let Some(v) = vs.iter().find(|v| v.variant() == p.variant) {
+                match repair_with(p, v, sys_probe, &opts) {
                     Ok((s, RepairOutcome::Intact)) => {
                         counters.intact.inc();
                         event!("dse.repair", workload = name, outcome = "intact");
                         sim += self.time.repair_seconds(2, adg_nodes);
-                        Some(s)
+                        return (Some((v.variant(), s)), sim);
                     }
                     Ok((s, RepairOutcome::Repaired { moved })) => {
                         counters.repairs.inc();
@@ -871,22 +906,27 @@ impl Dse {
                             moved = moved,
                         );
                         sim += self.time.repair_seconds(moved.max(1), adg_nodes);
-                        Some(s)
+                        return (Some((v.variant(), s)), sim);
                     }
                     Err(_) => {
+                        // The fallback already ran (and failed) the seeded
+                        // full placement inside `repair_with`; charge it
+                        // and skip this variant in the walk below.
                         counters.full_schedules.inc();
                         event!("dse.repair", workload = name, outcome = "reschedule");
                         sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
-                        schedule(v, sys_probe, Some(p)).ok()
+                        repair_failed_variant = Some(v.variant());
                     }
-                },
-                _ => {
-                    counters.full_schedules.inc();
-                    sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
-                    schedule(v, sys_probe, None).ok()
                 }
-            };
-            if let Some(s) = attempt {
+            }
+        }
+        for v in vs {
+            if repair_failed_variant == Some(v.variant()) {
+                continue;
+            }
+            counters.full_schedules.inc();
+            sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
+            if let Ok(s) = overgen_scheduler::schedule(v, sys_probe, None) {
                 return (Some((v.variant(), s)), sim);
             }
         }

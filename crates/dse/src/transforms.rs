@@ -5,7 +5,7 @@ use overgen_telemetry::Rng;
 
 use overgen_adg::{Adg, AdgNode, InPortNode, NodeId, NodeKind, OutPortNode, PeNode, SwitchNode};
 use overgen_ir::FuCap;
-use overgen_scheduler::Schedule;
+use overgen_scheduler::{Schedule, ScheduleFootprint};
 
 /// Context a mutation may consult: the capability pool relevant to the
 /// domain and (optionally) the live schedules for preserving transforms.
@@ -76,7 +76,19 @@ impl Mutation {
 
 /// Apply one random mutation to `adg`, preserving schedules when
 /// `ctx.preserving` (routes in `ctx.schedules` are rewritten in place).
-pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+///
+/// Returns what happened plus the mutation's [`ScheduleFootprint`] — the
+/// worst effect this *particular application* can have on the live
+/// schedules (a removal of provably-unused hardware classifies as
+/// [`ScheduleFootprint::RemoveUnused`] even outside preserving mode). The
+/// footprint travels with the proposal into the evaluation cache key and
+/// the repair engine's trace events; repair never trusts it for
+/// correctness.
+pub fn random_mutation(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let choice = rng.gen_range(0..14u32);
     match choice {
         0 => add_pe(adg, ctx, rng),
@@ -87,11 +99,13 @@ pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng)
         5 => remove_edge(adg, ctx, rng),
         6 => add_cap(adg, ctx, rng),
         7 => {
-            if ctx.preserving {
+            let m = if ctx.preserving {
                 capability_pruning(adg, ctx.schedules)
             } else {
                 remove_random_cap(adg, rng)
-            }
+            };
+            let fp = footprint_of(&m, ScheduleFootprint::Attribute);
+            (m, fp)
         }
         8 => resize_port(adg, ctx, rng),
         9 => resize_spad(adg, rng),
@@ -102,10 +116,30 @@ pub fn random_mutation(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng)
     }
 }
 
+/// `applied` unless the mutation degenerated to a no-op.
+fn footprint_of(m: &Mutation, applied: ScheduleFootprint) -> ScheduleFootprint {
+    if *m == Mutation::Noop {
+        ScheduleFootprint::Pure
+    } else {
+        applied
+    }
+}
+
+/// Severity of removing `victim`: [`ScheduleFootprint::RemoveUnused`] when
+/// no live schedule references it, [`ScheduleFootprint::Structural`]
+/// otherwise.
+fn removal_footprint(schedules: &[Schedule], victim: NodeId) -> ScheduleFootprint {
+    if used_nodes(schedules).contains(&victim) {
+        ScheduleFootprint::Structural
+    } else {
+        ScheduleFootprint::RemoveUnused
+    }
+}
+
 /// Add a memory stream engine (scratchpad or extra DMA) wired to every
 /// port — the §IV spatial-memory design space: "multiple smaller
 /// scratchpads or a single unified scratchpad".
-fn add_engine(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn add_engine(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     let node = if rng.gen_bool(0.6) {
         AdgNode::Spad(overgen_adg::SpadNode {
             capacity_kb: [8u32, 16, 32, 64][rng.gen_range(0..4usize)],
@@ -125,16 +159,21 @@ fn add_engine(adg: &mut Adg, rng: &mut Rng) -> Mutation {
     for op in adg.nodes_of_kind(NodeKind::OutPort) {
         let _ = adg.add_edge(op, e);
     }
-    if is_spad {
+    let m = if is_spad {
         Mutation::ResizeSpad
     } else {
         Mutation::ResizeEngineBw
-    }
+    };
+    (m, ScheduleFootprint::Additive)
 }
 
 /// Remove an unused (when preserving) extra engine; always keeps at least
 /// one DMA.
-fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn remove_engine(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let mut engines = adg.nodes_of_kind(NodeKind::Spad);
     let dmas = adg.nodes_of_kind(NodeKind::Dma);
     if dmas.len() > 1 {
@@ -154,10 +193,11 @@ fn remove_engine(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mu
         engines.retain(|e| !used.contains(e));
     }
     let Some(victim) = pick(&engines, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
+    let fp = removal_footprint(ctx.schedules, victim);
     adg.remove_node(victim);
-    Mutation::RemoveEngine
+    (Mutation::RemoveEngine, fp)
 }
 
 fn pick<T: Copy>(v: &[T], rng: &mut Rng) -> Option<T> {
@@ -184,40 +224,49 @@ fn used_edges(schedules: &[Schedule]) -> std::collections::BTreeSet<(NodeId, Nod
     s
 }
 
-fn add_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn add_pe(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let switches = adg.nodes_of_kind(NodeKind::Switch);
     let (Some(sin), Some(sout)) = (pick(&switches, rng), pick(&switches, rng)) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     // Sample 1-4 capabilities from the pool.
     let n = rng.gen_range(1..=4usize.min(ctx.cap_pool.len().max(1)));
     let caps: Vec<FuCap> = (0..n).filter_map(|_| pick(ctx.cap_pool, rng)).collect();
     if caps.is_empty() {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     }
     let pe = adg.add_node(AdgNode::Pe(PeNode::with_caps(caps)));
     let _ = adg.add_edge(sin, pe);
     let _ = adg.add_edge(pe, sout);
-    Mutation::AddPe
+    (Mutation::AddPe, ScheduleFootprint::Additive)
 }
 
-fn remove_pe(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn remove_pe(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let mut pes = adg.nodes_of_kind(NodeKind::Pe);
     if ctx.preserving {
         let used = used_nodes(ctx.schedules);
         pes.retain(|p| !used.contains(p));
     }
     if pes.len() <= 1 {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     }
     let Some(victim) = pick(&pes, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
+    let fp = removal_footprint(ctx.schedules, victim);
     adg.remove_node(victim);
-    Mutation::RemovePe
+    (Mutation::RemovePe, fp)
 }
 
-fn add_switch(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn add_switch(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     // Split a switch-to-switch edge with a new switch.
     let edges: Vec<(NodeId, NodeId)> = adg
         .edges()
@@ -226,28 +275,37 @@ fn add_switch(adg: &mut Adg, rng: &mut Rng) -> Mutation {
         })
         .collect();
     let Some((a, b)) = pick(&edges, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     let sw = adg.add_node(AdgNode::Switch(SwitchNode {}));
     let _ = adg.add_edge(a, sw);
     let _ = adg.add_edge(sw, b);
     // keep the original edge: extra routing flexibility
-    Mutation::AddSwitch
+    (Mutation::AddSwitch, ScheduleFootprint::Additive)
 }
 
-fn remove_switch(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn remove_switch(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let switches = adg.nodes_of_kind(NodeKind::Switch);
     if switches.len() <= 2 {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     }
     let Some(victim) = pick(&switches, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     if ctx.preserving {
-        collapse_node(adg, ctx.schedules, victim)
+        // A collapse patches every route through the victim in place, so
+        // even a *used* switch removal preserves the live schedules.
+        let m = collapse_node(adg, ctx.schedules, victim);
+        let fp = footprint_of(&m, ScheduleFootprint::RemoveUnused);
+        (m, fp)
     } else {
+        let fp = removal_footprint(ctx.schedules, victim);
         adg.remove_node(victim);
-        Mutation::RemoveSwitch
+        (Mutation::RemoveSwitch, fp)
     }
 }
 
@@ -296,7 +354,7 @@ pub fn collapse_node(adg: &mut Adg, schedules: &mut [Schedule], victim: NodeId) 
     Mutation::RemoveSwitch
 }
 
-fn add_edge(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn add_edge(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     let fabric: Vec<NodeId> = adg
         .nodes()
         .filter(|(_, n)| n.kind().is_fabric())
@@ -304,16 +362,20 @@ fn add_edge(adg: &mut Adg, rng: &mut Rng) -> Mutation {
         .collect();
     for _ in 0..8 {
         let (Some(a), Some(b)) = (pick(&fabric, rng), pick(&fabric, rng)) else {
-            return Mutation::Noop;
+            return (Mutation::Noop, ScheduleFootprint::Pure);
         };
         if a != b && adg.add_edge(a, b).is_ok() {
-            return Mutation::AddEdge;
+            return (Mutation::AddEdge, ScheduleFootprint::Additive);
         }
     }
-    Mutation::Noop
+    (Mutation::Noop, ScheduleFootprint::Pure)
 }
 
-fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn remove_edge(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let mut edges: Vec<(NodeId, NodeId)> = adg
         .edges()
         .filter(|(a, b)| {
@@ -325,22 +387,31 @@ fn remove_edge(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Muta
         edges.retain(|e| !used.contains(e));
     }
     let Some((a, b)) = pick(&edges, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
+    };
+    let fp = if used_edges(ctx.schedules).contains(&(a, b)) {
+        ScheduleFootprint::Structural
+    } else {
+        ScheduleFootprint::RemoveUnused
     };
     adg.remove_edge(a, b);
-    Mutation::RemoveEdge
+    (Mutation::RemoveEdge, fp)
 }
 
-fn add_cap(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn add_cap(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let pes = adg.nodes_of_kind(NodeKind::Pe);
     let (Some(pe), Some(cap)) = (pick(&pes, rng), pick(ctx.cap_pool, rng)) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
         p.caps.insert(cap);
-        Mutation::AddCap
+        (Mutation::AddCap, ScheduleFootprint::Attribute)
     } else {
-        Mutation::Noop
+        (Mutation::Noop, ScheduleFootprint::Pure)
     }
 }
 
@@ -405,11 +476,15 @@ fn cheapness(c: &FuCap) -> (u8, u32) {
     (class, c.dtype.bits())
 }
 
-fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Mutation {
+fn resize_port(
+    adg: &mut Adg,
+    ctx: &mut TransformCtx<'_>,
+    rng: &mut Rng,
+) -> (Mutation, ScheduleFootprint) {
     let mut ports = adg.nodes_of_kind(NodeKind::InPort);
     ports.extend(adg.nodes_of_kind(NodeKind::OutPort));
     let Some(port) = pick(&ports, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     let grow = rng.gen_bool(0.5);
     let shrink_blocked = ctx.preserving && used_nodes(ctx.schedules).contains(&port);
@@ -421,18 +496,18 @@ fn resize_port(adg: &mut Adg, ctx: &mut TransformCtx<'_>, rng: &mut Rng) -> Muta
             } else if !shrink_blocked && *width_bytes > 2 {
                 *width_bytes /= 2;
             } else {
-                return Mutation::Noop;
+                return (Mutation::Noop, ScheduleFootprint::Pure);
             }
-            Mutation::ResizePort
+            (Mutation::ResizePort, ScheduleFootprint::Attribute)
         }
-        _ => Mutation::Noop,
+        _ => (Mutation::Noop, ScheduleFootprint::Pure),
     }
 }
 
-fn resize_spad(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn resize_spad(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     let spads = adg.nodes_of_kind(NodeKind::Spad);
     let Some(sp) = pick(&spads, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     let grow = rng.gen_bool(0.5);
     if let Some(AdgNode::Spad(s)) = adg.node_mut(sp) {
@@ -444,19 +519,19 @@ fn resize_spad(adg: &mut Adg, rng: &mut Rng) -> Mutation {
         if rng.gen_bool(0.2) {
             s.indirect = !s.indirect;
         }
-        Mutation::ResizeSpad
+        (Mutation::ResizeSpad, ScheduleFootprint::Attribute)
     } else {
-        Mutation::Noop
+        (Mutation::Noop, ScheduleFootprint::Pure)
     }
 }
 
-fn resize_engine_bw(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn resize_engine_bw(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     let mut engines = adg.nodes_of_kind(NodeKind::Dma);
     engines.extend(adg.nodes_of_kind(NodeKind::Spad));
     engines.extend(adg.nodes_of_kind(NodeKind::Gen));
     engines.extend(adg.nodes_of_kind(NodeKind::Rec));
     let Some(e) = pick(&engines, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     let grow = rng.gen_bool(0.5);
     let node = adg.node_mut(e);
@@ -473,16 +548,16 @@ fn resize_engine_bw(adg: &mut Adg, rng: &mut Rng) -> Mutation {
         } else if *bw > 4 {
             *bw /= 2;
         }
-        Mutation::ResizeEngineBw
+        (Mutation::ResizeEngineBw, ScheduleFootprint::Attribute)
     } else {
-        Mutation::Noop
+        (Mutation::Noop, ScheduleFootprint::Pure)
     }
 }
 
-fn resize_delay_fifo(adg: &mut Adg, rng: &mut Rng) -> Mutation {
+fn resize_delay_fifo(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
     let pes = adg.nodes_of_kind(NodeKind::Pe);
     let Some(pe) = pick(&pes, rng) else {
-        return Mutation::Noop;
+        return (Mutation::Noop, ScheduleFootprint::Pure);
     };
     if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
         if rng.gen_bool(0.5) {
@@ -490,9 +565,9 @@ fn resize_delay_fifo(adg: &mut Adg, rng: &mut Rng) -> Mutation {
         } else if p.delay_fifo_depth > 1 {
             p.delay_fifo_depth -= 1;
         }
-        Mutation::ResizeDelayFifo
+        (Mutation::ResizeDelayFifo, ScheduleFootprint::Attribute)
     } else {
-        Mutation::Noop
+        (Mutation::Noop, ScheduleFootprint::Pure)
     }
 }
 
@@ -627,7 +702,7 @@ mod tests {
             .nodes()
             .filter_map(|(_, n)| n.as_pe().map(|p| p.caps.len()))
             .sum();
-        capability_pruning(&mut sys.adg, &[sched.clone()]);
+        capability_pruning(&mut sys.adg, std::slice::from_ref(&sched));
         let after: usize = sys
             .adg
             .nodes()
@@ -641,6 +716,32 @@ mod tests {
                 assert_eq!(n.caps.len(), 3, "used PE was pruned");
             }
         }
+    }
+
+    #[test]
+    fn footprints_track_mutation_severity() {
+        let (_mdfg, sys, sched) = scheduled_setup();
+        let used_pe = sched.assignment.values().copied().next().unwrap();
+        assert_eq!(
+            removal_footprint(std::slice::from_ref(&sched), used_pe),
+            ScheduleFootprint::Structural
+        );
+        let used = sched.used_adg_nodes();
+        let unused_pe = sys
+            .adg
+            .nodes_of_kind(NodeKind::Pe)
+            .into_iter()
+            .find(|p| !used.contains(p))
+            .expect("default mesh has spare PEs");
+        assert_eq!(
+            removal_footprint(std::slice::from_ref(&sched), unused_pe),
+            ScheduleFootprint::RemoveUnused
+        );
+        // A degenerated mutation is always Pure, whatever its class.
+        assert_eq!(
+            footprint_of(&Mutation::Noop, ScheduleFootprint::Structural),
+            ScheduleFootprint::Pure
+        );
     }
 
     #[test]

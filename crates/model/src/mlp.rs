@@ -383,6 +383,6 @@ mod tests {
         let mlp = Mlp::new(10, 24, 16, 4, 0);
         assert_eq!(mlp.inputs(), 10);
         assert_eq!(mlp.outputs(), 4);
-        assert_eq!(mlp.forward(&vec![0.0; 10]).len(), 4);
+        assert_eq!(mlp.forward(&[0.0; 10]).len(), 4);
     }
 }

@@ -39,10 +39,13 @@
 //! # Ok::<(), overgen_scheduler::ScheduleError>(())
 //! ```
 
+mod adj;
+mod footprint;
 mod place;
 mod repair;
 mod types;
 
+pub use footprint::ScheduleFootprint;
 pub use place::schedule;
-pub use repair::{repair, RepairOutcome};
+pub use repair::{repair, repair_with, RepairOptions, RepairOutcome};
 pub use types::{Schedule, ScheduleError};

@@ -1,12 +1,14 @@
 //! The placement + routing algorithm.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
 
 use overgen_adg::{Adg, AdgNode, NodeId, NodeKind, SysAdg};
 use overgen_mdfg::{Mdfg, MdfgNode, MdfgNodeId, MdfgNodeKind, MemPref, StreamPattern};
 use overgen_model::{estimate_ipc, Placement};
 use overgen_telemetry::{event, span};
 
+use crate::adj::{spad_budgets, AdjBits};
 use crate::types::{Schedule, ScheduleError};
 
 /// Maximum placement candidates tried per instruction before giving up.
@@ -15,7 +17,8 @@ const MAX_CANDIDATES: usize = 32;
 /// Schedule an mDFG onto a system ADG.
 ///
 /// `prior` seeds placement: nodes whose previous hardware target is still
-/// compatible are placed there first, which keeps repairs cheap and stable.
+/// compatible are placed there first — and their previous routes are reused
+/// verbatim when still valid — which keeps repairs cheap and stable.
 ///
 /// # Errors
 ///
@@ -32,7 +35,7 @@ pub fn schedule(
         variant = mdfg.variant(),
         seeded = prior.is_some(),
     );
-    let result = Placer::new(mdfg, sys_adg, prior).run();
+    let result = Placer::new(mdfg, sys_adg, prior, false).run();
     if let Err(e) = &result {
         event!(
             "sched.fail",
@@ -44,11 +47,214 @@ pub fn schedule(
     result
 }
 
+/// Full placement without any telemetry output.
+///
+/// The repair engine's verification mode (`OVERGEN_REPAIR=0`) runs the full
+/// placer where the fast path would have reconstructed the schedule from the
+/// prior mapping; the run must be silent so traces stay byte-identical
+/// between the two modes.
+pub(crate) fn place_quiet(
+    mdfg: &Mdfg,
+    sys_adg: &SysAdg,
+    prior: Option<&Schedule>,
+) -> Result<Schedule, ScheduleError> {
+    Placer::new(mdfg, sys_adg, prior, true).run()
+}
+
+// ---- mDFG structure helpers (shared with repair classification) -----------
+
+/// An input stream that only feeds other input streams is an index stream
+/// consumed inside the engine (no fabric port).
+pub(crate) fn is_index_stream(mdfg: &Mdfg, sid: MdfgNodeId) -> bool {
+    let succs = mdfg.succs(sid);
+    !succs.is_empty()
+        && succs
+            .iter()
+            .all(|s| mdfg.node(*s).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
+}
+
+/// Recurrence input stream: fed by an output stream.
+pub(crate) fn is_rec_input(mdfg: &Mdfg, sid: MdfgNodeId) -> bool {
+    mdfg.preds(sid)
+        .iter()
+        .any(|p| mdfg.node(*p).map(MdfgNode::kind) == Some(MdfgNodeKind::OutputStream))
+}
+
+/// Output stream feeding a recurrence input stream.
+pub(crate) fn feeds_rec_input(mdfg: &Mdfg, sid: MdfgNodeId) -> bool {
+    mdfg.succs(sid)
+        .iter()
+        .any(|d| mdfg.node(*d).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
+}
+
+/// The array node a stream reads from / writes to.
+pub(crate) fn array_of_stream(mdfg: &Mdfg, sid: MdfgNodeId) -> Option<MdfgNodeId> {
+    let s = mdfg.node(sid)?.as_stream()?;
+    if s.is_write {
+        mdfg.succs(sid)
+            .iter()
+            .find(|d| mdfg.node(**d).map(MdfgNode::kind) == Some(MdfgNodeKind::Array))
+            .copied()
+    } else {
+        mdfg.preds(sid)
+            .iter()
+            .find(|p| mdfg.node(**p).map(MdfgNode::kind) == Some(MdfgNodeKind::Array))
+            .copied()
+    }
+}
+
+/// Engine that produces/consumes a stream's data, given the array
+/// assignments decided so far.
+pub(crate) fn engine_of_stream(
+    mdfg: &Mdfg,
+    adg: &Adg,
+    assignment: &BTreeMap<MdfgNodeId, NodeId>,
+    sid: MdfgNodeId,
+) -> Option<NodeId> {
+    // Recurrence streams use the recurrence engine.
+    let s = mdfg.node(sid)?.as_stream()?;
+    if s.array.is_empty() {
+        return adg.nodes_of_kind(NodeKind::Gen).into_iter().next();
+    }
+    if !s.is_write && is_rec_input(mdfg, sid) || s.is_write && feeds_rec_input(mdfg, sid) {
+        return adg.nodes_of_kind(NodeKind::Rec).into_iter().next();
+    }
+    // Otherwise: the engine its array was assigned to.
+    let aid = array_of_stream(mdfg, sid)?;
+    assignment.get(&aid).copied()
+}
+
+/// Whether any stream of the array uses an indirect access pattern.
+pub(crate) fn array_needs_indirect(mdfg: &Mdfg, aid: MdfgNodeId) -> bool {
+    mdfg.succs(aid)
+        .iter()
+        .chain(mdfg.preds(aid).iter())
+        .any(|sid| {
+            mdfg.node(*sid)
+                .and_then(MdfgNode::as_stream)
+                .is_some_and(|s| s.pattern == StreamPattern::Indirect)
+        })
+}
+
+// ---- scoring --------------------------------------------------------------
+
+/// Score a complete mapping into a [`Schedule`].
+///
+/// This is the single scoring path: the placer calls it at the end of a full
+/// placement and the repair fast path calls it on a verified prior mapping,
+/// so both produce bit-identical estimates for the same mapping.
+pub(crate) fn score_mapping(
+    mdfg: &Mdfg,
+    sys: &SysAdg,
+    assignment: BTreeMap<MdfgNodeId, NodeId>,
+    stream_engines: BTreeMap<MdfgNodeId, NodeId>,
+    routes: BTreeMap<(MdfgNodeId, MdfgNodeId), Vec<NodeId>>,
+) -> Schedule {
+    let adg = &sys.adg;
+    // Pipeline balance: operand route-length mismatch beyond the PE's
+    // delay FIFO creates bubbles (§V-B); port width shortfalls stretch
+    // firings over multiple cycles.
+    let mut penalty = 1.0f64;
+    for (iid, n) in mdfg.nodes() {
+        if n.kind() != MdfgNodeKind::Inst {
+            continue;
+        }
+        let lens: Vec<usize> = mdfg
+            .preds(iid)
+            .iter()
+            .filter_map(|p| routes.get(&(*p, iid)).map(Vec::len))
+            .collect();
+        if lens.len() >= 2 {
+            let diff = lens.iter().max().unwrap() - lens.iter().min().unwrap();
+            let depth = assignment
+                .get(&iid)
+                .and_then(|a| adg.node(*a))
+                .and_then(AdgNode::as_pe)
+                .map(|pe| usize::from(pe.delay_fifo_depth))
+                .unwrap_or(0);
+            if diff > depth {
+                penalty *= 1.0 / (1.0 + 0.25 * (diff - depth) as f64);
+            }
+        }
+    }
+    for (sid, n) in mdfg.nodes() {
+        if let Some(s) = n.as_stream() {
+            if let Some(port) = assignment.get(&sid) {
+                let width = match adg.node(*port) {
+                    Some(AdgNode::InPort(p)) => u64::from(p.width_bytes),
+                    Some(AdgNode::OutPort(p)) => u64::from(p.width_bytes),
+                    _ => continue,
+                };
+                if width < s.bytes_per_firing {
+                    penalty *= width as f64 / s.bytes_per_firing as f64;
+                }
+            }
+        }
+    }
+
+    // Per-engine bandwidth: each engine issues one request per cycle,
+    // so the summed steady-state demand of its streams must fit its
+    // bandwidth; oversubscription stretches the firing interval.
+    {
+        let mut demand: BTreeMap<NodeId, f64> = BTreeMap::new();
+        for (sid, n) in mdfg.nodes() {
+            if let Some(s) = n.as_stream() {
+                if let Some(engine) = stream_engines.get(&sid) {
+                    *demand.entry(*engine).or_default() +=
+                        s.bytes_per_firing as f64 / s.reuse.stationary.max(1.0);
+                }
+            }
+        }
+        for (engine, d) in demand {
+            let bw = adg
+                .node(engine)
+                .and_then(AdgNode::engine_bw)
+                .map(f64::from)
+                .unwrap_or(8.0);
+            if d > bw {
+                penalty *= bw / d;
+            }
+        }
+    }
+
+    // Scratchpad placement for the performance model.
+    let mut placement = Placement::default();
+    for (id, n) in mdfg.nodes() {
+        if let MdfgNode::Array(a) = n {
+            if let Some(engine) = assignment.get(&id) {
+                if matches!(adg.node(*engine), Some(AdgNode::Spad(_))) {
+                    placement.spad_arrays.insert(a.name.clone());
+                }
+            }
+        }
+    }
+    let spad_bw: f64 = adg
+        .nodes()
+        .filter_map(|(_, n)| n.as_spad().map(|s| f64::from(s.bw_bytes)))
+        .sum();
+    let mut est = estimate_ipc(mdfg, &sys.sys, spad_bw, &placement);
+    est.ipc *= penalty;
+    est.per_tile_ipc *= penalty;
+
+    Schedule {
+        mdfg_name: mdfg.name().to_string(),
+        variant: mdfg.variant(),
+        assignment,
+        stream_engines,
+        routes,
+        placement,
+        est,
+        balance_penalty: penalty,
+    }
+}
+
 struct Placer<'a> {
     mdfg: &'a Mdfg,
     adg: &'a Adg,
     sys: &'a SysAdg,
     prior: Option<&'a Schedule>,
+    /// Bitset adjacency + kind table for the routing hot loop.
+    adj: AdjBits,
     assignment: BTreeMap<MdfgNodeId, NodeId>,
     routes: BTreeMap<(MdfgNodeId, MdfgNodeId), Vec<NodeId>>,
     stream_engines: BTreeMap<MdfgNodeId, NodeId>,
@@ -57,33 +263,36 @@ struct Placer<'a> {
     spad_left: BTreeMap<NodeId, i64>,
     /// link -> value source currently carried (fanout of one value shares).
     link_use: BTreeMap<(NodeId, NodeId), MdfgNodeId>,
+    /// Hop-distance maps memoized per source for candidate ordering.
+    dist_cache: BTreeMap<NodeId, Rc<BTreeMap<NodeId, usize>>>,
     /// Placement candidates tried for instructions (telemetry).
     attempts: u64,
     /// Candidates abandoned after a routing failure (telemetry).
     backtracks: u64,
+    /// Suppress all counters/events (repair verification mode).
+    quiet: bool,
 }
 
 impl<'a> Placer<'a> {
-    fn new(mdfg: &'a Mdfg, sys: &'a SysAdg, prior: Option<&'a Schedule>) -> Self {
+    fn new(mdfg: &'a Mdfg, sys: &'a SysAdg, prior: Option<&'a Schedule>, quiet: bool) -> Self {
         let adg = &sys.adg;
-        let spad_left = adg
-            .nodes()
-            .filter_map(|(id, n)| n.as_spad().map(|s| (id, i64::from(s.capacity_kb) * 1024)))
-            .collect();
         Placer {
             mdfg,
             adg,
             sys,
             prior,
+            adj: AdjBits::new(adg),
             assignment: BTreeMap::new(),
             routes: BTreeMap::new(),
             stream_engines: BTreeMap::new(),
             pe_used: BTreeSet::new(),
             port_used: BTreeSet::new(),
-            spad_left,
+            spad_left: spad_budgets(adg),
             link_use: BTreeMap::new(),
+            dist_cache: BTreeMap::new(),
             attempts: 0,
             backtracks: 0,
+            quiet,
         }
     }
 
@@ -98,19 +307,21 @@ impl<'a> Placer<'a> {
         self.place_streams()?;
         self.place_insts_and_route()?;
         self.route_outputs()?;
-        if let Some(c) = overgen_telemetry::current() {
-            c.registry().counter("sched.attempts").add(self.attempts);
-            c.registry()
-                .counter("sched.backtracks")
-                .add(self.backtracks);
+        if !self.quiet {
+            if let Some(c) = overgen_telemetry::current() {
+                c.registry().counter("sched.attempts").add(self.attempts);
+                c.registry()
+                    .counter("sched.backtracks")
+                    .add(self.backtracks);
+            }
+            event!(
+                "sched.placed",
+                mdfg = self.mdfg.name(),
+                variant = self.mdfg.variant(),
+                attempts = self.attempts,
+                backtracks = self.backtracks,
+            );
         }
-        event!(
-            "sched.placed",
-            mdfg = self.mdfg.name(),
-            variant = self.mdfg.variant(),
-            attempts = self.attempts,
-            backtracks = self.backtracks,
-        );
         Ok(self.finish())
     }
 
@@ -141,12 +352,7 @@ impl<'a> Placer<'a> {
                 Some(MdfgNode::Array(a)) => (a.name.clone(), a.size_bytes, a.pref),
                 _ => continue,
             };
-            let needs_indirect = self.streams_of_array(aid).iter().any(|sid| {
-                self.mdfg
-                    .node(*sid)
-                    .and_then(MdfgNode::as_stream)
-                    .is_some_and(|s| s.pattern == StreamPattern::Indirect)
-            });
+            let needs_indirect = array_needs_indirect(self.mdfg, aid);
 
             // Prior target first.
             if let Some(t) = self.prior_target(aid) {
@@ -192,12 +398,6 @@ impl<'a> Placer<'a> {
         Ok(())
     }
 
-    fn streams_of_array(&self, aid: MdfgNodeId) -> Vec<MdfgNodeId> {
-        let mut v: Vec<MdfgNodeId> = self.mdfg.succs(aid).to_vec();
-        v.extend(self.mdfg.preds(aid).iter().copied());
-        v
-    }
-
     fn try_assign_array(
         &mut self,
         aid: MdfgNodeId,
@@ -230,71 +430,14 @@ impl<'a> Placer<'a> {
 
     // ---- streams -> ports ----------------------------------------------
 
-    /// An input stream that only feeds other input streams is an index
-    /// stream consumed inside the engine (no fabric port).
-    fn is_index_stream(&self, sid: MdfgNodeId) -> bool {
-        let succs = self.mdfg.succs(sid);
-        !succs.is_empty()
-            && succs
-                .iter()
-                .all(|s| self.mdfg.node(*s).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
-    }
-
-    /// Recurrence input stream: fed by an output stream.
-    fn is_rec_input(&self, sid: MdfgNodeId) -> bool {
-        self.mdfg
-            .preds(sid)
-            .iter()
-            .any(|p| self.mdfg.node(*p).map(MdfgNode::kind) == Some(MdfgNodeKind::OutputStream))
-    }
-
-    /// Engine that produces/consumes a stream's data.
-    fn engine_of_stream(&self, sid: MdfgNodeId) -> Option<NodeId> {
-        // Recurrence streams use the recurrence engine.
-        let s = self.mdfg.node(sid)?.as_stream()?;
-        if s.array.is_empty() {
-            return self.adg.nodes_of_kind(NodeKind::Gen).into_iter().next();
-        }
-        if !s.is_write && self.is_rec_input(sid) || s.is_write && self.feeds_rec_input(sid) {
-            return self.adg.nodes_of_kind(NodeKind::Rec).into_iter().next();
-        }
-        // Otherwise: the engine its array was assigned to.
-        let aid = self.array_of_stream(sid)?;
-        self.assignment.get(&aid).copied()
-    }
-
-    fn feeds_rec_input(&self, sid: MdfgNodeId) -> bool {
-        self.mdfg
-            .succs(sid)
-            .iter()
-            .any(|d| self.mdfg.node(*d).map(MdfgNode::kind) == Some(MdfgNodeKind::InputStream))
-    }
-
-    fn array_of_stream(&self, sid: MdfgNodeId) -> Option<MdfgNodeId> {
-        let s = self.mdfg.node(sid)?.as_stream()?;
-        if s.is_write {
-            self.mdfg
-                .succs(sid)
-                .iter()
-                .find(|d| self.mdfg.node(**d).map(MdfgNode::kind) == Some(MdfgNodeKind::Array))
-                .copied()
-        } else {
-            self.mdfg
-                .preds(sid)
-                .iter()
-                .find(|p| self.mdfg.node(**p).map(MdfgNode::kind) == Some(MdfgNodeKind::Array))
-                .copied()
-        }
-    }
-
     fn place_streams(&mut self) -> Result<(), ScheduleError> {
         for (sid, n) in self.mdfg.nodes() {
             match n.kind() {
                 MdfgNodeKind::InputStream => {
-                    if self.is_index_stream(sid) {
+                    if is_index_stream(self.mdfg, sid) {
                         // Consumed inside the engine: bind to the engine of
                         // its own array (bandwidth accounted by the model).
-                        let aid = self.array_of_stream(sid).ok_or_else(|| {
+                        let aid = array_of_stream(self.mdfg, sid).ok_or_else(|| {
                             ScheduleError::NoCandidate {
                                 node: sid,
                                 requirement: "index stream with an array".into(),
@@ -311,28 +454,26 @@ impl<'a> Placer<'a> {
                         continue;
                     }
                     let s = n.as_stream().expect("input stream");
-                    let engine =
-                        self.engine_of_stream(sid)
-                            .ok_or_else(|| ScheduleError::NoCandidate {
-                                node: sid,
-                                requirement: format!(
-                                    "a {} engine",
-                                    if s.array.is_empty() {
-                                        "generate"
-                                    } else {
-                                        "memory"
-                                    }
-                                ),
-                            })?;
+                    let engine = engine_of_stream(self.mdfg, self.adg, &self.assignment, sid)
+                        .ok_or_else(|| ScheduleError::NoCandidate {
+                            node: sid,
+                            requirement: format!(
+                                "a {} engine",
+                                if s.array.is_empty() {
+                                    "generate"
+                                } else {
+                                    "memory"
+                                }
+                            ),
+                        })?;
                     self.bind_in_port(sid, engine)?;
                 }
                 MdfgNodeKind::OutputStream => {
-                    let engine =
-                        self.engine_of_stream(sid)
-                            .ok_or_else(|| ScheduleError::NoCandidate {
-                                node: sid,
-                                requirement: "a memory/recurrence engine".into(),
-                            })?;
+                    let engine = engine_of_stream(self.mdfg, self.adg, &self.assignment, sid)
+                        .ok_or_else(|| ScheduleError::NoCandidate {
+                            node: sid,
+                            requirement: "a memory/recurrence engine".into(),
+                        })?;
                     self.bind_out_port(sid, engine)?;
                 }
                 _ => {}
@@ -452,71 +593,62 @@ impl<'a> Placer<'a> {
                 .filter_map(|p| self.assignment.get(p).map(|a| (*p, *a)))
                 .collect();
 
-            let mut candidates: Vec<NodeId> = self
-                .adg
-                .nodes()
-                .filter(|(id, n)| {
-                    !self.pe_used.contains(id)
-                        && n.as_pe().is_some_and(|pe| pe.supports(inst.op, inst.dtype))
-                })
-                .map(|(id, _)| id)
-                .collect();
-            if candidates.is_empty() {
-                return Err(ScheduleError::NoCandidate {
-                    node: iid,
-                    requirement: format!("a free PE with {}.{}", inst.op, inst.dtype),
-                });
-            }
-            // Order by closeness to placed predecessors.
-            let dist_maps: Vec<BTreeMap<NodeId, usize>> = placed_preds
-                .iter()
-                .map(|(_, a)| self.distances_from(*a))
-                .collect();
-            candidates.sort_by_key(|c| {
-                dist_maps
-                    .iter()
-                    .map(|m| m.get(c).copied().unwrap_or(1_000))
-                    .sum::<usize>()
-            });
+            // Fast path: try the prior target before enumerating and
+            // distance-sorting candidates. During repair most instructions
+            // keep their PE and reuse their routes, so the whole candidate
+            // machinery below only runs for the dirty region.
+            let mut placed = false;
+            let mut tried_prior: Option<NodeId> = None;
             if let Some(t) = self.prior_target(iid) {
-                if candidates.contains(&t) {
-                    candidates.retain(|c| *c != t);
-                    candidates.insert(0, t);
+                let free_and_compatible = !self.pe_used.contains(&t)
+                    && self
+                        .adg
+                        .node(t)
+                        .and_then(AdgNode::as_pe)
+                        .is_some_and(|pe| pe.supports(inst.op, inst.dtype));
+                if free_and_compatible {
+                    tried_prior = Some(t);
+                    placed = self.try_place_inst_at(iid, t, &placed_preds);
                 }
             }
 
-            let mut placed = false;
-            for cand in candidates.into_iter().take(MAX_CANDIDATES) {
-                self.attempts += 1;
-                // Try routing all placed-pred edges to this candidate.
-                let link_checkpoint = self.link_use.clone();
-                let route_checkpoint: Vec<(MdfgNodeId, MdfgNodeId)> = Vec::new();
-                let mut committed = route_checkpoint;
-                let mut ok = true;
-                for (pid, padg) in &placed_preds {
-                    // Commit each pred route immediately so later preds see
-                    // the links it claimed.
-                    match self.route(*pid, *padg, cand) {
-                        Some(path) => {
-                            self.commit_route((*pid, iid), path);
-                            committed.push((*pid, iid));
-                        }
-                        None => {
-                            ok = false;
-                            break;
-                        }
+            if !placed {
+                let mut candidates: Vec<NodeId> = self
+                    .adg
+                    .nodes()
+                    .filter(|(id, n)| {
+                        !self.pe_used.contains(id)
+                            && n.as_pe().is_some_and(|pe| pe.supports(inst.op, inst.dtype))
+                    })
+                    .map(|(id, _)| id)
+                    .collect();
+                if candidates.is_empty() && tried_prior.is_none() {
+                    return Err(ScheduleError::NoCandidate {
+                        node: iid,
+                        requirement: format!("a free PE with {}.{}", inst.op, inst.dtype),
+                    });
+                }
+                // Order by closeness to placed predecessors.
+                let dist_maps: Vec<Rc<BTreeMap<NodeId, usize>>> = placed_preds
+                    .iter()
+                    .map(|(_, a)| self.distances_from(*a))
+                    .collect();
+                candidates.sort_by_key(|c| {
+                    dist_maps
+                        .iter()
+                        .map(|m| m.get(c).copied().unwrap_or(1_000))
+                        .sum::<usize>()
+                });
+                let budget = MAX_CANDIDATES - usize::from(tried_prior.is_some());
+                for cand in candidates
+                    .into_iter()
+                    .filter(|c| Some(*c) != tried_prior)
+                    .take(budget)
+                {
+                    if self.try_place_inst_at(iid, cand, &placed_preds) {
+                        placed = true;
+                        break;
                     }
-                }
-                if ok {
-                    self.pe_used.insert(cand);
-                    self.assignment.insert(iid, cand);
-                    placed = true;
-                    break;
-                }
-                self.backtracks += 1;
-                self.link_use = link_checkpoint;
-                for edge in committed {
-                    self.routes.remove(&edge);
                 }
             }
             if !placed {
@@ -526,6 +658,46 @@ impl<'a> Placer<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Try one PE candidate for an instruction: route all placed-pred edges
+    /// to it, committing as we go; on failure undo exactly the links and
+    /// routes this attempt claimed (no snapshot of the whole link table).
+    fn try_place_inst_at(
+        &mut self,
+        iid: MdfgNodeId,
+        cand: NodeId,
+        placed_preds: &[(MdfgNodeId, NodeId)],
+    ) -> bool {
+        self.attempts += 1;
+        let mut committed: Vec<(MdfgNodeId, MdfgNodeId)> = Vec::new();
+        let mut claimed: Vec<(NodeId, NodeId)> = Vec::new();
+        for (pid, padg) in placed_preds {
+            // Commit each pred route immediately so later preds see the
+            // links it claimed.
+            let path = self
+                .reusable_prior_route((*pid, iid), *pid, *padg, cand)
+                .or_else(|| self.route(*pid, *padg, cand));
+            match path {
+                Some(path) => {
+                    self.commit_route_logged((*pid, iid), path, &mut claimed);
+                    committed.push((*pid, iid));
+                }
+                None => {
+                    self.backtracks += 1;
+                    for link in claimed {
+                        self.link_use.remove(&link);
+                    }
+                    for edge in committed {
+                        self.routes.remove(&edge);
+                    }
+                    return false;
+                }
+            }
+        }
+        self.pe_used.insert(cand);
+        self.assignment.insert(iid, cand);
+        true
     }
 
     fn topo_insts(&self) -> Vec<MdfgNodeId> {
@@ -588,7 +760,10 @@ impl<'a> Placer<'a> {
                 (Some(a), Some(b)) => (*a, *b),
                 _ => continue,
             };
-            match self.route(src, sa, da) {
+            let path = self
+                .reusable_prior_route((src, dst), src, sa, da)
+                .or_else(|| self.route(src, sa, da));
+            match path {
                 Some(path) => self.commit_route((src, dst), path),
                 None => return Err(ScheduleError::NoRoute { edge: (src, dst) }),
             }
@@ -597,6 +772,41 @@ impl<'a> Placer<'a> {
     }
 
     // ---- routing ---------------------------------------------------------
+
+    /// Reuse the prior schedule's route for `edge` if it still runs from
+    /// `from` to `to` over existing links, traverses only switches, and does
+    /// not conflict with links already claimed by a different value. Skips
+    /// the BFS entirely for the (common) untouched region during repair.
+    fn reusable_prior_route(
+        &self,
+        edge: (MdfgNodeId, MdfgNodeId),
+        value: MdfgNodeId,
+        from: NodeId,
+        to: NodeId,
+    ) -> Option<Vec<NodeId>> {
+        let path = self.prior?.routes.get(&edge)?;
+        if path.first() != Some(&from) || path.last() != Some(&to) {
+            return None;
+        }
+        let last = path.len() - 1;
+        for (i, w) in path.windows(2).enumerate() {
+            if !self.adj.has_edge(w[0], w[1]) {
+                return None;
+            }
+            // Interior hops must still be switches.
+            if i + 1 < last && !self.adj.is_switch(w[1]) {
+                return None;
+            }
+            if self.adj.exclusive_link(w[0], w[1]) {
+                if let Some(v) = self.link_use.get(&(w[0], w[1])) {
+                    if *v != value {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(path.clone())
+    }
 
     /// Directed BFS from `from` to `to` through switches, honouring the
     /// one-value-per-link constraint (fanout of `value` may share links).
@@ -608,7 +818,7 @@ impl<'a> Placer<'a> {
             // Only switch-to-switch links are exclusive per value. Links
             // touching a port are wide (multi-lane) and links into a PE
             // are its operand slots — both carry several values.
-            if !Self::exclusive_link(self.adg, a, b) {
+            if !self.adj.exclusive_link(a, b) {
                 return true;
             }
             match self.link_use.get(&(a, b)) {
@@ -630,7 +840,7 @@ impl<'a> Placer<'a> {
                 // Only switches may be traversed; the destination itself
                 // may be any fabric node or port.
                 let is_dst = next == to;
-                let is_switch = self.adg.kind(next) == Some(NodeKind::Switch);
+                let is_switch = self.adj.is_switch(next);
                 if !is_dst && !is_switch {
                     continue;
                 }
@@ -652,24 +862,41 @@ impl<'a> Placer<'a> {
         None
     }
 
-    /// Whether a link is exclusive-per-value: only switch/PE-source to
-    /// switch links are. Port links are multi-lane; links into a PE are
-    /// distinct operand slots.
-    pub(crate) fn exclusive_link(adg: &Adg, a: NodeId, b: NodeId) -> bool {
-        adg.kind(a) != Some(NodeKind::InPort) && matches!(adg.kind(b), Some(NodeKind::Switch))
-    }
-
     fn commit_route(&mut self, edge: (MdfgNodeId, MdfgNodeId), path: Vec<NodeId>) {
         for w in path.windows(2) {
-            if Self::exclusive_link(self.adg, w[0], w[1]) {
+            if self.adj.exclusive_link(w[0], w[1]) {
                 self.link_use.insert((w[0], w[1]), edge.0);
             }
         }
         self.routes.insert(edge, path);
     }
 
-    /// BFS hop distances from a node through the fabric.
-    fn distances_from(&self, from: NodeId) -> BTreeMap<NodeId, usize> {
+    /// [`Self::commit_route`], recording every link this commit *newly*
+    /// claimed so a failed candidate can undo precisely those claims.
+    /// Links already carried by the same value (fanout sharing) stay put.
+    fn commit_route_logged(
+        &mut self,
+        edge: (MdfgNodeId, MdfgNodeId),
+        path: Vec<NodeId>,
+        claimed: &mut Vec<(NodeId, NodeId)>,
+    ) {
+        for w in path.windows(2) {
+            if self.adj.exclusive_link(w[0], w[1]) {
+                let key = (w[0], w[1]);
+                if self.link_use.insert(key, edge.0).is_none() {
+                    claimed.push(key);
+                }
+            }
+        }
+        self.routes.insert(edge, path);
+    }
+
+    /// BFS hop distances from a node through the fabric, memoized per
+    /// source (the ADG is immutable for the placement's duration).
+    fn distances_from(&mut self, from: NodeId) -> Rc<BTreeMap<NodeId, usize>> {
+        if let Some(m) = self.dist_cache.get(&from) {
+            return Rc::clone(m);
+        }
         let mut dist = BTreeMap::new();
         dist.insert(from, 0usize);
         let mut queue = VecDeque::new();
@@ -682,116 +909,26 @@ impl<'a> Placer<'a> {
                 }
                 // traverse switches; record distance for all nodes
                 dist.insert(next, d + 1);
-                if self.adg.kind(next) == Some(NodeKind::Switch) {
+                if self.adj.is_switch(next) {
                     queue.push_back(next);
                 }
             }
         }
-        dist
+        let rc = Rc::new(dist);
+        self.dist_cache.insert(from, Rc::clone(&rc));
+        rc
     }
 
     // ---- scoring -----------------------------------------------------------
 
     fn finish(self) -> Schedule {
-        // Pipeline balance: operand route-length mismatch beyond the PE's
-        // delay FIFO creates bubbles (§V-B); port width shortfalls stretch
-        // firings over multiple cycles.
-        let mut penalty = 1.0f64;
-        for (iid, n) in self.mdfg.nodes() {
-            if n.kind() != MdfgNodeKind::Inst {
-                continue;
-            }
-            let lens: Vec<usize> = self
-                .mdfg
-                .preds(iid)
-                .iter()
-                .filter_map(|p| self.routes.get(&(*p, iid)).map(Vec::len))
-                .collect();
-            if lens.len() >= 2 {
-                let diff = lens.iter().max().unwrap() - lens.iter().min().unwrap();
-                let depth = self
-                    .assignment
-                    .get(&iid)
-                    .and_then(|a| self.adg.node(*a))
-                    .and_then(AdgNode::as_pe)
-                    .map(|pe| usize::from(pe.delay_fifo_depth))
-                    .unwrap_or(0);
-                if diff > depth {
-                    penalty *= 1.0 / (1.0 + 0.25 * (diff - depth) as f64);
-                }
-            }
-        }
-        for (sid, n) in self.mdfg.nodes() {
-            if let Some(s) = n.as_stream() {
-                if let Some(port) = self.assignment.get(&sid) {
-                    let width = match self.adg.node(*port) {
-                        Some(AdgNode::InPort(p)) => u64::from(p.width_bytes),
-                        Some(AdgNode::OutPort(p)) => u64::from(p.width_bytes),
-                        _ => continue,
-                    };
-                    if width < s.bytes_per_firing {
-                        penalty *= width as f64 / s.bytes_per_firing as f64;
-                    }
-                }
-            }
-        }
-
-        // Per-engine bandwidth: each engine issues one request per cycle,
-        // so the summed steady-state demand of its streams must fit its
-        // bandwidth; oversubscription stretches the firing interval.
-        {
-            let mut demand: BTreeMap<NodeId, f64> = BTreeMap::new();
-            for (sid, n) in self.mdfg.nodes() {
-                if let Some(s) = n.as_stream() {
-                    if let Some(engine) = self.stream_engines.get(&sid) {
-                        *demand.entry(*engine).or_default() +=
-                            s.bytes_per_firing as f64 / s.reuse.stationary.max(1.0);
-                    }
-                }
-            }
-            for (engine, d) in demand {
-                let bw = self
-                    .adg
-                    .node(engine)
-                    .and_then(AdgNode::engine_bw)
-                    .map(f64::from)
-                    .unwrap_or(8.0);
-                if d > bw {
-                    penalty *= bw / d;
-                }
-            }
-        }
-
-        // Scratchpad placement for the performance model.
-        let mut placement = Placement::default();
-        for (id, n) in self.mdfg.nodes() {
-            if let MdfgNode::Array(a) = n {
-                if let Some(engine) = self.assignment.get(&id) {
-                    if matches!(self.adg.node(*engine), Some(AdgNode::Spad(_))) {
-                        placement.spad_arrays.insert(a.name.clone());
-                    }
-                }
-            }
-        }
-        let spad_bw: f64 = self
-            .adg
-            .nodes()
-            .filter_map(|(_, n)| n.as_spad().map(|s| f64::from(s.bw_bytes)))
-            .sum();
-        let mut est = estimate_ipc(self.mdfg, &self.sys.sys, spad_bw, &placement);
-        est.ipc *= penalty;
-        est.per_tile_ipc *= penalty;
-
-        Schedule {
-            mdfg_name: self.mdfg.name().to_string(),
-            variant: self.mdfg.variant(),
-            assignment: self.assignment,
-            stream_engines: self.stream_engines,
-            routes: self.routes,
-            placement,
-            est,
-            balance_penalty: penalty,
-        }
+        score_mapping(
+            self.mdfg,
+            self.sys,
+            self.assignment,
+            self.stream_engines,
+            self.routes,
+        )
     }
 }
 
@@ -981,11 +1118,12 @@ mod tests {
         .unwrap();
         let s = sys(&MeshSpec::general());
         let sched = schedule(&mdfg, &s, None).unwrap();
+        let adj = AdjBits::new(&s.adg);
         // map link -> set of value sources using it
         let mut link_vals: BTreeMap<(NodeId, NodeId), BTreeSet<MdfgNodeId>> = BTreeMap::new();
         for ((src, _), path) in &sched.routes {
             for w in path.windows(2) {
-                if Placer::exclusive_link(&s.adg, w[0], w[1]) {
+                if adj.exclusive_link(w[0], w[1]) {
                     link_vals.entry((w[0], w[1])).or_default().insert(*src);
                 }
             }
@@ -1010,6 +1148,41 @@ mod tests {
         let first = schedule(&mdfg, &s, None).unwrap();
         let second = schedule(&mdfg, &s, Some(&first)).unwrap();
         assert_eq!(first.assignment, second.assignment);
+    }
+
+    #[test]
+    fn seeded_reschedule_reuses_prior_routes() {
+        let mdfg = lower(
+            &fir(),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = sys(&MeshSpec::general());
+        let first = schedule(&mdfg, &s, None).unwrap();
+        let second = schedule(&mdfg, &s, Some(&first)).unwrap();
+        assert_eq!(first.routes, second.routes);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn quiet_placement_matches_loud_placement() {
+        let mdfg = lower(
+            &vecadd(64),
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = sys(&MeshSpec::default());
+        let loud = schedule(&mdfg, &s, None).unwrap();
+        let silent = place_quiet(&mdfg, &s, None).unwrap();
+        assert_eq!(loud, silent);
     }
 
     #[test]
@@ -1055,7 +1228,7 @@ mod tests {
         let s = sys(&MeshSpec::default());
         let sched = schedule(&mdfg, &s, None).unwrap();
         let nodes = sched.used_adg_nodes();
-        for (_, path) in &sched.routes {
+        for path in sched.routes.values() {
             for n in path {
                 assert!(nodes.contains(n));
             }

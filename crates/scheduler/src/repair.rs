@@ -1,11 +1,39 @@
-//! Schedule repair (paper §V-A): revalidate a schedule against a mutated
-//! ADG and re-place only what broke.
+//! Incremental schedule repair (paper §V-A).
+//!
+//! Repair runs in two phases:
+//!
+//! 1. **Classification** — [`dirty_set`] verifies every placement decision
+//!    of the prior schedule against the mutated hardware and collects the
+//!    mDFG nodes whose decision no longer holds: assignment targets that
+//!    vanished or lost a capability, streams whose engine or port binding
+//!    changed, scratchpads that no longer fit their arrays, and routes with
+//!    missing links or link-exclusivity conflicts.
+//! 2. **Repair** — an empty dirty set means the seeded placer would
+//!    reproduce the prior mapping decision-for-decision (prior targets are
+//!    tried first and prior routes are reused verbatim), so the *fast path*
+//!    reconstructs the schedule directly from the prior mapping and
+//!    re-scores it — no placement or routing search at all. A non-empty
+//!    dirty set falls back to a full placement seeded with the prior, which
+//!    re-places the dirty region and keeps everything else put.
+//!
+//! Setting [`RepairOptions::incremental`] to `false` (env `OVERGEN_REPAIR=0`
+//! in the bench harness) turns every fast-path hit into a silent full
+//! placement that is asserted equal to the fast reconstruction — an oracle
+//! mode the determinism gates run to prove the fast path changes nothing:
+//! counters, events, and results are byte-identical in both modes.
 
-use overgen_adg::{AdgNode, SysAdg};
-use overgen_mdfg::{Mdfg, MdfgNode};
+use std::collections::{BTreeMap, BTreeSet};
+
+use overgen_adg::{AdgNode, NodeId, SysAdg};
+use overgen_mdfg::{Mdfg, MdfgNode, MdfgNodeId, MdfgNodeKind};
 use overgen_telemetry::{event, span};
 
-use crate::place::schedule;
+use crate::adj::AdjBits;
+use crate::footprint::ScheduleFootprint;
+use crate::place::{
+    array_needs_indirect, array_of_stream, engine_of_stream, is_index_stream, place_quiet,
+    schedule, score_mapping,
+};
 use crate::types::{Schedule, ScheduleError};
 
 /// How a repair resolved.
@@ -20,13 +48,29 @@ pub enum RepairOutcome {
     },
 }
 
-/// Repair `prior` against a (possibly mutated) `sys_adg`.
-///
-/// Fast path: if every assignment target still exists and is compatible and
-/// every routed link still exists, the schedule is kept and only re-scored
-/// (hardware bandwidth parameters may have changed). Otherwise a fresh
-/// scheduling pass runs seeded with the prior assignment, moving as little
-/// as possible.
+/// Knobs for [`repair_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct RepairOptions {
+    /// Take the fast path when the dirty set is empty (the default). When
+    /// `false`, eligible repairs run a silent full placement instead and
+    /// assert it equals the fast reconstruction (verification mode).
+    pub incremental: bool,
+    /// Mutation footprint of the proposal being repaired, if known.
+    /// Advisory: recorded in the `sched.repaired` event so traces attribute
+    /// repair outcomes to mutation classes; never trusted for eligibility.
+    pub footprint: Option<ScheduleFootprint>,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        RepairOptions {
+            incremental: true,
+            footprint: None,
+        }
+    }
+}
+
+/// Repair `prior` against a (possibly mutated) `sys_adg` with defaults.
 ///
 /// # Errors
 ///
@@ -37,15 +81,71 @@ pub fn repair(
     mdfg: &Mdfg,
     sys_adg: &SysAdg,
 ) -> Result<(Schedule, RepairOutcome), ScheduleError> {
+    repair_with(prior, mdfg, sys_adg, &RepairOptions::default())
+}
+
+/// Repair `prior` against a (possibly mutated) `sys_adg`.
+///
+/// See the module docs for the fast-path/fallback split. Counters:
+/// `scheduler.repair.fast` (empty dirty set, no placement ran),
+/// `scheduler.repair.fallback` (seeded full placement ran), and
+/// `scheduler.repair.dirty_nodes` (total dirty mDFG nodes across
+/// fallbacks).
+///
+/// # Errors
+///
+/// Propagates scheduling failures when the mDFG no longer fits the mutated
+/// hardware at all.
+pub fn repair_with(
+    prior: &Schedule,
+    mdfg: &Mdfg,
+    sys_adg: &SysAdg,
+    opts: &RepairOptions,
+) -> Result<(Schedule, RepairOutcome), ScheduleError> {
     let _span = span!("sched.repair", mdfg = mdfg.name(), variant = mdfg.variant());
-    if prior_is_intact(prior, mdfg, sys_adg) {
-        // Re-score only.
-        let fresh = schedule(mdfg, sys_adg, Some(prior))?;
+    let dirty = dirty_set(prior, mdfg, sys_adg);
+    let footprint = opts.footprint.map_or("unknown", ScheduleFootprint::name);
+
+    if dirty.is_empty() {
         if let Some(c) = overgen_telemetry::current() {
-            c.registry().counter("sched.repair_intact").inc();
+            c.registry().counter("scheduler.repair.fast").inc();
         }
-        event!("sched.repaired", mdfg = mdfg.name(), outcome = "intact");
-        return Ok((fresh, RepairOutcome::Intact));
+        let fast = score_mapping(
+            mdfg,
+            sys_adg,
+            prior.assignment.clone(),
+            prior.stream_engines.clone(),
+            prior.routes.clone(),
+        );
+        let sched = if opts.incremental {
+            fast
+        } else {
+            // Verification mode: the seeded placer must land on exactly the
+            // schedule the fast path reconstructed, or the fast path is
+            // wrong. Placement runs silently so both modes trace alike.
+            let full = place_quiet(mdfg, sys_adg, Some(prior))?;
+            assert_eq!(
+                full, fast,
+                "repair fast path diverged from full placement for {} v{}",
+                prior.mdfg_name, prior.variant
+            );
+            full
+        };
+        event!(
+            "sched.repaired",
+            mdfg = mdfg.name(),
+            outcome = "fast",
+            dirty = 0,
+            footprint = footprint,
+        );
+        return Ok((sched, RepairOutcome::Intact));
+    }
+
+    if let Some(c) = overgen_telemetry::current() {
+        c.registry().counter("scheduler.repair.fallback").inc();
+        c.registry()
+            .counter("scheduler.repair.dirty_nodes")
+            .add(dirty.len() as u64);
     }
     let fresh = schedule(mdfg, sys_adg, Some(prior))?;
     let moved = fresh
@@ -53,54 +153,169 @@ pub fn repair(
         .iter()
         .filter(|(m, a)| prior.assignment.get(m) != Some(a))
         .count();
-    if let Some(c) = overgen_telemetry::current() {
-        c.registry().counter("sched.repair_moved").add(moved as u64);
-    }
     event!(
         "sched.repaired",
         mdfg = mdfg.name(),
-        outcome = "moved",
+        outcome = "fallback",
+        dirty = dirty.len(),
         moved = moved,
+        footprint = footprint,
     );
     Ok((fresh, RepairOutcome::Repaired { moved }))
 }
 
-/// Whether every assignment and route of `prior` is still valid hardware.
-pub(crate) fn prior_is_intact(prior: &Schedule, mdfg: &Mdfg, sys_adg: &SysAdg) -> bool {
+/// mDFG nodes whose prior placement decision no longer holds against the
+/// mutated hardware. Empty means the seeded placer would reproduce the
+/// prior schedule exactly, so repair may skip placement entirely.
+///
+/// The checks mirror, decision by decision, what the seeded placer accepts
+/// when it re-encounters its own prior (prior targets are tried first and
+/// prior routes are reused), which is what makes the fast path sound:
+///
+/// - every mDFG node still has a prior assignment to *existing* hardware;
+/// - arrays: scratchpad targets still hold the **sum** of their assigned
+///   arrays and still support indirect access where needed (DMA always ok);
+/// - streams: the engine recomputed from array assignments matches the
+///   prior binding, the port still hangs off that engine, has the right
+///   direction, and still offers stream-state where the stream needs it;
+/// - instructions: the PE still exists and supports op/dtype;
+/// - routes: endpoints match the assignment, every hop's link still exists,
+///   interior hops are still switches, and no exclusive link carries two
+///   different values across the whole schedule.
+pub(crate) fn dirty_set(prior: &Schedule, mdfg: &Mdfg, sys_adg: &SysAdg) -> BTreeSet<MdfgNodeId> {
     let adg = &sys_adg.adg;
-    for (mid, aid) in &prior.assignment {
-        let hw = match adg.node(*aid) {
-            Some(n) => n,
-            None => return false,
-        };
-        let ok = match mdfg.node(*mid) {
-            Some(MdfgNode::Inst(i)) => hw.as_pe().is_some_and(|pe| pe.supports(i.op, i.dtype)),
-            Some(MdfgNode::InputStream(s)) => match hw {
-                AdgNode::InPort(ip) => !s.variable_tc || ip.stream_state,
-                // index streams bind to engines
-                AdgNode::Dma(_) | AdgNode::Spad(_) | AdgNode::Gen(_) | AdgNode::Rec(_) => true,
-                _ => false,
-            },
-            Some(MdfgNode::OutputStream(_)) => matches!(hw, AdgNode::OutPort(_)),
-            Some(MdfgNode::Array(a)) => match hw {
-                AdgNode::Spad(sp) => u64::from(sp.capacity_kb) * 1024 >= a.size_bytes,
-                AdgNode::Dma(_) => true,
-                _ => false,
-            },
-            None => return false,
-        };
-        if !ok {
-            return false;
+    let adj = AdjBits::new(adg);
+    let mut dirty = BTreeSet::new();
+
+    for (mid, _) in mdfg.nodes() {
+        if !prior.assignment.contains_key(&mid) {
+            dirty.insert(mid);
         }
     }
-    for path in prior.routes.values() {
-        for w in path.windows(2) {
-            if !adg.has_edge(w[0], w[1]) {
-                return false;
+
+    // Arrays (per-scratchpad aggregate capacity + indirect support).
+    let mut spad_load: BTreeMap<NodeId, u64> = BTreeMap::new();
+    for (mid, n) in mdfg.nodes() {
+        let MdfgNode::Array(a) = n else { continue };
+        let Some(&target) = prior.assignment.get(&mid) else {
+            continue;
+        };
+        match adg.node(target) {
+            Some(AdgNode::Spad(sp)) => {
+                if array_needs_indirect(mdfg, mid) && !sp.indirect {
+                    dirty.insert(mid);
+                } else {
+                    *spad_load.entry(target).or_default() += a.size_bytes;
+                }
+            }
+            Some(AdgNode::Dma(_)) => {}
+            _ => {
+                dirty.insert(mid);
             }
         }
     }
-    true
+    for (spad, load) in spad_load {
+        let cap = adg
+            .node(spad)
+            .and_then(AdgNode::as_spad)
+            .map(|s| u64::from(s.capacity_kb) * 1024)
+            .unwrap_or(0);
+        if load > cap {
+            for (mid, n) in mdfg.nodes() {
+                if matches!(n, MdfgNode::Array(_)) && prior.assignment.get(&mid) == Some(&spad) {
+                    dirty.insert(mid);
+                }
+            }
+        }
+    }
+
+    // Streams (engine identity + port binding).
+    for (sid, n) in mdfg.nodes() {
+        let Some(s) = n.as_stream() else { continue };
+        let Some(&target) = prior.assignment.get(&sid) else {
+            continue;
+        };
+        let ok = match n.kind() {
+            MdfgNodeKind::InputStream if is_index_stream(mdfg, sid) => {
+                // Bound to its array's engine, not to a fabric port.
+                let want = array_of_stream(mdfg, sid)
+                    .and_then(|aid| prior.assignment.get(&aid))
+                    .copied();
+                want == Some(target)
+                    && prior.stream_engines.get(&sid) == Some(&target)
+                    && adg.contains(target)
+            }
+            MdfgNodeKind::InputStream => {
+                match engine_of_stream(mdfg, adg, &prior.assignment, sid) {
+                    Some(engine) if prior.stream_engines.get(&sid) == Some(&engine) => {
+                        match adg.node(target) {
+                            Some(AdgNode::InPort(ip)) => {
+                                (!s.variable_tc || ip.stream_state) && adj.has_edge(engine, target)
+                            }
+                            _ => false,
+                        }
+                    }
+                    _ => false,
+                }
+            }
+            MdfgNodeKind::OutputStream => {
+                match engine_of_stream(mdfg, adg, &prior.assignment, sid) {
+                    Some(engine) if prior.stream_engines.get(&sid) == Some(&engine) => {
+                        matches!(adg.node(target), Some(AdgNode::OutPort(_)))
+                            && adj.has_edge(target, engine)
+                    }
+                    _ => false,
+                }
+            }
+            _ => true,
+        };
+        if !ok {
+            dirty.insert(sid);
+        }
+    }
+
+    // Instructions (PE existence + capability).
+    for (iid, n) in mdfg.nodes() {
+        let Some(i) = n.as_inst() else { continue };
+        let Some(&pe) = prior.assignment.get(&iid) else {
+            continue;
+        };
+        if !adg
+            .node(pe)
+            .and_then(AdgNode::as_pe)
+            .is_some_and(|p| p.supports(i.op, i.dtype))
+        {
+            dirty.insert(iid);
+        }
+    }
+
+    // Routes (hop existence, switch interiors, link exclusivity).
+    let mut link_use: BTreeMap<(NodeId, NodeId), MdfgNodeId> = BTreeMap::new();
+    for ((src, dst), path) in &prior.routes {
+        let mut ok = !path.is_empty()
+            && prior.assignment.get(src) == path.first()
+            && prior.assignment.get(dst) == path.last();
+        if ok {
+            let last = path.len() - 1;
+            for (i, w) in path.windows(2).enumerate() {
+                if !adj.has_edge(w[0], w[1]) || (i + 1 < last && !adj.is_switch(w[1])) {
+                    ok = false;
+                    break;
+                }
+                if adj.exclusive_link(w[0], w[1])
+                    && *link_use.entry((w[0], w[1])).or_insert(*src) != *src
+                {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            dirty.insert(*dst);
+        }
+    }
+
+    dirty
 }
 
 #[cfg(test)]
@@ -140,13 +355,73 @@ mod tests {
     #[test]
     fn intact_when_nothing_changed() {
         let (mdfg, sys, sched) = setup();
+        assert!(dirty_set(&sched, &mdfg, &sys).is_empty());
         let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
         assert_eq!(outcome, RepairOutcome::Intact);
         assert_eq!(again.assignment, sched.assignment);
     }
 
     #[test]
-    fn repairs_after_unused_pe_removed() {
+    fn fast_path_matches_full_placement() {
+        let (mdfg, sys, sched) = setup();
+        let fast = repair(&sched, &mdfg, &sys).unwrap().0;
+        // Verification mode re-runs the full placer and asserts equality
+        // internally; the results must also agree with the fast path.
+        let opts = RepairOptions {
+            incremental: false,
+            footprint: None,
+        };
+        let full = repair_with(&sched, &mdfg, &sys, &opts).unwrap().0;
+        assert_eq!(fast, full);
+    }
+
+    // One test per mutation-footprint class, checking the classification
+    // the repair engine derives for a representative mutation.
+
+    #[test]
+    fn footprint_pure_unchanged_hardware_is_clean() {
+        let (mdfg, sys, sched) = setup();
+        assert!(dirty_set(&sched, &mdfg, &sys).is_empty());
+    }
+
+    #[test]
+    fn footprint_attribute_resize_stays_clean_until_it_evicts() {
+        let (mdfg, mut sys, sched) = setup();
+        let spad = sys.adg.nodes_of_kind(NodeKind::Spad)[0];
+        // Growing a scratchpad never dirties anything.
+        if let Some(AdgNode::Spad(sp)) = sys.adg.node_mut(spad) {
+            sp.capacity_kb *= 2;
+        }
+        assert!(dirty_set(&sched, &mdfg, &sys).is_empty());
+        // Shrinking below the assigned arrays' total evicts them.
+        if let Some(AdgNode::Spad(sp)) = sys.adg.node_mut(spad) {
+            sp.capacity_kb = 0;
+        }
+        let uses_spad = sched.assignment.values().any(|a| *a == spad);
+        let dirty = dirty_set(&sched, &mdfg, &sys);
+        assert_eq!(!dirty.is_empty(), uses_spad);
+    }
+
+    #[test]
+    fn footprint_additive_new_hardware_is_clean() {
+        let (mdfg, mut sys, sched) = setup();
+        // A new PE and an edge to it touch nothing the schedule uses.
+        use overgen_adg::PeNode;
+        use overgen_ir::{FuCap, Op};
+        let sw = sys.adg.nodes_of_kind(NodeKind::Switch)[0];
+        let pe = sys.adg.add_node(AdgNode::Pe(PeNode::with_caps([FuCap::new(
+            Op::Add,
+            DataType::I64,
+        )])));
+        sys.adg.add_edge(sw, pe).unwrap();
+        assert!(dirty_set(&sched, &mdfg, &sys).is_empty());
+        let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
+        assert_eq!(outcome, RepairOutcome::Intact);
+        assert_eq!(again.assignment, sched.assignment);
+    }
+
+    #[test]
+    fn footprint_remove_unused_pe_is_clean() {
         let (mdfg, mut sys, sched) = setup();
         // remove a PE that is NOT used by the schedule
         let used = sched.used_adg_nodes();
@@ -157,22 +432,26 @@ mod tests {
             .find(|id| !used.contains(id))
             .expect("tiny mesh has spare PEs");
         sys.adg.remove_node(victim);
+        assert!(dirty_set(&sched, &mdfg, &sys).is_empty());
         let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
         assert_eq!(outcome, RepairOutcome::Intact);
         assert_eq!(again.assignment, sched.assignment);
     }
 
     #[test]
-    fn repairs_after_used_pe_removed() {
+    fn footprint_structural_used_pe_removed_falls_back() {
         let (mdfg, mut sys, sched) = setup();
         // remove the PE the add instruction sits on
-        let inst_pe = *sched
+        let inst = *sched
             .assignment
             .iter()
-            .find(|(mid, _)| mdfg.node(**mid).unwrap().kind() == overgen_mdfg::MdfgNodeKind::Inst)
-            .map(|(_, a)| a)
+            .find(|(mid, _)| mdfg.node(**mid).unwrap().kind() == MdfgNodeKind::Inst)
+            .map(|(mid, _)| mid)
             .unwrap();
+        let inst_pe = sched.assignment[&inst];
         sys.adg.remove_node(inst_pe);
+        let dirty = dirty_set(&sched, &mdfg, &sys);
+        assert!(dirty.contains(&inst), "the evicted instruction is dirty");
         let (again, outcome) = repair(&sched, &mdfg, &sys).unwrap();
         match outcome {
             RepairOutcome::Repaired { moved } => assert!(moved >= 1),

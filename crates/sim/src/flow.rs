@@ -272,7 +272,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
             }
             // Stream-table issue: one stream per cycle. Without the
             // one-hot bypass a lone stream issues every other cycle.
-            if active.len() == 1 && !cfg.one_hot_bypass && cycles % 2 == 0 {
+            if active.len() == 1 && !cfg.one_hot_bypass && cycles.is_multiple_of(2) {
                 continue;
             }
             let pick = active[rr_offset % active.len()];
@@ -281,7 +281,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
             // Budget gating for DMA traffic; strided streams waste a
             // multiple of their useful bytes on partially-used lines.
             if st.kind == EngineKind::Dma {
-                quantum = (quantum.min(l2_budget).min(noc_budget) / st.mem_amp).max(0);
+                quantum = quantum.min(l2_budget).min(noc_budget) / st.mem_amp;
                 if quantum == 0 {
                     continue;
                 }
@@ -353,13 +353,13 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
 
         // 2. Fabric fires when all input quanta are present and all output
         //    FIFOs have space (and the dependency interval has elapsed).
-        if fired < firings_tile && cycles % fire_interval == 0 {
+        if fired < firings_tile && cycles.is_multiple_of(fire_interval) {
             let mut can_fire = true;
             for st in &streams {
                 if st.is_write || !st.has_port {
                     continue;
                 }
-                let needs_refresh = fired % st.stationary == 0;
+                let needs_refresh = fired.is_multiple_of(st.stationary);
                 if needs_refresh && st.fifo < st.bytes_per_firing {
                     can_fire = false;
                     break;
@@ -388,7 +388,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
                     }
                     if st.is_write {
                         st.fifo += st.bytes_per_firing;
-                    } else if fired % st.stationary == 0 {
+                    } else if fired.is_multiple_of(st.stationary) {
                         st.fifo -= st.bytes_per_firing;
                     }
                 }

@@ -189,7 +189,7 @@ mod tests {
             assert!(t.tuning().tuned);
             assert!(
                 !t.traits().variable_trip_count
-                    || t.nest().has_variable_trip() == false
+                    || !t.nest().has_variable_trip()
                     || t.tuning().tuned
             );
         }

@@ -48,7 +48,7 @@ fn overlay_is_competitive_with_hls_on_its_domain() {
     // Not an exact paper claim at tiny DSE scale; just sanity that the two
     // stacks land within two orders of magnitude and both are positive.
     let fir = workloads::by_name("fir").unwrap();
-    let overlay = generate(&[fir.clone()], &quick_dse(15, 3));
+    let overlay = generate(std::slice::from_ref(&fir), &quick_dse(15, 3));
     let app = overlay.compile(&fir).expect("fir maps");
     let og = overlay.run_seconds(&app);
     let hls = explore(&fir, &AutoDseConfig::default()).best.seconds;

@@ -42,8 +42,12 @@ fn traced_dse_exchanging(
     (result, ring.to_jsonl())
 }
 
+/// Comparable view of a run: objective bits, ADG fingerprint, annealing
+/// history, and chosen variants.
+type Digest = (u64, u64, Vec<(u64, u64)>, Vec<(String, u32)>);
+
 /// Everything observable about a run, in comparable form.
-fn digest(r: &DseResult) -> (u64, u64, Vec<(u64, u64)>, Vec<(String, u32)>) {
+fn digest(r: &DseResult) -> Digest {
     (
         r.objective.to_bits(),
         r.sys_adg.fingerprint(),

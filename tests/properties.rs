@@ -10,7 +10,9 @@ use overgen_compiler::{lower, CompileOptions, LowerChoices};
 use overgen_dse::{random_mutation, Dse, DseConfig, TransformCtx};
 use overgen_ir::{expr, DataType, Kernel, KernelBuilder, Suite};
 use overgen_mdfg::Mdfg;
-use overgen_scheduler::{repair, schedule, RepairOutcome, Schedule};
+use overgen_scheduler::{
+    repair, repair_with, schedule, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint,
+};
 use overgen_telemetry::Rng;
 
 /// A random but well-formed elementwise kernel.
@@ -117,7 +119,7 @@ fn repair_after_mutations_yields_valid_schedules() {
     let mut repaired_some = 0;
     for tag in 0..24 {
         let k = arb_kernel(&mut rng, tag);
-        let cap_pool = Dse::cap_pool(&[k.clone()]);
+        let cap_pool = Dse::cap_pool(std::slice::from_ref(&k));
         let base = mesh(&MeshSpec::general());
         let sys = SysAdg::new(base.clone(), SystemParams::default());
         let mdfg = lower(
@@ -183,6 +185,80 @@ fn repair_after_mutations_yields_valid_schedules() {
     assert!(repaired_some >= 8, "only {repaired_some} repairs exercised");
 }
 
+/// The repair engine's core contract: for any random mutation sequence,
+/// the incremental fast path and a forced full re-placement produce the
+/// *same* schedule — same validity, same mapping, same estimated latency
+/// (bit-identical IPC), same outcome classification.
+#[test]
+fn incremental_repair_equals_full_replacement() {
+    let mut rng = Rng::seed_from_u64(0x1C4E);
+    let mut compared = 0;
+    for tag in 0..32 {
+        let k = arb_kernel(&mut rng, tag);
+        let cap_pool = Dse::cap_pool(std::slice::from_ref(&k));
+        let base = mesh(&MeshSpec::general());
+        let sys = SysAdg::new(base.clone(), SystemParams::default());
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Ok(prior) = schedule(&mdfg, &sys, None) else {
+            continue;
+        };
+
+        let mut adg = base;
+        let mut schedules = vec![prior];
+        let mut footprint = ScheduleFootprint::Pure;
+        for _ in 0..rng.gen_range(1usize..=4) {
+            let preserving = rng.gen_bool(0.7);
+            let mut ctx = TransformCtx {
+                cap_pool: &cap_pool,
+                schedules: &mut schedules,
+                preserving,
+            };
+            let (_, fp) = random_mutation(&mut adg, &mut ctx, &mut rng);
+            footprint = footprint.merge(fp);
+        }
+        let prior = schedules.pop().unwrap();
+        let mutated = SysAdg::new(adg, SystemParams::default());
+        if mutated.validate().is_err() {
+            continue;
+        }
+
+        let opts = |incremental| RepairOptions {
+            incremental,
+            footprint: Some(footprint),
+        };
+        let fast = repair_with(&prior, &mdfg, &mutated, &opts(true));
+        let full = repair_with(&prior, &mdfg, &mutated, &opts(false));
+        match (fast, full) {
+            (Ok((fs, fo)), Ok((gs, go))) => {
+                assert_eq!(fo, go, "outcome classification diverged");
+                assert_eq!(
+                    fs.est.ipc.to_bits(),
+                    gs.est.ipc.to_bits(),
+                    "estimated latency diverged"
+                );
+                assert_eq!(fs, gs, "incremental repair != full re-placement");
+                assert_schedule_valid(&fs, &mdfg, &mutated);
+                compared += 1;
+            }
+            (Err(_), Err(_)) => {} // both modes agree the mapping is dead
+            (a, b) => panic!(
+                "repair modes disagree on schedulability: fast={:?} full={:?}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+    assert!(compared >= 10, "only {compared} repairs compared");
+}
+
 #[test]
 fn cached_evaluations_equal_fresh_evaluations() {
     // Identical configs except for the cache must walk identical
@@ -230,7 +306,7 @@ fn dse_stats_account_every_cache_lookup() {
     };
     let r = Dse::new(vec![k], cfg).run().unwrap();
     // one lookup per annealing iteration plus the seed evaluation(s)
-    assert!(r.stats.cache_hits + r.stats.cache_misses >= r.stats.iterations + 1);
+    assert!(r.stats.cache_hits + r.stats.cache_misses > r.stats.iterations);
     assert!(r.stats.cache_misses >= 1);
 }
 

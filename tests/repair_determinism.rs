@@ -1,0 +1,90 @@
+//! The repair fast path's observability contract: `DseConfig::repair`
+//! (env `OVERGEN_REPAIR` in the bench harness) switches eligible repairs
+//! between the incremental fast path and a verified full placement — and
+//! that switch must be *invisible*: bit-identical results, identical
+//! counters, and byte-identical deterministic-clock JSONL traces.
+
+use overgen_compiler::CompileOptions;
+use overgen_dse::{Dse, DseConfig, DseResult};
+use overgen_telemetry::Collector;
+use overgen_workloads as workloads;
+
+/// One traced DSE run over the fir workload with the given repair mode.
+fn traced_dse(repair: bool, threads: usize, iterations: usize) -> (DseResult, String) {
+    let (collector, ring) = Collector::ring(1 << 18);
+    let _install = overgen_telemetry::install(collector);
+
+    let cfg = DseConfig {
+        iterations,
+        seed: 0x4E0A_14D5, // deterministic; same for every run
+        threads,
+        repair,
+        compile: CompileOptions {
+            max_unroll: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let domain = vec![workloads::by_name("fir").unwrap()];
+    let result = Dse::new(domain, cfg).run().unwrap();
+    (result, ring.to_jsonl())
+}
+
+/// Comparable view of a run: objective bits, ADG fingerprint, annealing
+/// history, and chosen variants.
+type Digest = (u64, u64, Vec<(u64, u64)>, Vec<(String, u32)>);
+
+/// Everything observable about a run, in comparable form.
+fn digest(r: &DseResult) -> Digest {
+    (
+        r.objective.to_bits(),
+        r.sys_adg.fingerprint(),
+        r.history
+            .iter()
+            .map(|(h, o)| (h.to_bits(), o.to_bits()))
+            .collect(),
+        r.variants.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+    )
+}
+
+#[test]
+fn repair_mode_does_not_change_results_or_traces() {
+    let (on, trace_on) = traced_dse(true, 1, 25);
+    let (off, trace_off) = traced_dse(false, 1, 25);
+    assert_eq!(digest(&on), digest(&off), "repair mode changed the result");
+    assert_eq!(on.schedules, off.schedules);
+    assert_eq!(on.stats, off.stats, "repair mode changed the counters");
+    assert_eq!(trace_on, trace_off, "repair mode changed the trace");
+    assert!(!trace_on.is_empty());
+    // The run must actually exercise the fast path, or this test proves
+    // nothing.
+    assert!(on.stats.repair_fast > 0, "no fast-path repairs ran");
+}
+
+#[test]
+fn repair_mode_is_invisible_at_any_thread_count() {
+    let (on, trace_on) = traced_dse(true, 4, 15);
+    let (off, trace_off) = traced_dse(false, 4, 15);
+    assert_eq!(digest(&on), digest(&off));
+    assert_eq!(on.stats, off.stats);
+    assert_eq!(trace_on, trace_off);
+    // ... and against the serial runs of the other test's config shape.
+    let (serial_on, serial_trace) = traced_dse(true, 1, 15);
+    assert_eq!(digest(&on), digest(&serial_on));
+    assert_eq!(trace_on, serial_trace);
+}
+
+#[test]
+fn fast_path_carries_most_accepted_proposals() {
+    // The ISSUE's acceptance bar: the incremental fast path must handle at
+    // least half of all per-workload scheduling decisions in a preserving
+    // DSE run.
+    let (r, _) = traced_dse(true, 1, 60);
+    let decisions = r.stats.repair_fast + r.stats.repair_fallback + r.stats.full_schedules;
+    assert!(
+        r.stats.repair_fast * 2 >= decisions,
+        "fast path carried only {}/{} scheduling decisions",
+        r.stats.repair_fast,
+        decisions
+    );
+}

@@ -47,6 +47,8 @@ fn traced_run() -> (String, DseStats, DseStats) {
         intact: r.counter_value("dse.intact") as usize,
         cache_hits: r.counter_value("dse.cache.hit") as usize,
         cache_misses: r.counter_value("dse.cache.miss") as usize,
+        repair_fast: r.counter_value("scheduler.repair.fast") as usize,
+        repair_fallback: r.counter_value("scheduler.repair.fallback") as usize,
     };
     (ring.to_jsonl(), stats, registry_view)
 }

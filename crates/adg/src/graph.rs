@@ -67,11 +67,11 @@ impl std::error::Error for AdgError {}
 #[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Adg {
-    slots: Vec<Option<AdgNode>>,
+    pub(crate) slots: Vec<Option<AdgNode>>,
     /// Outgoing adjacency per slot (indices parallel `slots`).
-    out_adj: Vec<Vec<NodeId>>,
+    pub(crate) out_adj: Vec<Vec<NodeId>>,
     /// Incoming adjacency per slot.
-    in_adj: Vec<Vec<NodeId>>,
+    pub(crate) in_adj: Vec<Vec<NodeId>>,
 }
 
 impl Adg {

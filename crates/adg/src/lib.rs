@@ -33,6 +33,7 @@
 mod fingerprint;
 mod graph;
 mod node;
+mod portable;
 mod summary;
 mod system;
 mod topology;
@@ -43,6 +44,7 @@ pub use node::{
     AdgNode, DmaNode, GenNode, InPortNode, NodeKind, OutPortNode, PeNode, RecNode, RegNode,
     SpadNode, SwitchNode,
 };
+pub use portable::PortableAdg;
 pub use summary::AdgSummary;
 pub use system::{SysAdg, SystemParams};
 pub use topology::{mesh, MeshSpec};

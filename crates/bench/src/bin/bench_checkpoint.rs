@@ -1,0 +1,9 @@
+//! Measures checkpoint write overhead and verifies kill-and-resume
+//! equivalence, recording both in `results/BENCH_checkpoint.json`.
+
+fn main() {
+    overgen_bench::run_experiment("checkpoint", || {
+        let report = overgen_bench::experiments::checkpoint::run();
+        overgen_bench::experiments::checkpoint::render(&report)
+    });
+}

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md section 4 for the index).
 
 pub mod ablations;
+pub mod checkpoint;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;

@@ -247,7 +247,17 @@ pub fn og_seconds_with(
     let mut best: Option<f64> = None;
     let mut consider = |k: &Kernel| {
         if let Ok(app) = overlay.compile(k) {
-            let secs = overlay.execute_with(&app, sim).seconds(overlay.fmax_mhz());
+            let report = overlay.execute_with(&app, sim);
+            // A truncated simulation never reached steady state; its cycle
+            // count is a lower bound, not a datapoint. Feeding it into a
+            // table would silently skew every derived speedup, so refuse.
+            assert!(
+                !report.truncated,
+                "simulation of `{}` hit the cycle cap — raise \
+                 SimConfig::max_cycles instead of benchmarking a truncated run",
+                k.name(),
+            );
+            let secs = report.seconds(overlay.fmax_mhz());
             best = Some(best.map_or(secs, |b: f64| b.min(secs)));
         }
     };

@@ -14,7 +14,7 @@
 //! caller computes, making misses = distinct keys and hits = lookups −
 //! distinct keys.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use overgen_adg::StableHasher;
@@ -23,20 +23,41 @@ use overgen_scheduler::Schedule;
 
 /// A concurrent memo table from fingerprint keys to lazily-computed
 /// values.
+///
+/// A table can carry a *warm set*: keys a previous run of the same search
+/// already computed (restored from a checkpoint, which stores cache keys
+/// but not the cached artifacts — they are cheap to recompute and huge to
+/// serialize). The first lookup of a warm key recomputes the value but
+/// reports a **hit**, because the uninterrupted run it must be
+/// observationally identical to would have served that lookup from cache.
+/// Evaluations are deterministic functions of their key, so the recomputed
+/// artifact (including its captured trace) matches the original byte for
+/// byte.
 pub(crate) struct Memo<V> {
     map: Mutex<BTreeMap<u64, Arc<OnceLock<V>>>>,
+    warm: BTreeSet<u64>,
 }
 
 impl<V> Memo<V> {
     pub(crate) fn new() -> Self {
         Memo {
             map: Mutex::new(BTreeMap::new()),
+            warm: BTreeSet::new(),
+        }
+    }
+
+    /// A table whose hit/miss accounting treats `keys` as already seen.
+    pub(crate) fn with_warm(keys: impl IntoIterator<Item = u64>) -> Self {
+        Memo {
+            map: Mutex::new(BTreeMap::new()),
+            warm: keys.into_iter().collect(),
         }
     }
 
     /// Look up `key`, computing the value with `compute` on first sight.
     /// Returns the (now initialized) cell plus whether *this* call did the
-    /// computation — i.e. whether the lookup was a miss.
+    /// computation — i.e. whether the lookup was a miss. Warm keys never
+    /// report a miss (see type docs).
     pub(crate) fn get_or_compute(
         &self,
         key: u64,
@@ -54,7 +75,15 @@ impl<V> Memo<V> {
             miss = true;
             compute()
         });
-        (cell, miss)
+        (cell, miss && !self.warm.contains(&key))
+    }
+
+    /// Every key this table has seen: computed ones plus still-warm ones,
+    /// sorted. This is what a checkpoint persists.
+    pub(crate) fn keys(&self) -> Vec<u64> {
+        let mut keys: BTreeSet<u64> = self.map.lock().unwrap().keys().copied().collect();
+        keys.extend(self.warm.iter().copied());
+        keys.into_iter().collect()
     }
 
     /// Number of distinct keys ever computed.
@@ -126,6 +155,22 @@ mod tests {
         assert_eq!(computed.load(Ordering::Relaxed), 3);
         assert_eq!((misses, hits), (3, 3));
         assert_eq!(memo.len(), 3);
+    }
+
+    #[test]
+    fn warm_keys_report_hits_on_first_lookup() {
+        let memo: Memo<u64> = Memo::with_warm([7u64]);
+        let (cell, miss) = memo.get_or_compute(7, || 70);
+        assert_eq!(*cell.get().unwrap(), 70);
+        assert!(!miss, "warm key must not count as a miss");
+        let (_, again) = memo.get_or_compute(7, || unreachable!("already computed"));
+        assert!(!again);
+        let (_, fresh) = memo.get_or_compute(8, || 80);
+        assert!(fresh);
+        // keys() covers computed and warm keys alike, sorted.
+        assert_eq!(memo.keys(), vec![7, 8]);
+        let untouched: Memo<u64> = Memo::with_warm([3u64, 1]);
+        assert_eq!(untouched.keys(), vec![1, 3]);
     }
 
     #[test]

@@ -19,8 +19,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Instant;
 
-use overgen_telemetry::{capture, capture_isolated, event, replay, span, Counter, Registry, Rng};
+use overgen_telemetry::{
+    capture, capture_isolated, event, replay, span, Counter, FieldValue, Registry, Rng, SpanGuard,
+};
 
 use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, StableHasher, SysAdg, SystemParams};
 use overgen_compiler::{compile_variants, CompileOptions};
@@ -30,6 +33,7 @@ use overgen_model::{accelerator_resources, AnalyticModel, Placement, ResourceMod
 use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint};
 
 use crate::cache::{hash_placement, hash_schedule, Memo};
+use crate::checkpoint::{Checkpoint, CheckpointConfig, TraceCursor};
 use crate::pool::fan_out;
 use crate::system::{system_dse, SystemDseConfig};
 use crate::transforms::{random_mutation, TransformCtx};
@@ -72,6 +76,23 @@ pub struct DseConfig {
     /// assert it equals the fast reconstruction — results, counters, and
     /// traces must be byte-identical in both modes.
     pub repair: bool,
+    /// Periodic crash-safe checkpointing: every `interval` proposals the
+    /// full annealer state is atomically written to `path`, and
+    /// [`Checkpoint::load`] + [`Checkpoint::resume`] continue the run with
+    /// byte-identical results (see `checkpoint.rs` and `DESIGN.md` §9).
+    /// `None` disables checkpointing.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Graceful-stop proposal budget: stop at the first segment boundary
+    /// once this many proposals have run per chain, finalize a checkpoint
+    /// (when configured) instead of tearing down mid-proposal, and return
+    /// with [`DseResult::completed`] `false`. `None` = run to
+    /// `iterations`. Not persisted in checkpoints.
+    pub max_proposals: Option<usize>,
+    /// Graceful-stop wall-clock budget in seconds, checked at segment
+    /// boundaries. Inherently non-deterministic in *where* it stops, but
+    /// the finalized checkpoint still resumes deterministically. Not
+    /// persisted in checkpoints.
+    pub max_wall_seconds: Option<f64>,
 }
 
 impl Default for DseConfig {
@@ -89,11 +110,14 @@ impl Default for DseConfig {
             exchange_interval: 25,
             cache: true,
             repair: true,
+            checkpoint: None,
+            max_proposals: None,
+            max_wall_seconds: None,
         }
     }
 }
 
-/// Why a DSE run could not start.
+/// Why a DSE run could not start or continue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DseError {
     /// The seed accelerator could not schedule every workload in the
@@ -102,6 +126,10 @@ pub enum DseError {
         /// Port-widening rounds attempted before giving up.
         widenings: usize,
     },
+    /// A checkpoint could not be written, read, or resumed. Checkpoint
+    /// write failures are hard errors: silently continuing would leave the
+    /// user believing the run is crash-safe when it is not.
+    Checkpoint(String),
 }
 
 impl fmt::Display for DseError {
@@ -112,6 +140,7 @@ impl fmt::Display for DseError {
                 "seed accelerator cannot schedule the domain \
                  (after {widenings} port-widening rounds)"
             ),
+            DseError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -148,6 +177,25 @@ pub struct DseStats {
     pub repair_fast: usize,
     /// Repairs that fell back to a seeded full placement.
     pub repair_fallback: usize,
+}
+
+impl DseStats {
+    /// Field-wise sum: stats a checkpoint accumulated before the cut plus
+    /// the delta the resumed run adds on top.
+    pub fn merged(&self, other: &DseStats) -> DseStats {
+        DseStats {
+            iterations: self.iterations + other.iterations,
+            accepted: self.accepted + other.accepted,
+            invalid: self.invalid + other.invalid,
+            full_schedules: self.full_schedules + other.full_schedules,
+            repairs: self.repairs + other.repairs,
+            intact: self.intact + other.intact,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            repair_fast: self.repair_fast + other.repair_fast,
+            repair_fallback: self.repair_fallback + other.repair_fallback,
+        }
+    }
 }
 
 /// Live counters on the run registry. Only the values updated *directly*
@@ -232,8 +280,13 @@ pub struct DseResult {
     /// Total simulated DSE hours (Figure 15 accounting): chains run
     /// concurrently, so this is the *maximum* over chains, not the sum.
     pub dse_hours: f64,
-    /// Activity counters (summed over all chains).
+    /// Activity counters (summed over all chains; for a resumed run,
+    /// summed over every leg of the run).
     pub stats: DseStats,
+    /// `true` when the run reached `iterations`; `false` when a graceful
+    /// stop ([`DseConfig::max_proposals`] / `max_wall_seconds`) ended it
+    /// early with a finalized checkpoint to resume from.
+    pub completed: bool,
 }
 
 /// A memoized evaluation: outcome plus every side effect it produced, so
@@ -275,16 +328,18 @@ struct EvalCounters {
     repair_moved: overgen_telemetry::Histogram,
 }
 
-/// One annealing chain's mutable state.
-struct ChainState {
-    rng: Rng,
-    cur_adg: Adg,
-    cur: EvalState,
-    best_adg: Adg,
-    best: EvalState,
-    sim_seconds: f64,
-    history: Vec<(f64, f64)>,
-    t0: f64,
+/// One annealing chain's mutable state. `Clone` + `pub(crate)` so
+/// checkpoints can snapshot and rebuild it (`checkpoint.rs`).
+#[derive(Clone)]
+pub(crate) struct ChainState {
+    pub(crate) rng: Rng,
+    pub(crate) cur_adg: Adg,
+    pub(crate) cur: EvalState,
+    pub(crate) best_adg: Adg,
+    pub(crate) best: EvalState,
+    pub(crate) sim_seconds: f64,
+    pub(crate) history: Vec<(f64, f64)>,
+    pub(crate) t0: f64,
 }
 
 /// The DSE driver.
@@ -377,7 +432,7 @@ impl Dse {
     /// Everything outside the ADG that evaluation outcomes depend on.
     /// Folded into every cache key so a `Memo` never confuses two
     /// configurations (cheap insurance, even though caches are per-run).
-    fn config_hash(cfg: &DseConfig) -> u64 {
+    pub(crate) fn config_hash(cfg: &DseConfig) -> u64 {
         let mut h = StableHasher::new();
         h.write_str(cfg.system.device.name);
         h.write_f64(cfg.system.device.total.lut);
@@ -415,7 +470,7 @@ impl Dse {
                 .unwrap_or(1),
             t => t,
         };
-        let _run_span = span!(
+        let run_span = span!(
             "dse.run",
             seed = self.cfg.seed,
             iterations = self.cfg.iterations,
@@ -479,7 +534,7 @@ impl Dse {
         // RNGs.
         let t0 = (seed_state.objective * 0.25).max(1e-3);
         let mut master = Rng::seed_from_u64(self.cfg.seed);
-        let mut states: Vec<ChainState> = (0..chains)
+        let states: Vec<ChainState> = (0..chains)
             .map(|_| ChainState {
                 rng: master.split(),
                 cur_adg: cur_adg.clone(),
@@ -492,18 +547,146 @@ impl Dse {
             })
             .collect();
 
-        // Island-model segments: run every chain for `exchange_interval`
-        // iterations (concurrently when threads allow), replay their
-        // telemetry in chain order, then share the globally best state.
+        let out = self.run_loop(&rc, states, 0, DseStats::default(), base, &run_span)?;
+        Ok(DseResult {
+            sys_adg: SysAdg::new(out.champ.best_adg, out.champ.best.sys),
+            schedules: out.champ.best.schedules,
+            variants: out.champ.best.variants,
+            mdfgs,
+            objective: out.champ.best.objective,
+            history: out.champ.history,
+            dse_hours: out.dse_hours,
+            stats: out.stats,
+            completed: out.completed,
+        })
+    }
+
+    /// Continue a checkpointed run: rebuild the run context with warmed
+    /// caches, restore the telemetry cursor and re-enter the `dse.run`
+    /// span, then run the shared annealing loop from `ck.done`. The seed
+    /// evaluation is skipped entirely — the chains carry their state.
+    pub(crate) fn resume_from(&self, ck: &Checkpoint) -> Result<DseResult, DseError> {
+        let threads = match self.cfg.threads {
+            0 => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            t => t,
+        };
+        // Variants are recompiled rather than persisted (large, and a
+        // deterministic function of the kernels). The interrupted run
+        // emitted its `dse.compile_variants` span *before* the cursor, so
+        // recompilation runs under a discarded capture collector and the
+        // resumed trace continues exactly at the cursor.
+        let (mdfgs, _trace, _registry) = capture_isolated(|| {
+            let mut m: BTreeMap<String, Vec<Mdfg>> = BTreeMap::new();
+            for k in &self.workloads {
+                let vs = compile_variants(k, &self.cfg.compile).unwrap_or_default();
+                m.insert(k.name().to_string(), vs);
+            }
+            m
+        });
+
+        let collector = overgen_telemetry::current();
+        if let (Some(c), Some(cur)) = (collector.as_ref(), ck.cursor.as_ref()) {
+            c.restore_cursor(cur.seq, cur.tick);
+        }
+        let run_span = SpanGuard::reenter(
+            "dse.run",
+            ck.cursor.as_ref().map_or(0, |c| c.span),
+            vec![
+                ("seed", FieldValue::from(self.cfg.seed)),
+                ("iterations", FieldValue::from(self.cfg.iterations)),
+                ("workloads", FieldValue::from(self.workloads.len())),
+                ("preserving", FieldValue::from(self.cfg.schedule_preserving)),
+                ("chains", FieldValue::from(ck.chains.len())),
+            ],
+        );
+
+        let ambient_registry = collector.as_ref().map(|c| c.registry().clone());
+        let run_registry = ambient_registry.unwrap_or_default();
+        let rc = RunCtx {
+            mdfgs: &mdfgs,
+            model: &AnalyticModel,
+            counters: DseCounters::attach(&run_registry),
+            run_registry: &run_registry,
+            eval_cache: Memo::with_warm(ck.eval_keys.iter().copied()),
+            sys_cache: Memo::with_warm(ck.sys_keys.iter().copied()),
+            cfg_hash: Self::config_hash(&self.cfg),
+            threads,
+            cache_enabled: self.cfg.cache,
+        };
+        run_registry.counter("dse.checkpoint.restore").inc();
+        let base = stat_totals(&run_registry);
+
+        let out = self.run_loop(&rc, ck.chains.clone(), ck.done, ck.stats, base, &run_span)?;
+        Ok(DseResult {
+            sys_adg: SysAdg::new(out.champ.best_adg, out.champ.best.sys),
+            schedules: out.champ.best.schedules,
+            variants: out.champ.best.variants,
+            mdfgs,
+            objective: out.champ.best.objective,
+            history: out.champ.history,
+            dse_hours: out.dse_hours,
+            stats: out.stats,
+            completed: out.completed,
+        })
+    }
+
+    /// Island-model annealing loop shared by [`Dse::run`] and checkpoint
+    /// resume: run every chain segment by segment (concurrently when
+    /// threads allow), replay telemetry in chain order, exchange best
+    /// states at `exchange_interval` multiples, and write checkpoints at
+    /// `checkpoint.interval` multiples.
+    ///
+    /// Segment boundaries land on the *absolute-multiple* grid of both
+    /// intervals (not "every N from wherever we started"), so a resumed
+    /// run reproduces the uninterrupted run's segmentation no matter where
+    /// the cut fell. `prior` carries the stats a checkpoint accumulated
+    /// before the cut; `base` is the counter baseline of this leg.
+    fn run_loop(
+        &self,
+        rc: &RunCtx,
+        mut states: Vec<ChainState>,
+        mut done: usize,
+        prior: DseStats,
+        base: DseStats,
+        run_span: &SpanGuard,
+    ) -> Result<LoopOutcome, DseError> {
+        let iterations = self.cfg.iterations;
+        let chains = states.len();
         let exchange = self.cfg.exchange_interval.max(1);
+        let interval = self.cfg.checkpoint.as_ref().map(|c| c.interval.max(1));
+        let wall = Instant::now();
         let parent = overgen_telemetry::current();
-        let mut done = 0usize;
-        while done < self.cfg.iterations {
-            let seg = exchange.min(self.cfg.iterations - done);
+        let mut written_at = None::<usize>;
+        let mut stop_reason = None::<&'static str>;
+        while done < iterations {
+            if self.cfg.max_proposals.is_some_and(|b| done >= b) {
+                stop_reason = Some("proposals");
+                break;
+            }
+            if self
+                .cfg
+                .max_wall_seconds
+                .is_some_and(|w| wall.elapsed().as_secs_f64() >= w)
+            {
+                stop_reason = Some("wall_clock");
+                break;
+            }
+            let mut end = done + (exchange - done % exchange);
+            if let Some(i) = interval {
+                end = end.min(done + (i - done % i));
+            }
+            if let Some(b) = self.cfg.max_proposals {
+                end = end.min(b);
+            }
+            end = end.min(iterations);
+            let seg = end - done;
+
             let jobs: Vec<(usize, ChainState)> = states.into_iter().enumerate().collect();
-            let outputs = fan_out(threads.min(chains), jobs, |(idx, mut st)| {
+            let outputs = fan_out(rc.threads.min(chains), jobs, |(idx, mut st)| {
                 let ((), trace) = capture(parent.as_ref(), || {
-                    self.run_segment(&mut st, idx, done, seg, &rc);
+                    self.run_segment(&mut st, idx, done, seg, rc);
                 });
                 (st, trace)
             });
@@ -514,9 +697,9 @@ impl Dse {
                     st
                 })
                 .collect();
-            done += seg;
+            done = end;
 
-            if chains > 1 && done < self.cfg.iterations {
+            if chains > 1 && done < iterations && done.is_multiple_of(exchange) {
                 // Deterministic exchange: the best chain (ties to the
                 // lowest index) seeds everyone's *current* state; each
                 // chain's own best/history stay untouched.
@@ -535,6 +718,19 @@ impl Dse {
                     }
                 }
             }
+
+            if interval.is_some_and(|i| done.is_multiple_of(i)) {
+                self.write_checkpoint(rc, &states, done, &prior, &base, run_span)?;
+                written_at = Some(done);
+            }
+        }
+
+        // A graceful stop finalizes a checkpoint even off-interval; a run
+        // that completed (or stopped) exactly on an interval boundary
+        // already wrote it. The cursor is captured before the terminal
+        // event below, so resuming reproduces that event too.
+        if self.cfg.checkpoint.is_some() && written_at != Some(done) {
+            self.write_checkpoint(rc, &states, done, &prior, &base, run_span)?;
         }
 
         let winner = best_chain(&states);
@@ -543,25 +739,76 @@ impl Dse {
             .map(|s| s.sim_seconds / 3600.0)
             .fold(0.0f64, f64::max);
         let champ = states.swap_remove(winner);
-        let stats = stat_delta(&run_registry, &base);
-        event!(
-            "dse.done",
-            objective = champ.best.objective,
-            accepted = stats.accepted,
-            invalid = stats.invalid,
-            cache_hits = stats.cache_hits,
-            dse_hours = dse_hours,
-        );
-        Ok(DseResult {
-            sys_adg: SysAdg::new(champ.best_adg, champ.best.sys),
-            schedules: champ.best.schedules,
-            variants: champ.best.variants,
-            mdfgs,
-            objective: champ.best.objective,
-            history: champ.history,
+        let stats = prior.merged(&stat_delta(rc.run_registry, &base));
+        match stop_reason {
+            None => event!(
+                "dse.done",
+                objective = champ.best.objective,
+                accepted = stats.accepted,
+                invalid = stats.invalid,
+                cache_hits = stats.cache_hits,
+                dse_hours = dse_hours,
+            ),
+            Some(reason) => event!(
+                "dse.stopped",
+                at = done,
+                reason = reason,
+                objective = champ.best.objective,
+            ),
+        }
+        Ok(LoopOutcome {
+            champ,
             dse_hours,
             stats,
+            completed: stop_reason.is_none(),
         })
+    }
+
+    /// Snapshot the run into `cfg.checkpoint.path`. Hard-fails on write
+    /// errors (see [`DseError::Checkpoint`]). The write itself is
+    /// trace-invisible — only registry counters record it — so
+    /// checkpointing cannot perturb trace determinism.
+    fn write_checkpoint(
+        &self,
+        rc: &RunCtx,
+        states: &[ChainState],
+        done: usize,
+        prior: &DseStats,
+        base: &DseStats,
+        run_span: &SpanGuard,
+    ) -> Result<(), DseError> {
+        let Some(ckc) = self.cfg.checkpoint.as_ref() else {
+            return Ok(());
+        };
+        let cursor = overgen_telemetry::current().map(|c| {
+            let (seq, tick) = c.cursor();
+            TraceCursor {
+                seq,
+                tick,
+                span: run_span.handle().unwrap_or(0),
+            }
+        });
+        let ck = Checkpoint {
+            cfg: self.cfg.clone(),
+            workloads: self
+                .workloads
+                .iter()
+                .map(|k| k.name().to_string())
+                .collect(),
+            done,
+            stats: prior.merged(&stat_delta(rc.run_registry, base)),
+            chains: states.to_vec(),
+            eval_keys: rc.eval_cache.keys(),
+            sys_keys: rc.sys_cache.keys(),
+            cursor,
+        };
+        let t = Instant::now();
+        ck.save(&ckc.path)?;
+        rc.run_registry.counter("dse.checkpoint.write").inc();
+        rc.run_registry
+            .counter("dse.checkpoint.write_us")
+            .add(t.elapsed().as_micros() as u64);
+        Ok(())
     }
 
     /// Run `len` annealing iterations (numbers `start..start+len`) on one
@@ -934,6 +1181,14 @@ impl Dse {
     }
 }
 
+/// What the shared annealing loop hands back to `run`/`resume_from`.
+struct LoopOutcome {
+    champ: ChainState,
+    dse_hours: f64,
+    stats: DseStats,
+    completed: bool,
+}
+
 /// Index of the chain with the best `best.combined`; ties break to the
 /// lowest index so selection never depends on scheduling.
 fn best_chain(states: &[ChainState]) -> usize {
@@ -946,13 +1201,15 @@ fn best_chain(states: &[ChainState]) -> usize {
     winner
 }
 
+/// Outcome of evaluating one design point. `pub(crate)` so checkpoints
+/// can persist and rebuild it (`checkpoint.rs`).
 #[derive(Debug, Clone)]
-struct EvalState {
-    sys: SystemParams,
-    schedules: BTreeMap<String, Schedule>,
-    variants: BTreeMap<String, u32>,
-    objective: f64,
-    combined: f64,
+pub(crate) struct EvalState {
+    pub(crate) sys: SystemParams,
+    pub(crate) schedules: BTreeMap<String, Schedule>,
+    pub(crate) variants: BTreeMap<String, u32>,
+    pub(crate) objective: f64,
+    pub(crate) combined: f64,
 }
 
 #[cfg(test)]

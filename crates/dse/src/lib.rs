@@ -47,11 +47,13 @@
 //! ```
 
 mod cache;
+mod checkpoint;
 mod engine;
 mod pool;
 mod system;
 mod transforms;
 
+pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use engine::{Dse, DseConfig, DseError, DseResult, DseStats};
 pub use system::{system_dse, SystemDseConfig};
 pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

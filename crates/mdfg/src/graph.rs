@@ -14,6 +14,13 @@ impl MdfgNodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct from a raw index. Only meaningful for indices previously
+    /// obtained via [`MdfgNodeId::index`] on the same graph (checkpoint
+    /// round trips of id-keyed side tables).
+    pub fn from_index(i: usize) -> Self {
+        MdfgNodeId(i as u32)
+    }
 }
 
 impl fmt::Display for MdfgNodeId {

@@ -188,7 +188,20 @@ pub(crate) fn strided_pattern() -> overgen_mdfg::StreamPattern {
 /// Weighted geometric mean of per-workload IPCs — the DSE objective
 /// ("mean performance of the best-performing mDFG for each workload",
 /// §III-A).
+/// An empty slice or a non-positive weight is a caller bug — the DSE
+/// objective would silently collapse to 0.0 and every proposal would look
+/// equally worthless. Both are hard errors in debug builds; release builds
+/// keep the 0.0 escape hatch so a malformed run degrades instead of
+/// aborting mid-anneal.
 pub fn weighted_geomean_ipc(ipcs: &[(f64, f64)]) -> f64 {
+    debug_assert!(
+        !ipcs.is_empty(),
+        "weighted_geomean_ipc: empty input (objective would be 0.0)"
+    );
+    debug_assert!(
+        ipcs.iter().all(|&(_, w)| w > 0.0),
+        "weighted_geomean_ipc: non-positive weight in {ipcs:?}"
+    );
     let total_w: f64 = ipcs.iter().map(|(_, w)| w).sum();
     if total_w <= 0.0 {
         return 0.0;
@@ -334,10 +347,23 @@ mod tests {
     fn geomean() {
         let v = weighted_geomean_ipc(&[(4.0, 1.0), (16.0, 1.0)]);
         assert!((v - 8.0).abs() < 1e-9);
-        assert_eq!(weighted_geomean_ipc(&[]), 0.0);
         // weights shift the mean
         let w = weighted_geomean_ipc(&[(4.0, 3.0), (16.0, 1.0)]);
         assert!(w < 8.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "empty input")]
+    fn geomean_rejects_empty_input() {
+        weighted_geomean_ipc(&[]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-positive weight")]
+    fn geomean_rejects_non_positive_weight() {
+        weighted_geomean_ipc(&[(4.0, 1.0), (16.0, 0.0)]);
     }
 
     #[test]

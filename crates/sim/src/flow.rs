@@ -201,7 +201,33 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
     let engine_bw: BTreeMap<NodeId, u64> = engine_streams
         .keys()
         .map(|e| {
-            let bw = sys.adg.node(*e).and_then(AdgNode::engine_bw).unwrap_or(8);
+            let bw = match sys.adg.node(*e).and_then(AdgNode::engine_bw) {
+                Some(bw) => bw,
+                None => {
+                    // A stream bound to a node without engine bandwidth
+                    // (missing, or not an engine kind) is a scheduler bug:
+                    // loud in debug, counted and traced in release so a
+                    // silently-assumed 8 B/cycle never skews results
+                    // unnoticed.
+                    debug_assert!(
+                        false,
+                        "stream engine n{} of `{}` is not an engine node; \
+                         defaulting to 8 B/cycle",
+                        e.index(),
+                        mdfg.name(),
+                    );
+                    if let Some(c) = overgen_telemetry::current() {
+                        c.registry().counter("sim.engine_bw_default").inc();
+                    }
+                    event!(
+                        "sim.engine_bw_default",
+                        mdfg = mdfg.name(),
+                        node = e.index() as u64,
+                        assumed_bw = 8u64,
+                    );
+                    8
+                }
+            };
             (*e, u64::from(bw))
         })
         .collect();
@@ -265,7 +291,7 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
             let active: Vec<usize> = list
                 .iter()
                 .copied()
-                .filter(|&i| stream_active(&streams[i], firings_tile))
+                .filter(|&i| stream_active(&streams[i], fired, firings_tile))
                 .collect();
             if active.is_empty() {
                 continue;
@@ -448,15 +474,19 @@ pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) ->
 
 /// Whether a stream still needs engine issue slots. Recurrence *read*
 /// streams are filled directly by the forward of their paired write
-/// stream, so they never occupy an issue slot.
-fn stream_active(st: &StreamState, _firings_tile: u64) -> bool {
+/// stream, so they never occupy an issue slot. Read streams go inactive
+/// once compute has issued every firing they feed: bytes they have not
+/// fetched by then will never be consumed, and fetching them anyway would
+/// burn shared L2/NoC/DRAM budget (and round-robin slots) that write
+/// drains still need — over-fetch used to inflate cycle counts here.
+fn stream_active(st: &StreamState, fired: u64, firings_tile: u64) -> bool {
     if st.kind == EngineKind::Rec && !st.is_write {
         return false;
     }
     if st.is_write {
         st.fifo > 0 || st.moved < st.total_bytes
     } else {
-        st.moved < st.total_bytes
+        fired < firings_tile && st.moved < st.total_bytes
     }
 }
 
@@ -642,6 +672,80 @@ mod tests {
         let r = simulate(&mdfg, &sched, &sys, &SimConfig::default());
         assert!(!r.truncated);
         assert!(r.bytes_rec > 0, "recurrence engine unused");
+    }
+
+    #[test]
+    fn broadcast_read_stops_fetching_after_last_firing() {
+        // Regression: a broadcast read stream's byte budget (the whole
+        // replicated array) far exceeds what compute consumes. It used to
+        // stay active after the last firing, stealing round-robin slots
+        // and shared budget from the write drain — inflating cycle counts.
+        use overgen_mdfg::{ArrayNode, InstNode, MdfgNode, MemPref, ReuseInfo, StreamNode};
+        let firings = 256u64;
+        let mut g = Mdfg::new("overfetch", 0);
+        g.set_unroll(1);
+        g.set_total_iterations(firings as f64);
+        let big = ReuseInfo {
+            traffic_bytes: 1024.0 * 1024.0,
+            footprint_bytes: 1024.0 * 1024.0,
+            ..ReuseInfo::default()
+        };
+        let out = ReuseInfo {
+            traffic_bytes: firings as f64 * 16.0,
+            footprint_bytes: firings as f64 * 16.0,
+            ..ReuseInfo::default()
+        };
+        let aa = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "a",
+            131072,
+            MemPref::PreferDram,
+        )));
+        let ac = g.add_node(MdfgNode::Array(ArrayNode::new(
+            "c",
+            4096,
+            MemPref::PreferDram,
+        )));
+        let ra = g.add_node(MdfgNode::InputStream(
+            StreamNode::read("a", 8, big).with_broadcast(),
+        ));
+        let add = g.add_node(MdfgNode::Inst(InstNode::new(
+            overgen_ir::Op::Add,
+            DataType::I64,
+            1,
+        )));
+        let wc = g.add_node(MdfgNode::OutputStream(StreamNode::write("c", 16, out)));
+        g.add_edge(aa, ra).unwrap();
+        g.add_edge(ra, add).unwrap();
+        g.add_edge(add, wc).unwrap();
+        g.add_edge(wc, ac).unwrap();
+
+        let sys = SysAdg::new(
+            mesh(&MeshSpec::default()),
+            SystemParams {
+                tiles: 1,
+                l2_banks: 4,
+                l2_kb: 256,
+                noc_bw_bytes: 32,
+                dram_channels: 1,
+            },
+        );
+        let sched = schedule(&g, &sys, None).unwrap();
+        // A deep write FIFO leaves a long drain tail after the last
+        // firing; the tail is where the stale read used to contend.
+        let cfg = SimConfig {
+            fifo_factor: 256,
+            ..Default::default()
+        };
+        let r = simulate(&g, &sched, &sys, &cfg);
+        assert!(!r.truncated);
+        assert_eq!(r.firings, firings);
+        // Calibrated: 992 cycles with the firing gate, 1120 when the
+        // broadcast read stays active through the drain tail.
+        assert!(
+            r.cycles < 1_050,
+            "drain tail contended: {} cycles",
+            r.cycles
+        );
     }
 
     #[test]

@@ -46,6 +46,24 @@ impl Clock {
             ClockMode::Deterministic => self.ticks.fetch_add(1, Ordering::Relaxed),
         }
     }
+
+    /// The next tick [`Clock::now`] would return in deterministic mode,
+    /// without consuming it (wall mode: current elapsed micros).
+    pub fn peek(&self) -> u64 {
+        match self.mode {
+            ClockMode::Wall => self.origin.elapsed().as_micros() as u64,
+            ClockMode::Deterministic => self.ticks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Jump the deterministic tick counter to `t` (no-op in wall mode,
+    /// where time cannot be restored). Used by checkpoint resume to
+    /// continue a trace's logical timeline exactly where it stopped.
+    pub fn restore(&self, t: u64) {
+        if self.mode == ClockMode::Deterministic {
+            self.ticks.store(t, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]

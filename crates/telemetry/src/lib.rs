@@ -217,6 +217,22 @@ impl Collector {
         self.clock.mode()
     }
 
+    /// The trace cursor: the `seq` the next emitted line will carry and the
+    /// next deterministic clock tick. Reading it consumes nothing, so a
+    /// checkpoint can record exactly where its trace prefix ends.
+    pub fn cursor(&self) -> (u64, u64) {
+        (self.seq.load(Ordering::Relaxed), self.clock.peek())
+    }
+
+    /// Jump this collector's sequence counter and deterministic clock to a
+    /// cursor captured with [`Collector::cursor`], so a resumed run's lines
+    /// continue the original trace's `seq`/`t` stream byte-identically.
+    /// Wall clocks cannot be restored; only the sequence moves there.
+    pub fn restore_cursor(&self, seq: u64, tick: u64) {
+        self.seq.store(seq, Ordering::Relaxed);
+        self.clock.restore(tick);
+    }
+
     /// Emit one event line: `{"seq":..,"t":..,"type":kind, ...fields}`.
     pub fn emit(&self, kind: &str, fields: &[(&str, FieldValue)]) {
         match &self.backend {

@@ -83,6 +83,24 @@ impl Rng {
         ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
     }
 
+    /// The raw xoshiro256++ state, for checkpointing. Feeding the value to
+    /// [`Rng::from_state`] reproduces the stream exactly from this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a state captured with [`Rng::state`].
+    ///
+    /// An all-zero state is a fixed point of xoshiro256++ (the stream would
+    /// be constant zero), so it is re-seeded defensively; checkpoints never
+    /// contain one because `seed_from_u64` cannot produce it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return Rng::seed_from_u64(0);
+        }
+        Rng { s }
+    }
+
     /// Derive an independent child generator, advancing `self` by one draw.
     ///
     /// The child's state is re-expanded through SplitMix64 from one output

@@ -82,6 +82,46 @@ impl SpanGuard {
             None => SpanGuard { inner: None },
         }
     }
+
+    /// Re-open a span whose start was already recorded, without consuming
+    /// a clock tick: `handle` is the start timestamp (sink backend) the
+    /// original [`SpanGuard::enter`] obtained, as reported by
+    /// [`SpanGuard::handle`]. Checkpoint resume uses this so the eventual
+    /// close event carries the *original* start and the true total
+    /// duration, byte-identical to an uninterrupted run.
+    pub fn reenter(
+        name: &'static str,
+        handle: u64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> SpanGuard {
+        match crate::current() {
+            Some(collector) => {
+                let depth = DEPTH.with(|d| {
+                    let v = d.get();
+                    d.set(v + 1);
+                    v
+                });
+                SpanGuard {
+                    inner: Some(SpanInner {
+                        collector,
+                        name,
+                        depth,
+                        handle,
+                        fields,
+                    }),
+                }
+            }
+            None => SpanGuard { inner: None },
+        }
+    }
+
+    /// The span's open handle — the start timestamp for sink-backed
+    /// collectors, or the capture token while capturing. `None` when no
+    /// collector was installed at entry. Checkpoints store this so
+    /// [`SpanGuard::reenter`] can resume the span.
+    pub fn handle(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.handle)
+    }
 }
 
 impl Drop for SpanGuard {

@@ -10,6 +10,9 @@
 #   fmt          cargo fmt --check
 #   clippy       cargo clippy --workspace --all-targets -D warnings
 #   determinism  byte-identical traces: seeded, threads 1 vs 4, repair on/off
+#   checkpoint   resume-equivalence gates: interrupted-then-resumed runs
+#                reproduce results, stats, and traces bit-identically, and
+#                the kill-and-resume bench stays under the overhead budget
 #   bench        bench harness end to end: trace diffs across worker counts
 #                and repair modes, BENCH_repair.json speedup record
 set -e
@@ -53,6 +56,34 @@ stage_determinism() {
     cargo test -q --test properties incremental_repair_equals_full_replacement
 }
 
+stage_checkpoint() {
+    echo "== checkpoint: resume equivalence at 1 and 4 workers =="
+    OVERGEN_DSE_THREADS=1 cargo test -q --test checkpoint_resume
+    OVERGEN_DSE_THREADS=4 cargo test -q --test checkpoint_resume
+
+    echo "== checkpoint: kill-and-resume bench, write overhead < 5% =="
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        CK_TMP=$CHECK_TRACE_DIR/checkpoint
+        mkdir -p "$CK_TMP"
+    else
+        CK_TMP=$(mktemp -d)
+        trap 'rm -rf "$CK_TMP"' EXIT INT TERM
+    fi
+    OVERGEN_RESULTS_DIR="$CK_TMP" cargo run -q --release -p overgen-bench \
+        --bin bench_checkpoint >/dev/null
+    grep -q '"resume_match":true' "$CK_TMP/BENCH_checkpoint.json" \
+        || { echo "FAIL: kill-and-resume diverged from the uninterrupted run"; exit 1; }
+    grep -q '"checkpoint_invisible":true' "$CK_TMP/BENCH_checkpoint.json" \
+        || { echo "FAIL: checkpoint writes perturbed the run"; exit 1; }
+    awk 'match($0, /"overhead_pct":[0-9.]+/) {
+            pct = substr($0, RSTART + 15, RLENGTH - 15)
+            if (pct + 0 >= 5.0) { print "FAIL: checkpoint overhead " pct "% >= 5%"; exit 1 }
+            found = 1
+         }
+         END { if (!found) { print "FAIL: overhead_pct missing"; exit 1 } }' \
+        "$CK_TMP/BENCH_checkpoint.json"
+}
+
 stage_bench() {
     # CI sets CHECK_TRACE_DIR so failing traces survive for artifact upload;
     # locally the temp dir is cleaned up on exit.
@@ -91,15 +122,15 @@ stage_bench() {
 }
 
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism bench
+    set -- build test fmt clippy determinism checkpoint bench
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | bench) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|bench]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench]..." >&2
         exit 2
         ;;
     esac

@@ -1,0 +1,10 @@
+//! Runs the constraint-aware DSE benchmark: a budgeted run that must
+//! reject infeasible proposals, plus the unconstrained IPC/resource
+//! Pareto frontier, recorded in `results/BENCH_pareto.json`.
+
+fn main() {
+    overgen_bench::run_experiment("pareto", || {
+        let report = overgen_bench::experiments::pareto::run();
+        overgen_bench::experiments::pareto::render(&report)
+    });
+}

@@ -10,6 +10,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod pareto;
 pub mod repair;
 pub mod table1;
 pub mod table2;

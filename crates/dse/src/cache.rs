@@ -13,6 +13,14 @@
 //! lookups of one key block inside `OnceLock::get_or_init` so exactly one
 //! caller computes, making misses = distinct keys and hits = lookups −
 //! distinct keys.
+//!
+//! Every key folds in the run's config hash, which covers the
+//! [`Objective`](crate::Objective) and all of its parameters
+//! (`Dse::config_hash`). Since cached artifacts carry objective-dependent
+//! data — the computed fitness, and under a budgeted objective the
+//! infeasible-rejection trace — this guarantees two configurations that
+//! score or gate proposals differently can never share an entry, within a
+//! run or across a checkpoint's warm set.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex, OnceLock};

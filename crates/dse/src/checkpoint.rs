@@ -32,13 +32,20 @@ use overgen_mdfg::MdfgNodeId;
 use overgen_model::{FpgaDevice, PerfEstimate, Placement, Resources};
 use overgen_scheduler::Schedule;
 use overgen_telemetry::json::{self, Obj, Value};
-use overgen_telemetry::Rng;
+use overgen_telemetry::{Rng, SpanGuard};
 
-use crate::engine::{ChainState, Dse, DseConfig, DseError, DseResult, DseStats, EvalState};
+use overgen_model::DeviceBudget;
+
+use crate::engine::{stat_delta, ChainState, Dse, DseConfig, DseError, DseResult, DseStats};
+use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
+use crate::objective::{GeomeanIpcWeights, Objective};
 use crate::system::SystemDseConfig;
 
 const MAGIC: &str = "overgen-dse-checkpoint";
-const VERSION: u64 = 1;
+// Version history: 1 = original format; 2 = pluggable objectives (top-level
+// objective header, `objective` config field, per-eval fitness + resource
+// vector, per-chain Pareto frontier, `infeasible` stat).
+const VERSION: u64 = 2;
 
 /// Periodic checkpointing policy for a DSE run.
 #[derive(Debug, Clone)]
@@ -166,6 +173,50 @@ impl Checkpoint {
         Dse::new(workloads, self.cfg.clone()).resume_from(self)
     }
 
+    /// Snapshot a running search into `cfg.checkpoint.path` (the
+    /// engine-side writer; no-op when checkpointing is off). Hard-fails on
+    /// write errors (see [`DseError::Checkpoint`]). The write itself is
+    /// trace-invisible — only registry counters record it — so
+    /// checkpointing cannot perturb trace determinism.
+    pub(crate) fn write(
+        dse: &Dse,
+        pipe: &EvalPipeline,
+        states: &[ChainState],
+        done: usize,
+        prior: &DseStats,
+        base: &DseStats,
+        run_span: &SpanGuard,
+    ) -> Result<(), DseError> {
+        let Some(ckc) = dse.cfg.checkpoint.as_ref() else {
+            return Ok(());
+        };
+        let cursor = overgen_telemetry::current().map(|c| {
+            let (seq, tick) = c.cursor();
+            TraceCursor {
+                seq,
+                tick,
+                span: run_span.handle().unwrap_or(0),
+            }
+        });
+        let ck = Checkpoint {
+            cfg: dse.cfg.clone(),
+            workloads: dse.workloads.iter().map(|k| k.name().to_string()).collect(),
+            done,
+            stats: prior.merged(&stat_delta(pipe.registry(), base)),
+            chains: states.to_vec(),
+            eval_keys: pipe.eval_keys(),
+            sys_keys: pipe.sys_keys(),
+            cursor,
+        };
+        let t = std::time::Instant::now();
+        ck.save(&ckc.path)?;
+        pipe.registry().counter("dse.checkpoint.write").inc();
+        pipe.registry()
+            .counter("dse.checkpoint.write_us")
+            .add(t.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
     fn to_json(&self) -> String {
         let cursor = match &self.cursor {
             Some(c) => Obj::new()
@@ -179,6 +230,7 @@ impl Checkpoint {
             .str("magic", MAGIC)
             .raw("version", &hx(VERSION))
             .raw("cfg_hash", &hx(Dse::config_hash(&self.cfg)))
+            .str("objective", self.cfg.objective.kind())
             .raw("config", &config_to_json(&self.cfg))
             .raw(
                 "workloads",
@@ -203,8 +255,23 @@ impl Checkpoint {
             return Err(format!("unsupported checkpoint version {version}"));
         }
         let cfg = config_from_json(get(&v, "config")?)?;
+        // The objective header duplicates the config's objective kind so a
+        // checkpoint taken under one objective fails *specifically* when
+        // pointed at a config edited to another, instead of as a generic
+        // hash mismatch.
+        let header_kind = d_str(get(&v, "objective")?)?;
+        if header_kind != cfg.objective.kind() {
+            return Err(format!(
+                "checkpoint objective mismatch: checkpoint was taken under \
+                 `{header_kind}` but its config says `{}` — a run can only \
+                 resume under the objective that produced it",
+                cfg.objective.kind()
+            ));
+        }
         if d_u64(get(&v, "cfg_hash")?)? != Dse::config_hash(&cfg) {
-            return Err("config hash mismatch (corrupt or hand-edited checkpoint)".into());
+            return Err("config hash mismatch (corrupt or hand-edited checkpoint; \
+                 the hash covers the objective and its parameters too)"
+                .into());
         }
         let workloads = d_arr(get(&v, "workloads")?)?
             .iter()
@@ -252,6 +319,22 @@ fn hx(v: u64) -> String {
 
 fn fx(v: f64) -> String {
     hx(v.to_bits())
+}
+
+fn res_to_json(r: &Resources) -> String {
+    arr(r.to_array().iter().map(|&v| fx(v)))
+}
+
+fn res_from_json(v: &Value) -> Result<Resources, String> {
+    match d_arr(v)? {
+        [a, b, c, d] => Ok(Resources::from_array([
+            d_f64(a)?,
+            d_f64(b)?,
+            d_f64(c)?,
+            d_f64(d)?,
+        ])),
+        _ => Err("expected 4 resource channels".into()),
+    }
 }
 
 fn arr(items: impl IntoIterator<Item = String>) -> String {
@@ -574,7 +657,8 @@ fn eval_to_json(e: &EvalState) -> String {
                 .map(|(n, v)| format!("[{},{}]", json::quote(n), hx(u64::from(*v))))),
         )
         .raw("objective", &fx(e.objective))
-        .raw("combined", &fx(e.combined))
+        .raw("fitness", &fx(e.fitness))
+        .raw("resources", &res_to_json(&e.resources))
         .finish()
 }
 
@@ -605,7 +689,8 @@ fn eval_from_json(v: &Value) -> Result<EvalState, String> {
         schedules,
         variants,
         objective: d_f64(get(v, "objective")?)?,
-        combined: d_f64(get(v, "combined")?)?,
+        fitness: d_f64(get(v, "fitness")?)?,
+        resources: res_from_json(get(v, "resources")?)?,
     })
 }
 
@@ -628,6 +713,14 @@ fn chain_to_json(c: &ChainState) -> String {
                 .iter()
                 .map(|&(h, o)| format!("[{},{}]", fx(h), fx(o)))),
         )
+        .raw(
+            "pareto",
+            &arr(c
+                .pareto
+                .points()
+                .iter()
+                .map(|p| format!("[{},{}]", fx(p.ipc), res_to_json(&p.resources)))),
+        )
         .finish()
 }
 
@@ -644,6 +737,18 @@ fn chain_from_json(v: &Value) -> Result<ChainState, String> {
             Ok((d_f64(h)?, d_f64(o)?))
         })
         .collect::<Result<Vec<_>, String>>()?;
+    let pareto = ParetoFront::from_points(
+        d_arr(get(v, "pareto")?)?
+            .iter()
+            .map(|p| {
+                let (ipc, res) = d_pair(p)?;
+                Ok(ParetoPoint {
+                    ipc: d_f64(ipc)?,
+                    resources: res_from_json(res)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    );
     Ok(ChainState {
         rng: Rng::from_state(rng),
         cur_adg: adg_from_json(get(v, "cur_adg")?)?,
@@ -653,6 +758,7 @@ fn chain_from_json(v: &Value) -> Result<ChainState, String> {
         sim_seconds: d_f64(get(v, "sim_seconds")?)?,
         t0: d_f64(get(v, "t0")?)?,
         history,
+        pareto,
     })
 }
 
@@ -668,6 +774,7 @@ fn stats_to_json(s: &DseStats) -> String {
         .raw("cache_misses", &hx(s.cache_misses as u64))
         .raw("repair_fast", &hx(s.repair_fast as u64))
         .raw("repair_fallback", &hx(s.repair_fallback as u64))
+        .raw("infeasible", &hx(s.infeasible as u64))
         .finish()
 }
 
@@ -684,6 +791,66 @@ fn stats_from_json(v: &Value) -> Result<DseStats, String> {
         cache_misses: f("cache_misses")?,
         repair_fast: f("repair_fast")?,
         repair_fallback: f("repair_fallback")?,
+        infeasible: f("infeasible")?,
+    })
+}
+
+fn objective_to_json(o: &Objective) -> String {
+    let obj = Obj::new().str("kind", o.kind());
+    match o {
+        Objective::WeightedGeomeanIpc(w) => obj
+            .raw("lut_penalty", &fx(w.lut_penalty))
+            .raw("lut_scale", &fx(w.lut_scale))
+            .finish(),
+        Objective::ConstrainedIpc(b) => obj
+            .str("name", b.name)
+            .raw("limit", &res_to_json(&b.limit))
+            .raw("soft_frac", &fx(b.soft_frac))
+            .raw("soft_penalty", &fx(b.soft_penalty))
+            .finish(),
+        Objective::IpcPerLut => obj.finish(),
+    }
+}
+
+fn objective_from_json(v: &Value) -> Result<Objective, String> {
+    Ok(match d_str(get(v, "kind")?)? {
+        "weighted_geomean_ipc" => Objective::WeightedGeomeanIpc(GeomeanIpcWeights {
+            lut_penalty: d_f64(get(v, "lut_penalty")?)?,
+            lut_scale: d_f64(get(v, "lut_scale")?)?,
+        }),
+        "constrained_ipc" => {
+            let name = d_str(get(v, "name")?)?;
+            let limit = res_from_json(get(v, "limit")?)?;
+            let loaded = DeviceBudget {
+                name: "", // placeholder; resolved below
+                limit,
+                soft_frac: d_f64(get(v, "soft_frac")?)?,
+                soft_penalty: d_f64(get(v, "soft_penalty")?)?,
+            };
+            // Reuse a preset's static name when the budget matches one;
+            // otherwise leak the (tiny) custom name, as for devices.
+            let budget = [
+                DeviceBudget::vcu118(),
+                DeviceBudget::vcu118_medium(),
+                DeviceBudget::vcu118_small(),
+            ]
+            .into_iter()
+            .find(|p| {
+                p.name == name
+                    && *p
+                        == DeviceBudget {
+                            name: p.name,
+                            ..loaded
+                        }
+            })
+            .unwrap_or(DeviceBudget {
+                name: Box::leak(name.to_string().into_boxed_str()),
+                ..loaded
+            });
+            Objective::ConstrainedIpc(budget)
+        }
+        "ipc_per_lut" => Objective::IpcPerLut,
+        k => return Err(format!("unknown objective kind `{k}`")),
     })
 }
 
@@ -721,6 +888,7 @@ fn config_to_json(cfg: &DseConfig) -> String {
         .raw("iterations", &hx(cfg.iterations as u64))
         .raw("seed", &hx(cfg.seed))
         .bool("preserving", cfg.schedule_preserving)
+        .raw("objective", &objective_to_json(&cfg.objective))
         .raw("system", &system)
         .raw("compile", &compile)
         .raw(
@@ -782,6 +950,7 @@ fn config_from_json(v: &Value) -> Result<DseConfig, String> {
         iterations: d_usize(get(v, "iterations")?)?,
         seed: d_u64(get(v, "seed")?)?,
         schedule_preserving: d_bool(get(v, "preserving")?)?,
+        objective: objective_from_json(get(v, "objective")?)?,
         system: SystemDseConfig {
             device,
             util_cap: d_f64(get(sys, "util_cap")?)?,
@@ -889,6 +1058,59 @@ mod tests {
         let ck = Checkpoint::load(&path).unwrap();
         let err = ck.resume(vec![]).unwrap_err();
         assert!(matches!(err, DseError::Checkpoint(_)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hand_edited_objective_is_rejected_with_a_clear_error() {
+        let path = tmp("objective-mismatch");
+        Dse::new(vec![vecadd()], small_cfg(path.clone()))
+            .run()
+            .unwrap();
+        // Hand-edit the config's objective while the header (and the
+        // cfg-hash) still say the run used the default objective.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let edited = text.replace(
+            "\"kind\":\"weighted_geomean_ipc\"",
+            "\"kind\":\"ipc_per_lut\"",
+        );
+        assert_ne!(
+            text, edited,
+            "test premise: the objective kind is in the file"
+        );
+        std::fs::write(&path, edited).unwrap();
+        let Err(err) = Checkpoint::load(&path) else {
+            panic!("edited checkpoint must not load");
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("objective mismatch")
+                && msg.contains("weighted_geomean_ipc")
+                && msg.contains("ipc_per_lut"),
+            "unhelpful error: {msg}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn constrained_objective_round_trips() {
+        let path = tmp("constrained-roundtrip");
+        // A generous budget (nothing rejected) keeps the run fast while
+        // exercising the ConstrainedIpc serialization path end to end.
+        let cfg = DseConfig {
+            objective: Objective::ConstrainedIpc(DeviceBudget::vcu118()),
+            ..small_cfg(path.clone())
+        };
+        let full = Dse::new(vec![vecadd()], cfg).run().unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.config().objective.kind(), "constrained_ipc");
+        let mut re = ck.to_json();
+        re.push('\n');
+        assert_eq!(on_disk, re, "load -> save must be lossless");
+        let resumed = ck.resume(vec![vecadd()]).unwrap();
+        assert_eq!(full.objective.to_bits(), resumed.objective.to_bits());
+        assert_eq!(full.pareto, resumed.pareto);
         std::fs::remove_file(&path).ok();
     }
 

@@ -13,9 +13,14 @@
 //! simulated-time deltas are folded in workload-name order, and chain
 //! traces replay in chain order — so the `DseResult` and the
 //! deterministic-clock JSONL trace are byte-identical for any thread
-//! count. An evaluation cache keyed by [`Adg::fingerprint`] memoizes both
-//! full evaluations and system-DSE winners; a hit replays the stored trace
-//! and metric deltas, making it observationally identical to a fresh run.
+//! count.
+//!
+//! Proposal *evaluation* — scheduling, the nested system DSE, performance
+//! estimation, memoization — lives in [`crate::eval::EvalPipeline`], and
+//! the mapping from an evaluation report to scalar fitness lives in
+//! [`crate::Objective`]. This driver only proposes mutations, runs the
+//! accept/reject rule on the fitness the pipeline returns, exchanges best
+//! states among chains, and tracks the Pareto frontier of visited designs.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -25,17 +30,18 @@ use overgen_telemetry::{
     capture, capture_isolated, event, replay, span, Counter, FieldValue, Registry, Rng, SpanGuard,
 };
 
-use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, StableHasher, SysAdg, SystemParams};
+use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, StableHasher, SysAdg};
 use overgen_compiler::{compile_variants, CompileOptions};
 use overgen_ir::{Expr, FuCap, Kernel, Op};
 use overgen_mdfg::Mdfg;
-use overgen_model::{accelerator_resources, AnalyticModel, Placement, ResourceModel, TimeModel};
-use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint};
+use overgen_model::{AnalyticModel, ResourceModel, TimeModel};
+use overgen_scheduler::{Schedule, ScheduleFootprint};
 
-use crate::cache::{hash_placement, hash_schedule, Memo};
-use crate::checkpoint::{Checkpoint, CheckpointConfig, TraceCursor};
+use crate::checkpoint::{Checkpoint, CheckpointConfig};
+use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
+use crate::objective::Objective;
 use crate::pool::fan_out;
-use crate::system::{system_dse, SystemDseConfig};
+use crate::system::SystemDseConfig;
 use crate::transforms::{random_mutation, TransformCtx};
 
 /// DSE configuration.
@@ -49,6 +55,13 @@ pub struct DseConfig {
     /// Enable schedule-preserving transformations (§V-B). Disabling this
     /// reproduces the "non-preserved" curves of Figure 20.
     pub schedule_preserving: bool,
+    /// Fitness policy: how an evaluation report becomes the scalar the
+    /// annealer optimizes. The default ([`Objective::WeightedGeomeanIpc`])
+    /// reproduces the classic weighted-geomean-IPC behavior bit-for-bit;
+    /// [`Objective::ConstrainedIpc`] adds a hard device budget. The
+    /// objective is folded into the config hash, so it also keys the
+    /// evaluation caches and checkpoint compatibility.
+    pub objective: Objective,
     /// Nested system-DSE configuration.
     pub system: SystemDseConfig,
     /// Compiler options for the up-front variant generation.
@@ -101,6 +114,7 @@ impl Default for DseConfig {
             iterations: 150,
             seed: 17,
             schedule_preserving: true,
+            objective: Objective::default(),
             system: SystemDseConfig::default(),
             compile: CompileOptions::default(),
             weights: BTreeMap::new(),
@@ -177,6 +191,10 @@ pub struct DseStats {
     pub repair_fast: usize,
     /// Repairs that fell back to a seeded full placement.
     pub repair_fallback: usize,
+    /// Proposals rejected by the objective's hard resource budget before
+    /// any scheduling work (only [`Objective::ConstrainedIpc`] rejects;
+    /// always 0 under the default objective).
+    pub infeasible: usize,
 }
 
 impl DseStats {
@@ -194,24 +212,21 @@ impl DseStats {
             cache_misses: self.cache_misses + other.cache_misses,
             repair_fast: self.repair_fast + other.repair_fast,
             repair_fallback: self.repair_fallback + other.repair_fallback,
+            infeasible: self.infeasible + other.infeasible,
         }
     }
 }
 
-/// Live counters on the run registry. Only the values updated *directly*
-/// by the driver live here; scheduling-side counters (`dse.full_schedules`,
-/// `dse.repairs`, `dse.intact`, `dse.repair_moved`, `sched.*`) are
-/// incremented inside isolated evaluation captures and reach the run
-/// registry through [`Registry::merge_from`] — identically on a cache miss
-/// and on every hit.
+/// Live counters the driver updates directly. Everything evaluation-side
+/// (`dse.full_schedules`, `dse.repairs`, `dse.intact`, `dse.cache.*`,
+/// `dse.eval.infeasible`, `sched.*`) is owned by the evaluation pipeline
+/// or incremented inside isolated captures and reaches the run registry
+/// through [`Registry::merge_from`] — identically on a cache miss and on
+/// every hit.
 struct DseCounters {
     iterations: Counter,
     accepted: Counter,
     invalid: Counter,
-    cache_hit: Counter,
-    cache_miss: Counter,
-    cache_system_hit: Counter,
-    cache_system_miss: Counter,
 }
 
 impl DseCounters {
@@ -220,10 +235,6 @@ impl DseCounters {
             iterations: r.counter("dse.iterations"),
             accepted: r.counter("dse.accepted"),
             invalid: r.counter("dse.invalid"),
-            cache_hit: r.counter("dse.cache.hit"),
-            cache_miss: r.counter("dse.cache.miss"),
-            cache_system_hit: r.counter("dse.cache.system_hit"),
-            cache_system_miss: r.counter("dse.cache.system_miss"),
         }
     }
 }
@@ -241,10 +252,11 @@ fn stat_totals(reg: &Registry) -> DseStats {
         cache_misses: reg.counter_value("dse.cache.miss") as usize,
         repair_fast: reg.counter_value("scheduler.repair.fast") as usize,
         repair_fallback: reg.counter_value("scheduler.repair.fallback") as usize,
+        infeasible: reg.counter_value("dse.eval.infeasible") as usize,
     }
 }
 
-fn stat_delta(reg: &Registry, base: &DseStats) -> DseStats {
+pub(crate) fn stat_delta(reg: &Registry, base: &DseStats) -> DseStats {
     let now = stat_totals(reg);
     DseStats {
         iterations: now.iterations - base.iterations,
@@ -257,6 +269,7 @@ fn stat_delta(reg: &Registry, base: &DseStats) -> DseStats {
         cache_misses: now.cache_misses - base.cache_misses,
         repair_fast: now.repair_fast - base.repair_fast,
         repair_fallback: now.repair_fallback - base.repair_fallback,
+        infeasible: now.infeasible - base.infeasible,
     }
 }
 
@@ -283,49 +296,14 @@ pub struct DseResult {
     /// Activity counters (summed over all chains; for a resumed run,
     /// summed over every leg of the run).
     pub stats: DseStats,
+    /// Non-dominated (IPC, accelerator-resources) frontier over every
+    /// valid design point any chain evaluated, merged in chain-index
+    /// order. Deterministic and independent of thread count.
+    pub pareto: ParetoFront,
     /// `true` when the run reached `iterations`; `false` when a graceful
     /// stop ([`DseConfig::max_proposals`] / `max_wall_seconds`) ended it
     /// early with a finalized checkpoint to resume from.
     pub completed: bool,
-}
-
-/// A memoized evaluation: outcome plus every side effect it produced, so
-/// replaying the trace and merging the registry makes a cache hit
-/// indistinguishable from re-running.
-struct CachedEval {
-    state: Option<EvalState>,
-    sim: f64,
-    trace: overgen_telemetry::CapturedTrace,
-    registry: Registry,
-}
-
-/// A memoized system-DSE winner (no metrics: `system_dse` only traces).
-struct CachedSystem {
-    result: Option<(SystemParams, f64)>,
-    trace: overgen_telemetry::CapturedTrace,
-}
-
-/// Shared, read-only run context: everything chains and evaluation workers
-/// need. All interior mutability is thread-safe and commutative.
-struct RunCtx<'a> {
-    mdfgs: &'a BTreeMap<String, Vec<Mdfg>>,
-    model: &'a dyn ResourceModel,
-    counters: DseCounters,
-    run_registry: &'a Registry,
-    eval_cache: Memo<CachedEval>,
-    sys_cache: Memo<CachedSystem>,
-    cfg_hash: u64,
-    threads: usize,
-    cache_enabled: bool,
-}
-
-/// Handles for the counters an evaluation updates, bound to the isolated
-/// capture registry so they travel with the cached artifact.
-struct EvalCounters {
-    full_schedules: Counter,
-    repairs: Counter,
-    intact: Counter,
-    repair_moved: overgen_telemetry::Histogram,
 }
 
 /// One annealing chain's mutable state. `Clone` + `pub(crate)` so
@@ -340,12 +318,13 @@ pub(crate) struct ChainState {
     pub(crate) sim_seconds: f64,
     pub(crate) history: Vec<(f64, f64)>,
     pub(crate) t0: f64,
+    pub(crate) pareto: ParetoFront,
 }
 
 /// The DSE driver.
 pub struct Dse {
-    workloads: Vec<Kernel>,
-    cfg: DseConfig,
+    pub(crate) workloads: Vec<Kernel>,
+    pub(crate) cfg: DseConfig,
     time: TimeModel,
 }
 
@@ -429,9 +408,11 @@ impl Dse {
         })
     }
 
-    /// Everything outside the ADG that evaluation outcomes depend on.
-    /// Folded into every cache key so a `Memo` never confuses two
-    /// configurations (cheap insurance, even though caches are per-run).
+    /// Everything outside the ADG that evaluation outcomes depend on —
+    /// including the objective. Folded into every cache key so a `Memo`
+    /// never confuses two configurations (cheap insurance, even though
+    /// caches are per-run), and into checkpoints so a run can only resume
+    /// under the configuration that produced it.
     pub(crate) fn config_hash(cfg: &DseConfig) -> u64 {
         let mut h = StableHasher::new();
         h.write_str(cfg.system.device.name);
@@ -457,6 +438,7 @@ impl Dse {
             h.write_str(name);
             h.write_f64(*w);
         }
+        cfg.objective.hash_into(&mut h);
         h.finish()
     }
 
@@ -494,17 +476,18 @@ impl Dse {
         // a private one otherwise. Stats are deltas against it either way.
         let ambient_registry = overgen_telemetry::current().map(|c| c.registry().clone());
         let run_registry = ambient_registry.unwrap_or_default();
-        let rc = RunCtx {
-            mdfgs: &mdfgs,
+        let counters = DseCounters::attach(&run_registry);
+        let pipe = EvalPipeline::new(
+            &self.workloads,
+            &self.cfg,
+            &self.time,
+            &mdfgs,
             model,
-            counters: DseCounters::attach(&run_registry),
-            run_registry: &run_registry,
-            eval_cache: Memo::new(),
-            sys_cache: Memo::new(),
-            cfg_hash: Self::config_hash(&self.cfg),
+            &run_registry,
+            Self::config_hash(&self.cfg),
             threads,
-            cache_enabled: self.cfg.cache,
-        };
+            None,
+        );
         let base = stat_totals(&run_registry);
 
         // Seed: evaluate, widening ports until the domain schedules.
@@ -512,8 +495,7 @@ impl Dse {
         let mut seed_sim = 0.0f64;
         let mut widenings = 0usize;
         let seed_state = loop {
-            let (state, sim) =
-                self.evaluate_cached(&cur_adg, &BTreeMap::new(), ScheduleFootprint::Pure, &rc);
+            let (state, sim) = pipe.evaluate(&cur_adg, &BTreeMap::new(), ScheduleFootprint::Pure);
             seed_sim += sim;
             if let Some(s) = state {
                 break s;
@@ -531,8 +513,12 @@ impl Dse {
         };
 
         // Chains all start from the same seed state with split-derived
-        // RNGs.
+        // RNGs, and from a frontier holding just the seed point.
         let t0 = (seed_state.objective * 0.25).max(1e-3);
+        let seed_pareto = ParetoFront::from_points([ParetoPoint {
+            ipc: seed_state.objective,
+            resources: seed_state.resources,
+        }]);
         let mut master = Rng::seed_from_u64(self.cfg.seed);
         let states: Vec<ChainState> = (0..chains)
             .map(|_| ChainState {
@@ -544,10 +530,19 @@ impl Dse {
                 sim_seconds: seed_sim,
                 history: vec![(seed_sim / 3600.0, seed_state.objective)],
                 t0,
+                pareto: seed_pareto.clone(),
             })
             .collect();
 
-        let out = self.run_loop(&rc, states, 0, DseStats::default(), base, &run_span)?;
+        let out = self.run_loop(
+            &pipe,
+            &counters,
+            states,
+            0,
+            DseStats::default(),
+            base,
+            &run_span,
+        )?;
         Ok(DseResult {
             sys_adg: SysAdg::new(out.champ.best_adg, out.champ.best.sys),
             schedules: out.champ.best.schedules,
@@ -557,14 +552,16 @@ impl Dse {
             history: out.champ.history,
             dse_hours: out.dse_hours,
             stats: out.stats,
+            pareto: out.pareto,
             completed: out.completed,
         })
     }
 
-    /// Continue a checkpointed run: rebuild the run context with warmed
-    /// caches, restore the telemetry cursor and re-enter the `dse.run`
-    /// span, then run the shared annealing loop from `ck.done`. The seed
-    /// evaluation is skipped entirely — the chains carry their state.
+    /// Continue a checkpointed run: rebuild the evaluation pipeline with
+    /// warmed caches, restore the telemetry cursor and re-enter the
+    /// `dse.run` span, then run the shared annealing loop from `ck.done`.
+    /// The seed evaluation is skipped entirely — the chains carry their
+    /// state.
     pub(crate) fn resume_from(&self, ck: &Checkpoint) -> Result<DseResult, DseError> {
         let threads = match self.cfg.threads {
             0 => std::thread::available_parallelism()
@@ -604,21 +601,30 @@ impl Dse {
 
         let ambient_registry = collector.as_ref().map(|c| c.registry().clone());
         let run_registry = ambient_registry.unwrap_or_default();
-        let rc = RunCtx {
-            mdfgs: &mdfgs,
-            model: &AnalyticModel,
-            counters: DseCounters::attach(&run_registry),
-            run_registry: &run_registry,
-            eval_cache: Memo::with_warm(ck.eval_keys.iter().copied()),
-            sys_cache: Memo::with_warm(ck.sys_keys.iter().copied()),
-            cfg_hash: Self::config_hash(&self.cfg),
+        let counters = DseCounters::attach(&run_registry);
+        let pipe = EvalPipeline::new(
+            &self.workloads,
+            &self.cfg,
+            &self.time,
+            &mdfgs,
+            &AnalyticModel,
+            &run_registry,
+            Self::config_hash(&self.cfg),
             threads,
-            cache_enabled: self.cfg.cache,
-        };
+            Some((&ck.eval_keys, &ck.sys_keys)),
+        );
         run_registry.counter("dse.checkpoint.restore").inc();
         let base = stat_totals(&run_registry);
 
-        let out = self.run_loop(&rc, ck.chains.clone(), ck.done, ck.stats, base, &run_span)?;
+        let out = self.run_loop(
+            &pipe,
+            &counters,
+            ck.chains.clone(),
+            ck.done,
+            ck.stats,
+            base,
+            &run_span,
+        )?;
         Ok(DseResult {
             sys_adg: SysAdg::new(out.champ.best_adg, out.champ.best.sys),
             schedules: out.champ.best.schedules,
@@ -628,6 +634,7 @@ impl Dse {
             history: out.champ.history,
             dse_hours: out.dse_hours,
             stats: out.stats,
+            pareto: out.pareto,
             completed: out.completed,
         })
     }
@@ -643,9 +650,11 @@ impl Dse {
     /// run reproduces the uninterrupted run's segmentation no matter where
     /// the cut fell. `prior` carries the stats a checkpoint accumulated
     /// before the cut; `base` is the counter baseline of this leg.
+    #[allow(clippy::too_many_arguments)]
     fn run_loop(
         &self,
-        rc: &RunCtx,
+        pipe: &EvalPipeline,
+        counters: &DseCounters,
         mut states: Vec<ChainState>,
         mut done: usize,
         prior: DseStats,
@@ -684,9 +693,9 @@ impl Dse {
             let seg = end - done;
 
             let jobs: Vec<(usize, ChainState)> = states.into_iter().enumerate().collect();
-            let outputs = fan_out(rc.threads.min(chains), jobs, |(idx, mut st)| {
+            let outputs = fan_out(pipe.threads().min(chains), jobs, |(idx, mut st)| {
                 let ((), trace) = capture(parent.as_ref(), || {
-                    self.run_segment(&mut st, idx, done, seg, rc);
+                    self.run_segment(&mut st, idx, done, seg, pipe, counters);
                 });
                 (st, trace)
             });
@@ -712,7 +721,7 @@ impl Dse {
                     objective = gb.objective,
                 );
                 for (idx, st) in states.iter_mut().enumerate() {
-                    if idx != winner && gb.combined > st.cur.combined {
+                    if idx != winner && gb.fitness > st.cur.fitness {
                         st.cur_adg = gb_adg.clone();
                         st.cur = gb.clone();
                     }
@@ -720,7 +729,7 @@ impl Dse {
             }
 
             if interval.is_some_and(|i| done.is_multiple_of(i)) {
-                self.write_checkpoint(rc, &states, done, &prior, &base, run_span)?;
+                Checkpoint::write(self, pipe, &states, done, &prior, &base, run_span)?;
                 written_at = Some(done);
             }
         }
@@ -730,7 +739,7 @@ impl Dse {
         // already wrote it. The cursor is captured before the terminal
         // event below, so resuming reproduces that event too.
         if self.cfg.checkpoint.is_some() && written_at != Some(done) {
-            self.write_checkpoint(rc, &states, done, &prior, &base, run_span)?;
+            Checkpoint::write(self, pipe, &states, done, &prior, &base, run_span)?;
         }
 
         let winner = best_chain(&states);
@@ -738,8 +747,14 @@ impl Dse {
             .iter()
             .map(|s| s.sim_seconds / 3600.0)
             .fold(0.0f64, f64::max);
+        // Merge the per-chain frontiers in chain-index order: the result
+        // is deterministic and independent of how chains were scheduled.
+        let mut pareto = ParetoFront::new();
+        for st in &states {
+            pareto.merge(&st.pareto);
+        }
         let champ = states.swap_remove(winner);
-        let stats = prior.merged(&stat_delta(rc.run_registry, &base));
+        let stats = prior.merged(&stat_delta(pipe.registry(), &base));
         match stop_reason {
             None => event!(
                 "dse.done",
@@ -760,55 +775,9 @@ impl Dse {
             champ,
             dse_hours,
             stats,
+            pareto,
             completed: stop_reason.is_none(),
         })
-    }
-
-    /// Snapshot the run into `cfg.checkpoint.path`. Hard-fails on write
-    /// errors (see [`DseError::Checkpoint`]). The write itself is
-    /// trace-invisible — only registry counters record it — so
-    /// checkpointing cannot perturb trace determinism.
-    fn write_checkpoint(
-        &self,
-        rc: &RunCtx,
-        states: &[ChainState],
-        done: usize,
-        prior: &DseStats,
-        base: &DseStats,
-        run_span: &SpanGuard,
-    ) -> Result<(), DseError> {
-        let Some(ckc) = self.cfg.checkpoint.as_ref() else {
-            return Ok(());
-        };
-        let cursor = overgen_telemetry::current().map(|c| {
-            let (seq, tick) = c.cursor();
-            TraceCursor {
-                seq,
-                tick,
-                span: run_span.handle().unwrap_or(0),
-            }
-        });
-        let ck = Checkpoint {
-            cfg: self.cfg.clone(),
-            workloads: self
-                .workloads
-                .iter()
-                .map(|k| k.name().to_string())
-                .collect(),
-            done,
-            stats: prior.merged(&stat_delta(rc.run_registry, base)),
-            chains: states.to_vec(),
-            eval_keys: rc.eval_cache.keys(),
-            sys_keys: rc.sys_cache.keys(),
-            cursor,
-        };
-        let t = Instant::now();
-        ck.save(&ckc.path)?;
-        rc.run_registry.counter("dse.checkpoint.write").inc();
-        rc.run_registry
-            .counter("dse.checkpoint.write_us")
-            .add(t.elapsed().as_micros() as u64);
-        Ok(())
     }
 
     /// Run `len` annealing iterations (numbers `start..start+len`) on one
@@ -820,12 +789,13 @@ impl Dse {
         chain: usize,
         start: usize,
         len: usize,
-        rc: &RunCtx,
+        pipe: &EvalPipeline,
+        counters: &DseCounters,
     ) {
         let caps = Self::cap_pool(&self.workloads);
         for it in start..start + len {
             let _iter_span = span!("dse.iteration", iter = it, chain = chain);
-            rc.counters.iterations.inc();
+            counters.iterations.inc();
             let temp = st.t0 * (0.985f64).powi(it as i32);
 
             // Propose.
@@ -869,21 +839,26 @@ impl Dse {
                 .into_iter()
                 .map(|s| (s.mdfg_name.clone(), s))
                 .collect();
-            let (state, sim) = self.evaluate_cached(&prop_adg, &prior, footprint, rc);
+            let (state, sim) = pipe.evaluate(&prop_adg, &prior, footprint);
             st.sim_seconds += sim;
             let Some(prop) = state else {
-                rc.counters.invalid.inc();
+                counters.invalid.inc();
                 event!("dse.invalid", iter = it);
                 st.history
                     .push((st.sim_seconds / 3600.0, st.best.objective));
                 continue;
             };
 
-            let delta = prop.combined - st.cur.combined;
-            let accept =
-                prop.combined >= st.cur.combined || st.rng.gen_f64() < (delta / temp).exp();
+            // Every valid evaluation feeds the frontier, accepted or not.
+            st.pareto.insert(ParetoPoint {
+                ipc: prop.objective,
+                resources: prop.resources,
+            });
+
+            let delta = prop.fitness - st.cur.fitness;
+            let accept = prop.fitness >= st.cur.fitness || st.rng.gen_f64() < (delta / temp).exp();
             if accept {
-                rc.counters.accepted.inc();
+                counters.accepted.inc();
                 event!(
                     "dse.accept",
                     iter = it,
@@ -893,7 +868,7 @@ impl Dse {
                 );
                 st.cur_adg = prop_adg;
                 st.cur = prop;
-                if st.cur.combined > st.best.combined {
+                if st.cur.fitness > st.best.fitness {
                     st.best = st.cur.clone();
                     st.best_adg = st.cur_adg.clone();
                 }
@@ -904,281 +879,6 @@ impl Dse {
                 .push((st.sim_seconds / 3600.0, st.best.objective));
         }
     }
-
-    /// Evaluate an ADG through the fingerprint cache. Returns the outcome
-    /// and the simulated seconds to charge. On a hit the memoized trace is
-    /// replayed and the memoized metric deltas merged, so hits and misses
-    /// are observationally identical; with the cache disabled the same
-    /// capture/replay path runs without memoization, keeping traces
-    /// identical between cache modes.
-    fn evaluate_cached(
-        &self,
-        adg: &Adg,
-        prior: &BTreeMap<String, Schedule>,
-        footprint: ScheduleFootprint,
-        rc: &RunCtx,
-    ) -> (Option<EvalState>, f64) {
-        let run = || {
-            let (out, trace, registry) =
-                capture_isolated(|| self.evaluate_uncached(adg, prior, footprint, rc));
-            let (state, sim) = out;
-            CachedEval {
-                state,
-                sim,
-                trace,
-                registry,
-            }
-        };
-        if rc.cache_enabled {
-            let mut h = StableHasher::new();
-            h.write_u64(rc.cfg_hash);
-            adg.fingerprint_into(&mut h);
-            // The footprint is advisory but recorded in repair trace
-            // events, so two proposals that differ only in footprint must
-            // not share a cached trace.
-            h.write_u64(u64::from(footprint.code()));
-            h.write_u64(prior.len() as u64);
-            for s in prior.values() {
-                hash_schedule(&mut h, s);
-            }
-            let (cell, miss) = rc.eval_cache.get_or_compute(h.finish(), run);
-            if miss {
-                rc.counters.cache_miss.inc();
-            } else {
-                rc.counters.cache_hit.inc();
-            }
-            let c = cell.get().expect("memo cell initialized");
-            replay(&c.trace);
-            rc.run_registry.merge_from(&c.registry);
-            (c.state.clone(), c.sim)
-        } else {
-            let c = run();
-            replay(&c.trace);
-            rc.run_registry.merge_from(&c.registry);
-            (c.state, c.sim)
-        }
-    }
-
-    /// One full evaluation (Figure 6 steps 2-3): schedule or repair every
-    /// workload (fanned out across `rc.threads` workers, folded in
-    /// workload-name order), then run the nested system DSE. Always runs
-    /// under an isolated capture collector (see [`capture_isolated`]).
-    ///
-    /// Every workload is processed even after one fails, so the recorded
-    /// operation stream does not depend on which worker finishes first.
-    fn evaluate_uncached(
-        &self,
-        adg: &Adg,
-        prior: &BTreeMap<String, Schedule>,
-        footprint: ScheduleFootprint,
-        rc: &RunCtx,
-    ) -> (Option<EvalState>, f64) {
-        let mut sim = 0.0f64;
-        let sys_probe = SysAdg::new(adg.clone(), SystemParams::default());
-        if sys_probe.validate().is_err() {
-            return (None, sim);
-        }
-
-        let eval_collector =
-            overgen_telemetry::current().expect("evaluate_uncached runs under capture_isolated");
-        let reg = eval_collector.registry().clone();
-        let counters = EvalCounters {
-            full_schedules: reg.counter("dse.full_schedules"),
-            repairs: reg.counter("dse.repairs"),
-            intact: reg.counter("dse.intact"),
-            repair_moved: reg.histogram("dse.repair_moved"),
-        };
-
-        let jobs: Vec<&Kernel> = self.workloads.iter().collect();
-        let outs = fan_out(rc.threads, jobs, |k| {
-            capture(Some(&eval_collector), || {
-                self.schedule_workload(k, &sys_probe, prior, footprint, rc, &counters)
-            })
-        });
-
-        let mut schedules: BTreeMap<String, Schedule> = BTreeMap::new();
-        let mut variants: BTreeMap<String, u32> = BTreeMap::new();
-        let mut complete = true;
-        for (k, ((found, sim_delta), trace)) in self.workloads.iter().zip(outs) {
-            replay(&trace);
-            sim += sim_delta;
-            match found {
-                Some((variant, s)) => {
-                    variants.insert(k.name().to_string(), variant);
-                    schedules.insert(k.name().to_string(), s);
-                }
-                None => complete = false,
-            }
-        }
-        if !complete {
-            return (None, sim);
-        }
-
-        // Nested system DSE, memoized by (ADG, per-workload mapping).
-        let per: Vec<(&Mdfg, &Placement, f64)> = self
-            .workloads
-            .iter()
-            .map(|k| {
-                let name = k.name();
-                let variant = variants[name];
-                let m = rc.mdfgs[name]
-                    .iter()
-                    .find(|v| v.variant() == variant)
-                    .expect("variant exists");
-                let placement = &schedules[name].placement;
-                let w = self.cfg.weights.get(name).copied().unwrap_or(1.0);
-                (m, placement, w)
-            })
-            .collect();
-        let run_system = || {
-            let (result, trace) = capture(overgen_telemetry::current().as_ref(), || {
-                system_dse(adg, &per, rc.model, &self.cfg.system, rc.threads)
-            });
-            CachedSystem { result, trace }
-        };
-        let sys_opt = if rc.cache_enabled {
-            let mut h = StableHasher::new();
-            h.write_u64(rc.cfg_hash);
-            h.write_str("system");
-            adg.fingerprint_into(&mut h);
-            for k in &self.workloads {
-                let name = k.name();
-                h.write_str(name);
-                h.write_u64(u64::from(variants[name]));
-                hash_placement(&mut h, &schedules[name].placement);
-            }
-            let (cell, miss) = rc.sys_cache.get_or_compute(h.finish(), run_system);
-            if miss {
-                rc.counters.cache_system_miss.inc();
-            } else {
-                rc.counters.cache_system_hit.inc();
-            }
-            let c = cell.get().expect("memo cell initialized");
-            replay(&c.trace);
-            c.result
-        } else {
-            let c = run_system();
-            replay(&c.trace);
-            c.result
-        };
-        let Some((sys, _raw)) = sys_opt else {
-            return (None, sim);
-        };
-
-        // Objective: estimated IPC weighted-geomean (including the
-        // schedule's balance penalty) as primary, small pressure on
-        // resources-per-accelerator as secondary.
-        let objective = {
-            let ipcs: Vec<(f64, f64)> = self
-                .workloads
-                .iter()
-                .map(|k| {
-                    let s = &schedules[k.name()];
-                    let variant = variants[k.name()];
-                    let m = rc.mdfgs[k.name()]
-                        .iter()
-                        .find(|v| v.variant() == variant)
-                        .expect("variant exists");
-                    let spad_bw: f64 = adg
-                        .nodes()
-                        .filter_map(|(_, n)| n.as_spad().map(|sp| f64::from(sp.bw_bytes)))
-                        .sum();
-                    let est = overgen_model::estimate_ipc(m, &sys, spad_bw, &s.placement);
-                    let w = self.cfg.weights.get(k.name()).copied().unwrap_or(1.0);
-                    (est.ipc * s.balance_penalty, w)
-                })
-                .collect();
-            overgen_model::weighted_geomean_ipc(&ipcs)
-        };
-        let acc = accelerator_resources(adg, rc.model);
-        let combined = objective * (1.0 - 0.05 * (acc.lut / 1.0e6).min(1.0));
-
-        (
-            Some(EvalState {
-                sys,
-                schedules,
-                variants,
-                objective,
-                combined,
-            }),
-            sim,
-        )
-    }
-
-    /// Schedule one workload: repair the prior schedule's variant first
-    /// (the common path — no placement search when the dirty set is
-    /// empty), then walk the remaining variants with full scheduling only
-    /// if repair proved impossible. Returns the chosen (variant, schedule)
-    /// and the simulated seconds spent.
-    ///
-    /// Simulated-time charges are a pure function of the repair
-    /// *classification* (intact / moved count / reschedule), never of the
-    /// execution path, so `cfg.repair` on/off produces identical `sim`.
-    fn schedule_workload(
-        &self,
-        k: &Kernel,
-        sys_probe: &SysAdg,
-        prior: &BTreeMap<String, Schedule>,
-        footprint: ScheduleFootprint,
-        rc: &RunCtx,
-        counters: &EvalCounters,
-    ) -> (Option<(u32, Schedule)>, f64) {
-        let adg_nodes = sys_probe.adg.node_count();
-        let mut sim = 0.0f64;
-        let name = k.name();
-        let Some(vs) = rc.mdfgs.get(name) else {
-            return (None, sim);
-        };
-        let opts = RepairOptions {
-            incremental: self.cfg.repair,
-            footprint: Some(footprint),
-        };
-        let mut repair_failed_variant = None;
-        if let Some(p) = prior.get(name) {
-            if let Some(v) = vs.iter().find(|v| v.variant() == p.variant) {
-                match repair_with(p, v, sys_probe, &opts) {
-                    Ok((s, RepairOutcome::Intact)) => {
-                        counters.intact.inc();
-                        event!("dse.repair", workload = name, outcome = "intact");
-                        sim += self.time.repair_seconds(2, adg_nodes);
-                        return (Some((v.variant(), s)), sim);
-                    }
-                    Ok((s, RepairOutcome::Repaired { moved })) => {
-                        counters.repairs.inc();
-                        counters.repair_moved.record(moved as u64);
-                        event!(
-                            "dse.repair",
-                            workload = name,
-                            outcome = "repaired",
-                            moved = moved,
-                        );
-                        sim += self.time.repair_seconds(moved.max(1), adg_nodes);
-                        return (Some((v.variant(), s)), sim);
-                    }
-                    Err(_) => {
-                        // The fallback already ran (and failed) the seeded
-                        // full placement inside `repair_with`; charge it
-                        // and skip this variant in the walk below.
-                        counters.full_schedules.inc();
-                        event!("dse.repair", workload = name, outcome = "reschedule");
-                        sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
-                        repair_failed_variant = Some(v.variant());
-                    }
-                }
-            }
-        }
-        for v in vs {
-            if repair_failed_variant == Some(v.variant()) {
-                continue;
-            }
-            counters.full_schedules.inc();
-            sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
-            if let Ok(s) = overgen_scheduler::schedule(v, sys_probe, None) {
-                return (Some((v.variant(), s)), sim);
-            }
-        }
-        (None, sim)
-    }
 }
 
 /// What the shared annealing loop hands back to `run`/`resume_from`.
@@ -1186,30 +886,20 @@ struct LoopOutcome {
     champ: ChainState,
     dse_hours: f64,
     stats: DseStats,
+    pareto: ParetoFront,
     completed: bool,
 }
 
-/// Index of the chain with the best `best.combined`; ties break to the
+/// Index of the chain with the best `best.fitness`; ties break to the
 /// lowest index so selection never depends on scheduling.
 fn best_chain(states: &[ChainState]) -> usize {
     let mut winner = 0usize;
     for (idx, st) in states.iter().enumerate().skip(1) {
-        if st.best.combined > states[winner].best.combined {
+        if st.best.fitness > states[winner].best.fitness {
             winner = idx;
         }
     }
     winner
-}
-
-/// Outcome of evaluating one design point. `pub(crate)` so checkpoints
-/// can persist and rebuild it (`checkpoint.rs`).
-#[derive(Debug, Clone)]
-pub(crate) struct EvalState {
-    pub(crate) sys: SystemParams,
-    pub(crate) schedules: BTreeMap<String, Schedule>,
-    pub(crate) variants: BTreeMap<String, u32>,
-    pub(crate) objective: f64,
-    pub(crate) combined: f64,
 }
 
 #[cfg(test)]
@@ -1285,6 +975,13 @@ mod tests {
         // final hardware validates and fits
         r.sys_adg.validate().unwrap();
         assert!(r.dse_hours > 0.0);
+        // the frontier is populated and the winner is on or below it
+        assert!(!r.pareto.is_empty());
+        assert!(r
+            .pareto
+            .points()
+            .iter()
+            .any(|p| p.ipc >= r.objective - 1e-12));
     }
 
     #[test]
@@ -1346,6 +1043,7 @@ mod tests {
         assert_eq!(on.objective.to_bits(), off.objective.to_bits());
         assert_eq!(on.variants, off.variants);
         assert_eq!(on.history, off.history);
+        assert_eq!(on.pareto, off.pareto);
         assert_eq!((off.stats.cache_hits, off.stats.cache_misses), (0, 0));
     }
 

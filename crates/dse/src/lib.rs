@@ -49,11 +49,18 @@
 mod cache;
 mod checkpoint;
 mod engine;
+mod eval;
+mod objective;
 mod pool;
 mod system;
 mod transforms;
 
 pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use engine::{Dse, DseConfig, DseError, DseResult, DseStats};
+pub use eval::{EvalReport, ParetoFront, ParetoPoint};
+pub use objective::{GeomeanIpcWeights, Objective};
+// Re-exported so `Objective::ConstrainedIpc(DeviceBudget::vcu118())` needs
+// only this crate.
+pub use overgen_model::DeviceBudget;
 pub use system::{system_dse, SystemDseConfig};
 pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

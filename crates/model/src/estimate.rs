@@ -173,7 +173,12 @@ pub fn accelerator_resources(adg: &Adg, model: &dyn ResourceModel) -> Resources 
             total += engine_resources(node);
         }
     }
-    total + dispatcher_resources(engines)
+    let total = total + dispatcher_resources(engines);
+    debug_assert!(
+        total.is_valid(),
+        "accelerator_resources produced a non-finite or negative vector: {total}"
+    );
+    total
 }
 
 #[cfg(test)]

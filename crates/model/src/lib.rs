@@ -38,7 +38,7 @@ pub use estimate::{
 };
 pub use mlp::{Mlp, TrainConfig, TrainReport};
 pub use perf::{estimate_ipc, weighted_geomean_ipc, Level, PerfEstimate, Placement};
-pub use resources::{FpgaDevice, ResourceBreakdown, Resources, Utilization, XCVU9P};
+pub use resources::{DeviceBudget, FpgaDevice, ResourceBreakdown, Resources, Utilization, XCVU9P};
 pub use synthesis::{
     features_of, synthesize, synthesize_post_pnr, ComponentFeatures, ComponentKind, SynthesisRun,
 };

@@ -187,6 +187,133 @@ impl FpgaDevice {
     }
 }
 
+/// A hard per-accelerator resource budget for constraint-aware DSE
+/// objectives (the paper's DSE is *resource-constrained*: every spatial
+/// step is evaluated under a fixed VCU118 budget, and overlays are
+/// reported at multiple resource points rather than a single scalar
+/// winner).
+///
+/// Semantics:
+///
+/// * A design is **admitted** only when every *constrained* channel
+///   (`limit > 0`; a zero limit means "unconstrained") satisfies
+///   `used <= limit`. Infeasible designs are rejected before the nested
+///   system DSE even runs.
+/// * Admitted designs near the budget pay a **soft penalty**: for each
+///   constrained channel with utilization `u = used / limit` above
+///   [`DeviceBudget::soft_frac`], fitness is scaled by
+///   `1 - soft_penalty * (u - soft_frac) / (1 - soft_frac)`, multiplied
+///   over all four channels. This keeps the annealer from camping on the
+///   budget boundary where one more mutation flips to infeasible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceBudget {
+    /// Budget name (stable across serialization, like [`FpgaDevice`]).
+    pub name: &'static str,
+    /// Per-channel hard limits; a channel at `0.0` is unconstrained.
+    pub limit: Resources,
+    /// Utilization fraction where the soft penalty starts.
+    pub soft_frac: f64,
+    /// Maximum fitness reduction per channel at 100% utilization.
+    pub soft_penalty: f64,
+}
+
+impl DeviceBudget {
+    /// Soft-penalty knee and strength shared by the presets: designs are
+    /// free below 80% of any channel and lose up to 25% fitness per
+    /// channel as they approach the limit.
+    const SOFT_FRAC: f64 = 0.8;
+    const SOFT_PENALTY: f64 = 0.25;
+
+    /// The full VCU118 (XCVU9P) budget — the paper's evaluation board.
+    pub const fn vcu118() -> DeviceBudget {
+        DeviceBudget {
+            name: "vcu118",
+            limit: XCVU9P.total,
+            soft_frac: Self::SOFT_FRAC,
+            soft_penalty: Self::SOFT_PENALTY,
+        }
+    }
+
+    /// Half of every VCU118 channel: a mid-size resource point (e.g. an
+    /// overlay that shares the device with shell logic or a second
+    /// accelerator).
+    pub const fn vcu118_medium() -> DeviceBudget {
+        DeviceBudget {
+            name: "vcu118-medium",
+            limit: Resources {
+                lut: XCVU9P.total.lut / 2.0,
+                ff: XCVU9P.total.ff / 2.0,
+                bram: XCVU9P.total.bram / 2.0,
+                dsp: XCVU9P.total.dsp / 2.0,
+            },
+            soft_frac: Self::SOFT_FRAC,
+            soft_penalty: Self::SOFT_PENALTY,
+        }
+    }
+
+    /// A quarter of every VCU118 channel: the small resource point (edge
+    /// parts and application-specific overlay sizing).
+    pub const fn vcu118_small() -> DeviceBudget {
+        DeviceBudget {
+            name: "vcu118-small",
+            limit: Resources {
+                lut: XCVU9P.total.lut / 4.0,
+                ff: XCVU9P.total.ff / 4.0,
+                bram: XCVU9P.total.bram / 4.0,
+                dsp: XCVU9P.total.dsp / 4.0,
+            },
+            soft_frac: Self::SOFT_FRAC,
+            soft_penalty: Self::SOFT_PENALTY,
+        }
+    }
+
+    /// Name of the first constrained channel `used` exceeds, or `None`
+    /// when the design is admitted. Channels are checked in the fixed
+    /// `lut, ff, bram, dsp` order so the reported binding channel is
+    /// deterministic.
+    pub fn exceeded(&self, used: &Resources) -> Option<&'static str> {
+        let channels = [
+            ("lut", used.lut, self.limit.lut),
+            ("ff", used.ff, self.limit.ff),
+            ("bram", used.bram, self.limit.bram),
+            ("dsp", used.dsp, self.limit.dsp),
+        ];
+        channels
+            .into_iter()
+            .find(|&(_, u, l)| l > 0.0 && u > l)
+            .map(|(n, _, _)| n)
+    }
+
+    /// Whether every constrained channel fits within the budget.
+    pub fn admits(&self, used: &Resources) -> bool {
+        self.exceeded(used).is_none()
+    }
+
+    /// Soft-penalty factor in `(0, 1]` (see type docs): the product over
+    /// all four channels of each channel's proximity penalty.
+    pub fn soft_factor(&self, used: &Resources) -> f64 {
+        let span = (1.0 - self.soft_frac).max(1e-9);
+        let mut factor = 1.0;
+        for (u, l) in [
+            (used.lut, self.limit.lut),
+            (used.ff, self.limit.ff),
+            (used.bram, self.limit.bram),
+            (used.dsp, self.limit.dsp),
+        ] {
+            if l <= 0.0 {
+                continue;
+            }
+            let util = u / l;
+            if util > self.soft_frac {
+                let over = ((util - self.soft_frac) / span).min(1.0);
+                factor *= 1.0 - self.soft_penalty * over;
+            }
+        }
+        factor
+    }
+}
+
 /// Resource breakdown by overlay component group — the stacked bars of
 /// Figure 16 (pe / n/w / vp / spad / dma / core / noc).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -285,6 +412,62 @@ mod tests {
         b.noc.lut = 5.0;
         assert_eq!(b.total().lut, 15.0);
         assert_eq!(b.groups()[0].0, "pe");
+    }
+
+    #[test]
+    fn budget_admits_and_rejects_per_channel() {
+        let b = DeviceBudget::vcu118_small();
+        assert!(b.admits(&Resources::ZERO));
+        assert_eq!(b.exceeded(&Resources::ZERO), None);
+        // One channel over is enough, and the binding channel is named in
+        // fixed lut/ff/bram/dsp order.
+        let bram_heavy = Resources {
+            bram: b.limit.bram + 1.0,
+            ..Resources::ZERO
+        };
+        assert_eq!(b.exceeded(&bram_heavy), Some("bram"));
+        let both = Resources {
+            lut: b.limit.lut * 2.0,
+            bram: b.limit.bram * 2.0,
+            ..Resources::ZERO
+        };
+        assert_eq!(b.exceeded(&both), Some("lut"));
+    }
+
+    #[test]
+    fn budget_soft_factor_kicks_in_near_the_limit() {
+        let b = DeviceBudget::vcu118();
+        let low = b.limit * 0.5;
+        assert_eq!(b.soft_factor(&low), 1.0);
+        let near = b.limit * 0.95;
+        let at = b.limit * 1.0;
+        let f_near = b.soft_factor(&near);
+        let f_at = b.soft_factor(&at);
+        assert!(f_near < 1.0 && f_near > 0.0);
+        assert!(f_at < f_near, "penalty must grow toward the limit");
+        // At 100% on all four channels every channel pays its full
+        // penalty: (1 - 0.25)^4.
+        assert!((f_at - 0.75f64.powi(4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_zero_limit_channel_is_unconstrained() {
+        let b = DeviceBudget {
+            name: "lut-only",
+            limit: Resources {
+                lut: 1000.0,
+                ..Resources::ZERO
+            },
+            soft_frac: 0.8,
+            soft_penalty: 0.25,
+        };
+        let dsp_heavy = Resources {
+            lut: 500.0,
+            dsp: 1e9,
+            ..Resources::ZERO
+        };
+        assert!(b.admits(&dsp_heavy));
+        assert_eq!(b.soft_factor(&dsp_heavy), 1.0);
     }
 
     #[test]

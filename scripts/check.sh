@@ -15,6 +15,10 @@
 #                the kill-and-resume bench stays under the overhead budget
 #   bench        bench harness end to end: trace diffs across worker counts
 #                and repair modes, BENCH_repair.json speedup record
+#   objectives   evaluation-pipeline gates: default objective byte-identical
+#                to the pre-refactor goldens, Pareto frontier invariants,
+#                and the budgeted bench rejecting infeasible proposals with
+#                traces invariant in worker count
 set -e
 
 stage_build() {
@@ -121,16 +125,54 @@ stage_bench() {
         || { echo "FAIL: BENCH_repair.json missing median_speedup"; exit 1; }
 }
 
+stage_objectives() {
+    echo "== objectives: default objective byte-identical to pre-refactor =="
+    cargo test -q --test objective_equivalence
+
+    echo "== objectives: Pareto frontier invariants =="
+    cargo test -q --test properties \
+        pareto_front_is_the_non_dominated_subset_in_canonical_order
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        PF_TMP=$CHECK_TRACE_DIR/pareto
+        mkdir -p "$PF_TMP"
+    else
+        PF_TMP=$(mktemp -d)
+        trap 'rm -rf "$PF_TMP"' EXIT INT TERM
+    fi
+
+    echo "== objectives: budgeted bench trace diff across worker counts =="
+    OVERGEN_TRACE=1 OVERGEN_DSE_ITERS=10 OVERGEN_RESULTS_DIR="$PF_TMP/t1" \
+        OVERGEN_DSE_THREADS=1 cargo run -q --release -p overgen-bench \
+        --bin bench_pareto >/dev/null
+    OVERGEN_TRACE=1 OVERGEN_DSE_ITERS=10 OVERGEN_RESULTS_DIR="$PF_TMP/t4" \
+        OVERGEN_DSE_THREADS=4 cargo run -q --release -p overgen-bench \
+        --bin bench_pareto >/dev/null
+    diff "$PF_TMP/t1/pareto.trace.jsonl" "$PF_TMP/t4/pareto.trace.jsonl" \
+        || { echo "FAIL: pareto traces differ across worker counts"; exit 1; }
+
+    echo "== objectives: tight budget rejects infeasible proposals =="
+    grep -q '"winner_admitted":true' "$PF_TMP/t1/BENCH_pareto.json" \
+        || { echo "FAIL: budgeted winner overflows its own budget"; exit 1; }
+    awk 'match($0, /"infeasible":[0-9]+/) {
+            n = substr($0, RSTART + 13, RLENGTH - 13)
+            if (n + 0 < 1) { print "FAIL: no infeasible rejections recorded"; exit 1 }
+            found = 1
+         }
+         END { if (!found) { print "FAIL: infeasible count missing"; exit 1 } }' \
+        "$PF_TMP/t1/BENCH_pareto.json"
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench
+    set -- build test fmt clippy determinism checkpoint bench objectives
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives]..." >&2
         exit 2
         ;;
     esac

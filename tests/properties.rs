@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 
 use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
 use overgen_compiler::{lower, CompileOptions, LowerChoices};
-use overgen_dse::{random_mutation, Dse, DseConfig, TransformCtx};
+use overgen_dse::{random_mutation, Dse, DseConfig, ParetoFront, ParetoPoint, TransformCtx};
 use overgen_ir::{expr, DataType, Kernel, KernelBuilder, Suite};
 use overgen_mdfg::Mdfg;
 use overgen_scheduler::{
@@ -308,6 +308,82 @@ fn dse_stats_account_every_cache_lookup() {
     // one lookup per annealing iteration plus the seed evaluation(s)
     assert!(r.stats.cache_hits + r.stats.cache_misses > r.stats.iterations);
     assert!(r.stats.cache_misses >= 1);
+}
+
+/// The Pareto frontier's algebraic contract over random point clouds:
+/// the survivors are exactly the non-dominated subset of the input, the
+/// canonical result is independent of insertion order, and merging split
+/// halves equals building from the whole.
+#[test]
+fn pareto_front_is_the_non_dominated_subset_in_canonical_order() {
+    // Externally-checked dominance, mirroring the documented semantics
+    // (IPC maximized, all four resource channels minimized).
+    fn dominates(p: &ParetoPoint, q: &ParetoPoint) -> bool {
+        let no_worse = p.ipc >= q.ipc
+            && p.resources.lut <= q.resources.lut
+            && p.resources.ff <= q.resources.ff
+            && p.resources.bram <= q.resources.bram
+            && p.resources.dsp <= q.resources.dsp;
+        no_worse && (p != q)
+    }
+
+    let mut rng = Rng::seed_from_u64(0x9A12_E701);
+    for round in 0..48 {
+        // Coarse grid coordinates so domination, ties, and exact
+        // duplicates all actually occur in the sample.
+        let n = rng.gen_range(1usize..=40);
+        let mut pts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut q = |scale: f64| rng.gen_range(0u64..6) as f64 * scale;
+            pts.push(ParetoPoint {
+                ipc: q(0.5),
+                resources: overgen_model::Resources {
+                    lut: q(1000.0),
+                    ff: q(500.0),
+                    bram: q(8.0),
+                    dsp: q(4.0),
+                },
+            });
+        }
+
+        let front = ParetoFront::from_points(pts.iter().copied());
+        assert!(!front.is_empty(), "round {round}: nonempty input");
+        for (i, p) in front.points().iter().enumerate() {
+            assert!(pts.contains(p), "round {round}: frontier invented a point");
+            assert!(
+                !pts.iter().any(|q| dominates(q, p)),
+                "round {round}: point {i} is dominated by an input point"
+            );
+        }
+        for p in &pts {
+            assert!(
+                front.points().contains(p) || front.points().iter().any(|q| dominates(q, p)),
+                "round {round}: input point dropped without a dominator"
+            );
+        }
+        for w in front.points().windows(2) {
+            assert!(w[0].ipc >= w[1].ipc, "round {round}: order broken");
+            assert_ne!(w[0], w[1], "round {round}: duplicate survived");
+        }
+
+        // Insertion-order independence: a Fisher-Yates shuffle must land
+        // on the identical canonical frontier.
+        let mut shuffled = pts.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0usize..=i));
+        }
+        assert_eq!(
+            front,
+            ParetoFront::from_points(shuffled),
+            "round {round}: frontier depends on insertion order"
+        );
+
+        // Merge of split halves equals the frontier of the whole.
+        let mid = pts.len() / 2;
+        let mut left = ParetoFront::from_points(pts[..mid].iter().copied());
+        left.merge(&ParetoFront::from_points(pts[mid..].iter().copied()));
+        assert_eq!(front, left, "round {round}: merge diverged");
+    }
 }
 
 /// A prior schedule for workload maps survives round-tripping through the

@@ -49,6 +49,7 @@ fn traced_run() -> (String, DseStats, DseStats) {
         cache_misses: r.counter_value("dse.cache.miss") as usize,
         repair_fast: r.counter_value("scheduler.repair.fast") as usize,
         repair_fallback: r.counter_value("scheduler.repair.fallback") as usize,
+        infeasible: r.counter_value("dse.eval.infeasible") as usize,
     };
     (ring.to_jsonl(), stats, registry_view)
 }

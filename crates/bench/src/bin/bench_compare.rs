@@ -1,0 +1,72 @@
+//! `bench-compare` — diff two benchmark records with tolerance bands.
+//!
+//! ```text
+//! bench-compare baseline.json candidate.json \
+//!     min:dse.fast_share=0.5 \
+//!     max-drop:timing.median_speedup=0.5 \
+//!     require:timing.proposals
+//! ```
+//!
+//! Both files are flattened to dotted numeric paths and every rule is
+//! checked against the candidate (relative rules also read the baseline).
+//! Exit status: 0 when every rule holds, 1 on any violation (the CI
+//! perf-regression gate keys off this), 2 on usage errors.
+
+use overgen_bench::compare::{compare, Rule};
+use overgen_telemetry::json::{self, Value};
+
+fn load(path: &str) -> Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench-compare: {path} is not valid JSON: {e:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: bench-compare <baseline.json> <candidate.json> <rule>...");
+        eprintln!("rules: min:PATH=V  max:PATH=V  max-drop:PATH=F  max-rise:PATH=F  require:PATH");
+        std::process::exit(2);
+    }
+    let baseline = load(&args[0]);
+    let candidate = load(&args[1]);
+    let rules: Vec<Rule> = args[2..]
+        .iter()
+        .map(|s| match Rule::parse(s) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("bench-compare: {e}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+
+    let report = compare(&baseline, &candidate, &rules);
+    for line in &report.passed {
+        println!("ok   {line}");
+    }
+    for line in &report.violations {
+        println!("FAIL {line}");
+    }
+    if report.ok() {
+        println!("bench-compare: {} rule(s) passed", report.passed.len());
+    } else {
+        println!(
+            "bench-compare: {} of {} rule(s) violated",
+            report.violations.len(),
+            rules.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmarks raw DSE engine throughput (proposals/sec, phase totals)
+//! and records the baseline in `results/BENCH_dse.json`.
+
+fn main() {
+    overgen_bench::run_experiment("dse", || {
+        let report = overgen_bench::experiments::dse::run();
+        overgen_bench::experiments::dse::render(&report)
+    });
+}

@@ -1,0 +1,275 @@
+//! Benchmark regression gating behind the `bench-compare` binary.
+//!
+//! Two `BENCH_*.json` files are flattened into dotted numeric paths
+//! (`dse.fast_share`, `timing.median_speedup`, …) and checked against a
+//! rule list with tolerance bands. Any violation is reported and fails
+//! the comparison — this is what lets CI reject a change that quietly
+//! regresses the repair fast-path share or per-proposal throughput while
+//! every correctness test still passes.
+//!
+//! Rules (also the `bench-compare` CLI syntax):
+//!
+//! - `min:PATH=V` — candidate value must be ≥ V (absolute floor);
+//! - `max:PATH=V` — candidate value must be ≤ V (absolute ceiling);
+//! - `max-drop:PATH=F` — candidate ≥ baseline × (1 − F);
+//! - `max-rise:PATH=F` — candidate ≤ baseline × (1 + F);
+//! - `require:PATH` — the path must exist in the candidate (schema guard).
+//!
+//! A path a rule references but the file lacks is itself a violation:
+//! silent schema drift must not read as "no regression".
+
+use std::collections::BTreeMap;
+
+use overgen_telemetry::json::Value;
+
+/// One gating rule over a dotted path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// Absolute floor on the candidate value.
+    Min(String, f64),
+    /// Absolute ceiling on the candidate value.
+    Max(String, f64),
+    /// Candidate may not drop below baseline by more than this fraction.
+    MaxDrop(String, f64),
+    /// Candidate may not rise above baseline by more than this fraction.
+    MaxRise(String, f64),
+    /// The path must exist in the candidate.
+    Require(String),
+}
+
+impl Rule {
+    /// Parse the CLI spelling (`min:PATH=V`, `require:PATH`, …).
+    pub fn parse(s: &str) -> Result<Rule, String> {
+        let (kind, rest) = s
+            .split_once(':')
+            .ok_or_else(|| format!("rule `{s}`: expected KIND:PATH[=VALUE]"))?;
+        if kind == "require" {
+            if rest.is_empty() {
+                return Err(format!("rule `{s}`: empty path"));
+            }
+            return Ok(Rule::Require(rest.to_string()));
+        }
+        let (path, val) = rest
+            .split_once('=')
+            .ok_or_else(|| format!("rule `{s}`: expected {kind}:PATH=VALUE"))?;
+        let v: f64 = val
+            .parse()
+            .map_err(|_| format!("rule `{s}`: `{val}` is not a number"))?;
+        match kind {
+            "min" => Ok(Rule::Min(path.to_string(), v)),
+            "max" => Ok(Rule::Max(path.to_string(), v)),
+            "max-drop" => Ok(Rule::MaxDrop(path.to_string(), v)),
+            "max-rise" => Ok(Rule::MaxRise(path.to_string(), v)),
+            other => Err(format!("rule `{s}`: unknown kind `{other}`")),
+        }
+    }
+}
+
+/// Flatten a parsed JSON document into dotted numeric paths. Numbers map
+/// to themselves, booleans to 0/1, array elements get their index as a
+/// path segment; strings and nulls are not comparable and are dropped.
+pub fn flatten(v: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(v, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Value, prefix: String, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Num(n) => {
+            out.insert(prefix, *n);
+        }
+        Value::Bool(b) => {
+            out.insert(prefix, if *b { 1.0 } else { 0.0 });
+        }
+        Value::Obj(pairs) => {
+            for (k, child) in pairs {
+                let p = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                walk(child, p, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                let p = if prefix.is_empty() {
+                    i.to_string()
+                } else {
+                    format!("{prefix}.{i}")
+                };
+                walk(child, p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Outcome of checking a candidate against a baseline.
+#[derive(Debug)]
+pub struct Report {
+    /// One line per rule that held, for the human-readable transcript.
+    pub passed: Vec<String>,
+    /// One line per violated rule; non-empty means the gate fails.
+    pub violations: Vec<String>,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check `candidate` against `baseline` under `rules`.
+pub fn compare(baseline: &Value, candidate: &Value, rules: &[Rule]) -> Report {
+    let base = flatten(baseline);
+    let cand = flatten(candidate);
+    let mut report = Report {
+        passed: Vec::new(),
+        violations: Vec::new(),
+    };
+    for rule in rules {
+        check(rule, &base, &cand, &mut report);
+    }
+    report
+}
+
+fn check(
+    rule: &Rule,
+    base: &BTreeMap<String, f64>,
+    cand: &BTreeMap<String, f64>,
+    report: &mut Report,
+) {
+    let missing = |which: &str, path: &str| format!("{which} is missing path `{path}`");
+    match rule {
+        Rule::Require(path) => match cand.get(path) {
+            Some(v) => report.passed.push(format!("require {path} (= {v})")),
+            None => report.violations.push(missing("candidate", path)),
+        },
+        Rule::Min(path, floor) => match cand.get(path) {
+            Some(v) if v >= floor => report.passed.push(format!("{path} = {v} >= min {floor}")),
+            Some(v) => report
+                .violations
+                .push(format!("{path} = {v} below floor {floor}")),
+            None => report.violations.push(missing("candidate", path)),
+        },
+        Rule::Max(path, ceil) => match cand.get(path) {
+            Some(v) if v <= ceil => report.passed.push(format!("{path} = {v} <= max {ceil}")),
+            Some(v) => report
+                .violations
+                .push(format!("{path} = {v} above ceiling {ceil}")),
+            None => report.violations.push(missing("candidate", path)),
+        },
+        Rule::MaxDrop(path, frac) => match (base.get(path), cand.get(path)) {
+            (Some(b), Some(c)) => {
+                let floor = b * (1.0 - frac);
+                if *c >= floor {
+                    report.passed.push(format!(
+                        "{path} = {c} within {:.0}% drop of baseline {b}",
+                        frac * 100.0
+                    ));
+                } else {
+                    report.violations.push(format!(
+                        "{path} dropped {b} -> {c}, beyond the {:.0}% band (floor {floor:.6})",
+                        frac * 100.0
+                    ));
+                }
+            }
+            (None, _) => report.violations.push(missing("baseline", path)),
+            (_, None) => report.violations.push(missing("candidate", path)),
+        },
+        Rule::MaxRise(path, frac) => match (base.get(path), cand.get(path)) {
+            (Some(b), Some(c)) => {
+                let ceil = b * (1.0 + frac);
+                if *c <= ceil {
+                    report.passed.push(format!(
+                        "{path} = {c} within {:.0}% rise of baseline {b}",
+                        frac * 100.0
+                    ));
+                } else {
+                    report.violations.push(format!(
+                        "{path} rose {b} -> {c}, beyond the {:.0}% band (ceiling {ceil:.6})",
+                        frac * 100.0
+                    ));
+                }
+            }
+            (None, _) => report.violations.push(missing("baseline", path)),
+            (_, None) => report.violations.push(missing("candidate", path)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_telemetry::json;
+
+    const BASELINE: &str = r#"{"bench":"repair","dse":{"fast_share":0.8},
+        "timing":{"median_speedup":4.0,"proposals":60},"ok":true}"#;
+
+    fn rules() -> Vec<Rule> {
+        vec![
+            Rule::parse("min:dse.fast_share=0.5").unwrap(),
+            Rule::parse("max-drop:timing.median_speedup=0.5").unwrap(),
+            Rule::parse("require:timing.proposals").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = json::parse(BASELINE).unwrap();
+        let report = compare(&b, &b, &rules());
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.passed.len(), 3);
+    }
+
+    #[test]
+    fn injected_regression_fails() {
+        let b = json::parse(BASELINE).unwrap();
+        // Synthetic regression: fast share collapses and the speedup halves
+        // past the 50% band.
+        let c = json::parse(
+            r#"{"bench":"repair","dse":{"fast_share":0.2},
+                "timing":{"median_speedup":1.5,"proposals":60},"ok":true}"#,
+        )
+        .unwrap();
+        let report = compare(&b, &c, &rules());
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        assert!(report.violations[0].contains("dse.fast_share"));
+        assert!(report.violations[1].contains("timing.median_speedup"));
+    }
+
+    #[test]
+    fn missing_paths_are_loud() {
+        let b = json::parse(BASELINE).unwrap();
+        let c = json::parse(r#"{"bench":"repair"}"#).unwrap();
+        let report = compare(&b, &c, &rules());
+        assert_eq!(report.violations.len(), 3);
+        assert!(report.violations.iter().all(|v| v.contains("missing")));
+    }
+
+    #[test]
+    fn flatten_handles_nesting_bools_and_arrays() {
+        let v = json::parse(r#"{"a":{"b":2},"c":[10,{"d":3}],"e":false,"s":"x"}"#).unwrap();
+        let flat = flatten(&v);
+        assert_eq!(flat.get("a.b"), Some(&2.0));
+        assert_eq!(flat.get("c.0"), Some(&10.0));
+        assert_eq!(flat.get("c.1.d"), Some(&3.0));
+        assert_eq!(flat.get("e"), Some(&0.0));
+        assert!(!flat.contains_key("s"), "strings are not comparable");
+    }
+
+    #[test]
+    fn rule_parsing_accepts_the_cli_spellings_only() {
+        assert_eq!(
+            Rule::parse("max-rise:timing.p99=0.25").unwrap(),
+            Rule::MaxRise("timing.p99".into(), 0.25)
+        );
+        assert!(Rule::parse("between:x=1").is_err());
+        assert!(Rule::parse("min:x").is_err());
+        assert!(Rule::parse("min:x=abc").is_err());
+        assert!(Rule::parse("require:").is_err());
+        assert!(Rule::parse("bare").is_err());
+    }
+}

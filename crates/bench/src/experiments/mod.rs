@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod checkpoint;
+pub mod dse;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;

@@ -7,12 +7,13 @@ use std::time::Instant;
 
 use overgen::{generate, GenerateConfig, Overlay};
 use overgen_compiler::CompileOptions;
-use overgen_dse::{DseConfig, SystemDseConfig};
+use overgen_dse::{DseConfig, HeartbeatConfig, SystemDseConfig};
 use overgen_hls::{explore, AutoDseConfig, AutoDseResult};
 use overgen_ir::{Kernel, Suite};
 use overgen_sim::SimConfig;
 use overgen_telemetry::{
-    event, fs::write_atomic, json, ClockMode, Collector, FileSink, NullSink, Sink,
+    event, fs::write_atomic, json, CacheStats, ClockMode, Collector, FileSink, NullSink, Profiler,
+    Sink,
 };
 use overgen_workloads as workloads;
 
@@ -95,6 +96,42 @@ fn trace_enabled() -> bool {
     )
 }
 
+/// Whether to attribute wall time to phases (env `OVERGEN_PROFILE`,
+/// default on). The profiler is invisible to traces — it never emits
+/// events and never touches the metrics registry — so leaving it on does
+/// not perturb determinism gates; `OVERGEN_PROFILE=0` only skips the
+/// (tiny) timing overhead and the `<name>.profile.json` artifact.
+pub fn profile_enabled() -> bool {
+    !matches!(
+        std::env::var("OVERGEN_PROFILE").as_deref(),
+        Ok("0") | Ok("false") | Ok("no")
+    )
+}
+
+/// Live-progress heartbeat (env `OVERGEN_HEARTBEAT`, default off;
+/// `OVERGEN_HEARTBEAT_EVERY` sets the proposal period, default 25).
+/// When enabled the engine publishes `dse.heartbeat.*` gauges to the
+/// metrics registry and prints a one-line progress summary to stderr at
+/// each threshold. Heartbeat state never reaches the trace stream, so
+/// traces stay byte-identical either way.
+pub fn heartbeat_config() -> Option<HeartbeatConfig> {
+    if !matches!(
+        std::env::var("OVERGEN_HEARTBEAT").as_deref(),
+        Ok("1") | Ok("true") | Ok("yes")
+    ) {
+        return None;
+    }
+    let every = std::env::var("OVERGEN_HEARTBEAT_EVERY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(25);
+    Some(HeartbeatConfig {
+        every,
+        stderr: true,
+    })
+}
+
 /// Run a named experiment with telemetry installed, then publish its
 /// artifacts atomically (temp file + rename, so an interrupted run never
 /// leaves a torn file in `results/`):
@@ -103,7 +140,12 @@ fn trace_enabled() -> bool {
 /// - `results/<name>.json` — a run manifest: seed, DSE iterations, wall
 ///   seconds, and the final metrics-registry snapshot;
 /// - `results/<name>.trace.jsonl` — the deterministic JSONL event trace,
-///   only when `OVERGEN_TRACE=1` (feed it to `trace-summary`).
+///   only when `OVERGEN_TRACE=1` (feed it to `trace-summary` or
+///   `overgen-profile`);
+/// - `results/<name>.profile.json` — phase-level wall-time attribution
+///   (per-phase histograms keyed by phase × footprint class, cache-hit
+///   adjusted totals, hottest workloads and system grid points), unless
+///   `OVERGEN_PROFILE=0`.
 pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
     let dir = results_dir();
     let tracing = trace_enabled();
@@ -121,6 +163,10 @@ pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
     };
     let collector = Collector::new(sink, mode);
     let _install = overgen_telemetry::install(collector.clone());
+    let profiler = profile_enabled().then(Profiler::new);
+    let _profile_install = profiler
+        .as_ref()
+        .map(|p| overgen_telemetry::install_profiler(p.clone()));
     event!(
         "bench.run",
         experiment = name,
@@ -152,6 +198,21 @@ pub fn run_experiment(name: &str, f: impl FnOnce() -> String) {
     if let Err(e) = write_atomic(&path, format!("{manifest}\n").as_bytes()) {
         eprintln!("warning: cannot write {}: {e}", path.display());
     }
+
+    if let Some(p) = profiler {
+        let reg = collector.registry();
+        let cache = CacheStats {
+            eval_hits: reg.counter_value("dse.cache.hit"),
+            eval_misses: reg.counter_value("dse.cache.miss"),
+            system_hits: reg.counter_value("dse.cache.system_hit"),
+            system_misses: reg.counter_value("dse.cache.system_miss"),
+        };
+        let profile = p.snapshot().render_json(name, &cache, 5);
+        let path = dir.join(format!("{name}.profile.json"));
+        if let Err(e) = write_atomic(&path, format!("{profile}\n").as_bytes()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
 }
 
 /// DSE configuration used by all experiments. Parallelism comes from
@@ -170,6 +231,7 @@ pub fn dse_config(iterations: usize, seed: u64) -> DseConfig {
         threads: dse_threads(),
         chains: dse_chains(),
         repair: repair_enabled(),
+        heartbeat: heartbeat_config(),
         ..Default::default()
     }
 }

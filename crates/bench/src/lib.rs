@@ -10,8 +10,10 @@
 //!   the paper-scale runs used in EXPERIMENTS.md set 200+).
 //! - `OVERGEN_SEED`: RNG seed (default 2022).
 
+pub mod compare;
 pub mod experiments;
 pub mod harness;
+pub mod profile_export;
 pub mod table;
 
 pub use harness::*;

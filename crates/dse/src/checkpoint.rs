@@ -973,10 +973,12 @@ fn config_from_json(v: &Value) -> Result<DseConfig, String> {
         cache: d_bool(get(v, "cache")?)?,
         repair: d_bool(get(v, "repair")?)?,
         checkpoint,
-        // Stop budgets are per-invocation, never persisted: a resumed run
-        // goes to completion unless the caller sets fresh ones.
+        // Stop budgets and monitoring are per-invocation, never persisted:
+        // a resumed run goes to completion unless the caller sets fresh
+        // ones, and watches only if the caller asks again.
         max_proposals: None,
         max_wall_seconds: None,
+        heartbeat: None,
     })
 }
 

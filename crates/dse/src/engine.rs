@@ -26,8 +26,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Instant;
 
+use overgen_telemetry::profile::{maybe_phase, NO_CLASS};
 use overgen_telemetry::{
-    capture, capture_isolated, event, replay, span, Counter, FieldValue, Registry, Rng, SpanGuard,
+    capture, capture_isolated, event, replay, span, Counter, FieldValue, Phase, Registry, Rng,
+    SpanGuard,
 };
 
 use overgen_adg::{mesh, Adg, MeshSpec, SpadNode, StableHasher, SysAdg};
@@ -39,6 +41,7 @@ use overgen_scheduler::{Schedule, ScheduleFootprint};
 
 use crate::checkpoint::{Checkpoint, CheckpointConfig};
 use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
+use crate::heartbeat::{Heartbeat, HeartbeatConfig};
 use crate::objective::Objective;
 use crate::pool::fan_out;
 use crate::system::SystemDseConfig;
@@ -106,6 +109,11 @@ pub struct DseConfig {
     /// the finalized checkpoint still resumes deterministically. Not
     /// persisted in checkpoints.
     pub max_wall_seconds: Option<f64>,
+    /// Periodic live progress gauges (`dse.heartbeat.*`), refreshed at
+    /// segment boundaries. Registry-only and trace-invisible, so traces
+    /// stay byte-identical with the heartbeat on or off. Like the stop
+    /// budgets, not persisted in checkpoints. `None` disables it.
+    pub heartbeat: Option<HeartbeatConfig>,
 }
 
 impl Default for DseConfig {
@@ -127,6 +135,7 @@ impl Default for DseConfig {
             checkpoint: None,
             max_proposals: None,
             max_wall_seconds: None,
+            heartbeat: None,
         }
     }
 }
@@ -466,6 +475,7 @@ impl Dse {
         let mut mdfgs: BTreeMap<String, Vec<Mdfg>> = BTreeMap::new();
         {
             let _span = span!("dse.compile_variants");
+            let _timer = maybe_phase(Phase::Compile, NO_CLASS);
             for k in &self.workloads {
                 let vs = compile_variants(k, &self.cfg.compile).unwrap_or_default();
                 mdfgs.insert(k.name().to_string(), vs);
@@ -669,6 +679,16 @@ impl Dse {
         let parent = overgen_telemetry::current();
         let mut written_at = None::<usize>;
         let mut stop_reason = None::<&'static str>;
+        // The proposal budget the heartbeat reports progress/ETA against.
+        let budget = self
+            .cfg
+            .max_proposals
+            .map_or(iterations, |b| b.min(iterations));
+        let mut heartbeat = self
+            .cfg
+            .heartbeat
+            .as_ref()
+            .map(|h| Heartbeat::new(h, pipe.registry(), done));
         while done < iterations {
             if self.cfg.max_proposals.is_some_and(|b| done >= b) {
                 stop_reason = Some("proposals");
@@ -731,6 +751,16 @@ impl Dse {
             if interval.is_some_and(|i| done.is_multiple_of(i)) {
                 Checkpoint::write(self, pipe, &states, done, &prior, &base, run_span)?;
                 written_at = Some(done);
+            }
+
+            // Registry-only: refreshes gauges, emits nothing into the
+            // trace, never changes segmentation.
+            if let Some(hb) = heartbeat.as_mut() {
+                let mut front = ParetoFront::new();
+                for st in &states {
+                    front.merge(&st.pareto);
+                }
+                hb.tick(done, budget, pipe.registry(), &base, front.len());
             }
         }
 

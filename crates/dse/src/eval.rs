@@ -23,8 +23,13 @@
 //! [`DseResult::pareto`](crate::DseResult::pareto).
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
 
-use overgen_telemetry::{capture, capture_isolated, event, replay, Counter, Registry};
+use overgen_telemetry::profile::PhaseTimer;
+use overgen_telemetry::{
+    capture, capture_isolated, current_profiler, event, replay, Counter, Phase, Profiler, Registry,
+};
 
 use overgen_adg::{Adg, StableHasher, SysAdg, SystemParams};
 use overgen_ir::Kernel;
@@ -121,6 +126,11 @@ pub(crate) struct EvalPipeline<'a> {
     cfg_hash: u64,
     threads: usize,
     cache_enabled: bool,
+    /// Phase-attribution profiler, captured from the constructing thread
+    /// (worker threads have no thread-local profiler). Wall-time only —
+    /// records nothing into traces or the run registry, so determinism is
+    /// untouched whether it is present or not.
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<'a> EvalPipeline<'a> {
@@ -162,11 +172,18 @@ impl<'a> EvalPipeline<'a> {
             cfg_hash,
             threads,
             cache_enabled: cfg.cache,
+            profiler: current_profiler(),
         }
     }
 
     pub(crate) fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Start a phase timer when a profiler is installed (`None` otherwise,
+    /// a no-op guard).
+    fn phase(&self, phase: Phase, class: &'static str) -> Option<PhaseTimer> {
+        self.profiler.as_ref().map(|p| p.phase(phase, class))
     }
 
     /// The run registry stats are read from and merged into.
@@ -196,6 +213,10 @@ impl<'a> EvalPipeline<'a> {
         footprint: ScheduleFootprint,
     ) -> (Option<EvalState>, f64) {
         let run = || {
+            // Umbrella phase: one uncached evaluation end to end. Cache
+            // hits never reach here; their cost is reconstructed via the
+            // cache-adjustment factor in the profile report.
+            let _eval_timer = self.phase(Phase::Eval, footprint.name());
             let (out, trace, registry) =
                 capture_isolated(|| self.evaluate_uncached(adg, prior, footprint));
             let (state, sim) = out;
@@ -251,6 +272,7 @@ impl<'a> EvalPipeline<'a> {
         footprint: ScheduleFootprint,
     ) -> (Option<EvalState>, f64) {
         let mut sim = 0.0f64;
+        let validate_timer = self.phase(Phase::Validate, footprint.name());
         let sys_probe = SysAdg::new(adg.clone(), SystemParams::default());
         if sys_probe.validate().is_err() {
             return (None, sim);
@@ -280,6 +302,8 @@ impl<'a> EvalPipeline<'a> {
             return (None, sim);
         }
 
+        drop(validate_timer);
+
         let reg = eval_collector.registry().clone();
         let counters = EvalCounters {
             full_schedules: reg.counter("dse.full_schedules"),
@@ -290,9 +314,15 @@ impl<'a> EvalPipeline<'a> {
 
         let jobs: Vec<&Kernel> = self.workloads.iter().collect();
         let outs = fan_out(self.threads, jobs, |k| {
-            capture(Some(&eval_collector), || {
+            let hot = self
+                .profiler
+                .as_ref()
+                .map(|p| p.hot_timer("workload", k.name()));
+            let out = capture(Some(&eval_collector), || {
                 self.schedule_workload(k, &sys_probe, prior, footprint, &counters)
-            })
+            });
+            drop(hot);
+            out
         });
 
         let mut schedules: BTreeMap<String, Schedule> = BTreeMap::new();
@@ -330,9 +360,18 @@ impl<'a> EvalPipeline<'a> {
             })
             .collect();
         let run_system = || {
+            let _t = self.phase(Phase::SystemDse, footprint.name());
+            let start = Instant::now();
             let (result, trace) = capture(overgen_telemetry::current().as_ref(), || {
                 system_dse(adg, &per, self.model, &self.cfg.system, self.threads)
             });
+            if let (Some(p), Some((sys, _))) = (self.profiler.as_ref(), result.as_ref()) {
+                p.record_hot(
+                    "sys-grid",
+                    &format!("tiles={}", sys.tiles),
+                    start.elapsed().as_micros() as u64,
+                );
+            }
             CachedSystem { result, trace }
         };
         let sys_opt = if self.cache_enabled {
@@ -367,6 +406,7 @@ impl<'a> EvalPipeline<'a> {
         // Performance estimate: per-workload IPC (with the schedule's
         // balance penalty) folded into the weighted geomean — the primary
         // objective of §V-A.
+        let _objective_timer = self.phase(Phase::Objective, footprint.name());
         let mut per_workload_ipc: BTreeMap<String, f64> = BTreeMap::new();
         let ipc = {
             let ipcs: Vec<(f64, f64)> = self
@@ -445,7 +485,10 @@ impl<'a> EvalPipeline<'a> {
         let mut repair_failed_variant = None;
         if let Some(p) = prior.get(name) {
             if let Some(v) = vs.iter().find(|v| v.variant() == p.variant) {
-                match repair_with(p, v, sys_probe, &opts) {
+                let repair_timer = self.phase(Phase::Repair, footprint.name());
+                let outcome = repair_with(p, v, sys_probe, &opts);
+                drop(repair_timer);
+                match outcome {
                     Ok((s, RepairOutcome::Intact)) => {
                         counters.intact.inc();
                         event!("dse.repair", workload = name, outcome = "intact");
@@ -482,6 +525,7 @@ impl<'a> EvalPipeline<'a> {
             }
             counters.full_schedules.inc();
             sim += self.time.schedule_seconds(v.node_count(), adg_nodes);
+            let _schedule_timer = self.phase(Phase::Schedule, footprint.name());
             if let Ok(s) = overgen_scheduler::schedule(v, sys_probe, None) {
                 return (Some((v.variant(), s)), sim);
             }

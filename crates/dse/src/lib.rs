@@ -50,6 +50,7 @@ mod cache;
 mod checkpoint;
 mod engine;
 mod eval;
+mod heartbeat;
 mod objective;
 mod pool;
 mod system;
@@ -58,6 +59,7 @@ mod transforms;
 pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use engine::{Dse, DseConfig, DseError, DseResult, DseStats};
 pub use eval::{EvalReport, ParetoFront, ParetoPoint};
+pub use heartbeat::HeartbeatConfig;
 pub use objective::{GeomeanIpcWeights, Objective};
 // Re-exported so `Objective::ConstrainedIpc(DeviceBudget::vcu118())` needs
 // only this crate.

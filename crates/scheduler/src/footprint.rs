@@ -33,6 +33,16 @@ pub enum ScheduleFootprint {
 }
 
 impl ScheduleFootprint {
+    /// Every footprint class, in severity order. Profile reports and tests
+    /// iterate this for a stable class axis.
+    pub const ALL: [ScheduleFootprint; 5] = [
+        ScheduleFootprint::Pure,
+        ScheduleFootprint::Attribute,
+        ScheduleFootprint::Additive,
+        ScheduleFootprint::RemoveUnused,
+        ScheduleFootprint::Structural,
+    ];
+
     /// Worst-of fold for proposals applying several mutations.
     #[must_use]
     pub fn merge(self, other: ScheduleFootprint) -> ScheduleFootprint {
@@ -76,7 +86,8 @@ mod tests {
 
     #[test]
     fn codes_are_distinct_and_ordered() {
-        let all = [Pure, Attribute, Additive, RemoveUnused, Structural];
+        let all = super::ScheduleFootprint::ALL;
+        assert_eq!(all, [Pure, Attribute, Additive, RemoveUnused, Structural]);
         for w in all.windows(2) {
             assert!(w[0] < w[1]);
             assert!(w[0].code() < w[1].code());

@@ -79,6 +79,10 @@ struct StreamState {
 /// Simulate a scheduled mDFG on a system ADG.
 pub fn simulate(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) -> SimReport {
     let _span = span!("sim.run", mdfg = mdfg.name(), variant = mdfg.variant());
+    let _timer = overgen_telemetry::profile::maybe_phase(
+        overgen_telemetry::Phase::Simulate,
+        overgen_telemetry::profile::NO_CLASS,
+    );
     // Cross-iteration regions run on one tile and fire at the
     // dependency-chain interval instead of II = 1.
     let tiles = if mdfg.sequential() {

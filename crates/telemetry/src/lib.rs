@@ -49,6 +49,8 @@ pub mod clock;
 pub mod fs;
 pub mod json;
 pub mod metrics;
+pub mod names;
+pub mod profile;
 pub mod rng;
 pub mod sink;
 mod span;
@@ -59,7 +61,10 @@ use std::sync::{Arc, Mutex};
 
 pub use capture::{capture, capture_isolated, replay, CapturedTrace};
 pub use clock::{Clock, ClockMode};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
+pub use profile::{
+    current_profiler, install_profiler, CacheStats, Phase, PhaseTimer, ProfileSnapshot, Profiler,
+};
 pub use rng::Rng;
 pub use sink::{FileSink, NullSink, RingSink, Sink};
 pub use span::SpanGuard;

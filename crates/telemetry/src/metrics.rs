@@ -193,6 +193,18 @@ enum Metric {
     Histogram(Histogram),
 }
 
+/// The kind of a registered metric, as reported by
+/// [`Registry::metric_names`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonic [`Counter`].
+    Counter,
+    /// A last-value-wins [`Gauge`].
+    Gauge,
+    /// A log-linear [`Histogram`].
+    Histogram,
+}
+
 /// A named-metric registry. Cloning is cheap (shared storage).
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
@@ -297,6 +309,23 @@ impl Registry {
                 }
             }
         }
+    }
+
+    /// Every registered metric name with its kind, sorted by name. The
+    /// metric-name audit uses this to check runtime emissions against the
+    /// documented lists in [`crate::names`].
+    pub fn metric_names(&self) -> Vec<(&'static str, MetricKind)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let kind = match metric {
+                    Metric::Counter(_) => MetricKind::Counter,
+                    Metric::Gauge(_) => MetricKind::Gauge,
+                    Metric::Histogram(_) => MetricKind::Histogram,
+                };
+                (*name, kind)
+            })
+            .collect()
     }
 
     /// Current value of a counter by name (0 when absent or not a counter).
@@ -423,5 +452,105 @@ mod tests {
         let a2 = a.clone();
         a.merge_from(&a2);
         assert_eq!(a.counter_value("c"), 8);
+    }
+
+    #[test]
+    fn percentile_lands_exactly_on_bucket_boundaries() {
+        // One sample on each side of the linear/log boundary and on octave
+        // boundaries: the reported percentile must be the bucket's own
+        // lower bound, which for boundary values is the value itself.
+        for v in [
+            31u64, // last exact linear bucket
+            32,    // first log-linear bucket
+            64,    // octave boundary
+            96,    // sub-bucket boundary inside the 64..128 octave
+            1 << 20,
+        ] {
+            let h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.percentile(0.0), v, "p0 of single sample {v}");
+            assert_eq!(h.percentile(50.0), v, "p50 of single sample {v}");
+            assert_eq!(h.percentile(100.0), v, "p100 of single sample {v}");
+            assert_eq!(value_of(index_of(v)), v, "{v} is a bucket lower bound");
+        }
+        // Two samples in adjacent buckets: p50 is the first, p100 the second.
+        let h = Histogram::default();
+        h.record(31);
+        h.record(32);
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.percentile(100.0), 32);
+    }
+
+    #[test]
+    fn zero_samples_everywhere() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for p in [0.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 0);
+        }
+        // Merging an empty histogram changes nothing.
+        let other = Histogram::default();
+        other.record(5);
+        other.merge_from(&h);
+        assert_eq!(other.count(), 1);
+        assert_eq!(other.percentile(100.0), 5);
+    }
+
+    #[test]
+    fn u64_max_sample_is_representable() {
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        // The top bucket's lower bound is still a sane (huge) value and the
+        // index stays in range.
+        let idx = index_of(u64::MAX);
+        assert!(idx < BUCKETS, "index {idx} out of range");
+        let p100 = h.percentile(100.0);
+        assert!(p100 >= u64::MAX / 2, "p100 {p100} collapsed");
+        // A second tiny sample keeps both ends readable.
+        h.record(1);
+        assert_eq!(h.percentile(0.0), 1);
+        assert!(h.percentile(100.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn merge_of_snapshots_equals_direct_recording() {
+        // Recording a stream into one histogram must equal splitting the
+        // stream across shards and merging — bucket-wise, not just in
+        // count/sum/max.
+        let direct = Histogram::default();
+        let shards = [
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        ];
+        let mut v: u64 = 7;
+        for i in 0..1_000u64 {
+            v = v
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let sample = v >> (v % 50); // spread across many octaves
+            direct.record(sample);
+            shards[(i % 3) as usize].record(sample);
+        }
+        let merged = Histogram::default();
+        for s in &shards {
+            merged.merge_from(s);
+        }
+        assert_eq!(merged.count(), direct.count());
+        assert_eq!(merged.sum(), direct.sum());
+        assert_eq!(merged.max(), direct.max());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                merged.percentile(p),
+                direct.percentile(p),
+                "p{p} differs after merge"
+            );
+        }
     }
 }

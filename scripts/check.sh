@@ -19,6 +19,9 @@
 #                to the pre-refactor goldens, Pareto frontier invariants,
 #                and the budgeted bench rejecting infeasible proposals with
 #                traces invariant in worker count
+#   profile      observability gates: profiler + heartbeat trace-invisible,
+#                metric names documented, golden phase table from a
+#                deterministic trace, >= 95% eval-time attribution
 set -e
 
 stage_build() {
@@ -123,6 +126,30 @@ stage_bench() {
     # The r1 leg above wrote the real record; assert it reports a speedup.
     grep -q '"median_speedup"' "$TRACE_TMP/r1/BENCH_repair.json" \
         || { echo "FAIL: BENCH_repair.json missing median_speedup"; exit 1; }
+
+    echo "== bench: perf-regression gate against the committed baseline =="
+    # Deterministic ratios get hard bands; absolute wall numbers only get
+    # presence checks (machines differ). The committed baseline ran at 60
+    # iterations, the candidate at 10 — the bands absorb that.
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_repair.json "$TRACE_TMP/r1/BENCH_repair.json" \
+        min:dse.fast_share=0.5 \
+        max-drop:timing.median_speedup=0.5 \
+        min:timing.min_speedup=1.0 \
+        require:timing.proposals \
+        require:timing.median_repair_seconds \
+        || { echo "FAIL: repair benchmark regressed past the tolerance bands"; exit 1; }
+
+    echo "== bench: injected synthetic regression must fail the gate =="
+    sed -e 's/"fast_share":[0-9.eE+-]*/"fast_share":0.01/' \
+        -e 's/"median_speedup":[0-9.eE+-]*/"median_speedup":1.01/' \
+        "$TRACE_TMP/r1/BENCH_repair.json" > "$TRACE_TMP/regressed.json"
+    if cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_repair.json "$TRACE_TMP/regressed.json" \
+        min:dse.fast_share=0.5 \
+        max-drop:timing.median_speedup=0.5 >/dev/null; then
+        echo "FAIL: bench-compare accepted a synthetic regression"; exit 1
+    fi
 }
 
 stage_objectives() {
@@ -163,16 +190,57 @@ stage_objectives() {
         "$PF_TMP/t1/BENCH_pareto.json"
 }
 
+stage_profile() {
+    echo "== profile: profiler + heartbeat invisible to traces, names documented =="
+    cargo test -q --test profiling_determinism
+    cargo test -q --test metric_names
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        PROF_TMP=$CHECK_TRACE_DIR/profile
+        mkdir -p "$PROF_TMP"
+    else
+        PROF_TMP=$(mktemp -d)
+        trap 'rm -rf "$PROF_TMP"' EXIT INT TERM
+    fi
+
+    echo "== profile: golden phase table from a deterministic trace =="
+    # The trace clock is logical ticks, so the rendered table is identical
+    # on every machine; regenerate the golden with the same command if a
+    # deliberate change moves it.
+    OVERGEN_TRACE=1 OVERGEN_DSE_ITERS=10 OVERGEN_DSE_THREADS=1 \
+        OVERGEN_RESULTS_DIR="$PROF_TMP" cargo run -q --release -p overgen-bench \
+        --bin bench_dse >/dev/null
+    cargo run -q --release -p overgen-bench --bin overgen-profile -- \
+        "$PROF_TMP/dse.trace.jsonl" > "$PROF_TMP/profile_table.txt"
+    diff results/profile_table.golden.txt "$PROF_TMP/profile_table.txt" \
+        || { echo "FAIL: phase table drifted from results/profile_table.golden.txt"; exit 1; }
+
+    echo "== profile: chrome trace-event export =="
+    cargo run -q --release -p overgen-bench --bin overgen-profile -- \
+        "$PROF_TMP/dse.trace.jsonl" --chrome "$PROF_TMP/dse.chrome.json" >/dev/null
+    grep -q '"traceEvents":\[{' "$PROF_TMP/dse.chrome.json" \
+        || { echo "FAIL: chrome export has no events"; exit 1; }
+
+    echo "== profile: >= 95% of eval wall time attributed to a named phase =="
+    awk 'match($0, /"coverage":[0-9.]+/) {
+            c = substr($0, RSTART + 11, RLENGTH - 11)
+            if (c + 0 < 0.95) { print "FAIL: coverage " c " < 0.95"; exit 1 }
+            found = 1
+         }
+         END { if (!found) { print "FAIL: coverage missing"; exit 1 } }' \
+        "$PROF_TMP/dse.profile.json"
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench objectives
+    set -- build test fmt clippy determinism checkpoint bench objectives profile
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench | objectives) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile]..." >&2
         exit 2
         ;;
     esac

@@ -1,0 +1,9 @@
+//! Benchmarks the pruned warm-batch simulator sweep against the cold
+//! exhaustive baseline and records the speedup in `results/BENCH_sim.json`.
+
+fn main() {
+    overgen_bench::run_experiment("sim", || {
+        let report = overgen_bench::experiments::sim::run();
+        overgen_bench::experiments::sim::render(&report)
+    });
+}

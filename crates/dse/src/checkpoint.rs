@@ -39,7 +39,7 @@ use overgen_model::DeviceBudget;
 use crate::engine::{stat_delta, ChainState, Dse, DseConfig, DseError, DseResult, DseStats};
 use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
 use crate::objective::{GeomeanIpcWeights, Objective};
-use crate::system::SystemDseConfig;
+use crate::system::{SystemDseBackend, SystemDseConfig};
 
 const MAGIC: &str = "overgen-dse-checkpoint";
 // Version history: 1 = original format; 2 = pluggable objectives (top-level
@@ -959,6 +959,11 @@ fn config_from_json(v: &Value) -> Result<DseConfig, String> {
             l2_banks_grid: grid("l2_banks_grid")?,
             l2_kb_grid: grid("l2_kb_grid")?,
             noc_bw_grid: grid("noc_bw_grid")?,
+            // Not serialized: the scoring backend does not change the
+            // checkpoint byte format, and a non-default backend is folded
+            // into the config hash, so a resume under a different backend
+            // is rejected by the existing hash check.
+            backend: SystemDseBackend::default(),
         },
         compile: CompileOptions {
             max_unroll: d_u32(get(compile, "max_unroll")?)?,

@@ -448,6 +448,16 @@ impl Dse {
             h.write_f64(*w);
         }
         cfg.objective.hash_into(&mut h);
+        // Folded in only when non-default so every pre-existing cache key,
+        // checkpoint hash, and golden trace stays byte-identical for the
+        // historical Estimate backend.
+        match cfg.system.backend {
+            crate::system::SystemDseBackend::Estimate => {}
+            crate::system::SystemDseBackend::Simulate { prune } => {
+                h.write_str("backend:simulate");
+                h.write_u64(u64::from(prune));
+            }
+        }
         h.finish()
     }
 

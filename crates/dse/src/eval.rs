@@ -40,7 +40,7 @@ use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, Sch
 use crate::cache::{hash_placement, hash_schedule, Memo};
 use crate::engine::DseConfig;
 use crate::pool::fan_out;
-use crate::system::system_dse;
+use crate::system::{system_dse, system_dse_sim, SystemDseBackend};
 
 /// Structured outcome of one successful proposal evaluation: everything an
 /// [`Objective`](crate::Objective) may want to score, plus the artifacts
@@ -363,7 +363,38 @@ impl<'a> EvalPipeline<'a> {
             let _t = self.phase(Phase::SystemDse, footprint.name());
             let start = Instant::now();
             let (result, trace) = capture(overgen_telemetry::current().as_ref(), || {
-                system_dse(adg, &per, self.model, &self.cfg.system, self.threads)
+                match self.cfg.system.backend {
+                    SystemDseBackend::Estimate => {
+                        system_dse(adg, &per, self.model, &self.cfg.system, self.threads)
+                    }
+                    SystemDseBackend::Simulate { prune } => {
+                        // Simulator-backed scoring needs the full schedule
+                        // (stream-to-engine bindings), not just the
+                        // placement. The sweep itself is serial by
+                        // contract, so `threads` is not forwarded.
+                        let per_sim: Vec<(&Mdfg, &Schedule, f64)> = self
+                            .workloads
+                            .iter()
+                            .map(|k| {
+                                let name = k.name();
+                                let m = self.mdfgs[name]
+                                    .iter()
+                                    .find(|v| v.variant() == variants[name])
+                                    .expect("variant exists");
+                                let w = self.cfg.weights.get(name).copied().unwrap_or(1.0);
+                                (m, &schedules[name], w)
+                            })
+                            .collect();
+                        system_dse_sim(
+                            adg,
+                            &per_sim,
+                            self.model,
+                            &self.cfg.system,
+                            &overgen_sim::SimConfig::default(),
+                            prune,
+                        )
+                    }
+                }
             });
             if let (Some(p), Some((sys, _))) = (self.profiler.as_ref(), result.as_ref()) {
                 p.record_hot(

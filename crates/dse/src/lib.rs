@@ -64,5 +64,5 @@ pub use objective::{GeomeanIpcWeights, Objective};
 // Re-exported so `Objective::ConstrainedIpc(DeviceBudget::vcu118())` needs
 // only this crate.
 pub use overgen_model::DeviceBudget;
-pub use system::{system_dse, SystemDseConfig};
+pub use system::{system_dse, system_dse_sim, SystemDseBackend, SystemDseConfig};
 pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

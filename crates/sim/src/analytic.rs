@@ -1,0 +1,297 @@
+//! Closed-form steady-state lower bound for the flow simulator.
+//!
+//! The cycle-stepped loop in [`flow`](crate::flow) is exact but costs one
+//! tick per simulated cycle. Most system-DSE grid points, however, are
+//! decided by a handful of ceilings the flow can never beat:
+//!
+//! - **compute II** — the fabric fires at most one (vectorized) DFG
+//!   instance per `fire_interval` cycles, so a tile's share of the
+//!   firings takes at least `firings_tile * fire_interval` cycles;
+//! - **stream-engine issue** — each engine issues at most one stream per
+//!   cycle, moving at most `bw` bytes (`bw / mem_amp` for strided DMA),
+//!   so an engine needs at least `sum_i ceil(bytes_i / bw_eff)` cycles
+//!   to move the bytes its streams must move (twice as long minus one
+//!   with the one-hot bypass disabled and a single stream);
+//! - **NoC** — all DMA traffic of a tile crosses its NoC link, at most
+//!   `noc_bw_bytes` per cycle;
+//! - **L2 bandwidth** — DMA traffic also spends per-tile L2 bank
+//!   bandwidth, accrued fractionally at `l2_bw_bytes / tiles` per cycle
+//!   from a carry that starts empty, so `T` cycles supply at most
+//!   `T * frac` bytes;
+//! - **DRAM bandwidth** — cold misses (the per-stream `dram_left`
+//!   budget, amplified for strided access) drain the DRAM carry the
+//!   same way.
+//!
+//! Every component is a provable lower bound on the flow loop's cycle
+//! count (see DESIGN.md §12 for the soundness argument), so their max —
+//! clamped to `max_cycles`, plus the deterministic pipeline fill — never
+//! exceeds [`SimBatch::run`]'s reported cycles. The corresponding
+//! [`AnalyticBound::ipc_upper`] is therefore a true upper bound on the
+//! reported IPC, which is what lets the system DSE prune grid points
+//! that provably cannot beat the incumbent without ticking the
+//! simulator.
+
+use overgen_adg::{SysAdg, SystemParams};
+use overgen_mdfg::Mdfg;
+use overgen_scheduler::Schedule;
+
+use crate::flow::{EngineKind, SimBatch, SimConfig};
+
+/// Closed-form lower-bound summary for one (template, grid-point) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticBound {
+    /// Lower bound on [`crate::SimReport::cycles`] (pipeline fill
+    /// included).
+    pub cycles: u64,
+    /// Upper bound on [`crate::SimReport::ipc`].
+    pub ipc_upper: f64,
+}
+
+impl SimBatch {
+    /// Bytes stream `i` forces its engine to move under `firings_tile`
+    /// firings: what compute consumes (reads) or produces (writes).
+    /// Recurrence reads are forwarded by their paired write and never
+    /// occupy an issue slot; portless streams receive no fabric traffic.
+    fn stream_demand(&self, i: usize, firings_tile: u64) -> u64 {
+        if !self.has_port[i] {
+            return 0;
+        }
+        if self.is_write[i] {
+            // The fabric pushes `bytes_per_firing` on *every* firing and
+            // completion requires the FIFO drained.
+            firings_tile * self.bytes_per_firing[i]
+        } else if self.kind[i] == EngineKind::Rec {
+            0
+        } else {
+            // Reads refresh every `stationary` firings; consumption never
+            // exceeds the stream's total byte budget.
+            let refreshes = firings_tile.div_ceil(self.stationary[i]);
+            (refreshes * self.bytes_per_firing[i]).min(self.stream_total_bytes(i, firings_tile))
+        }
+    }
+
+    /// Compute the analytic lower bound for one grid point. Pure
+    /// arithmetic over the template — no arena access, no allocation, no
+    /// telemetry.
+    pub fn bound(&self, sys: &SystemParams) -> AnalyticBound {
+        let tiles = self.tiles(sys);
+        let firings_tile = self.firings_tile(sys);
+
+        // Compute II ceiling.
+        let mut loop_bound = firings_tile * self.fire_interval;
+
+        // Stream-engine issue ceilings (engines run in parallel: max).
+        for lane in &self.lanes {
+            let mut issues = 0u64;
+            for i in lane.lo..lane.hi {
+                let demand = self.stream_demand(i, firings_tile);
+                if demand == 0 {
+                    continue;
+                }
+                // Strided DMA moves at most bw/amp useful bytes per
+                // issue. bw < amp would starve the stream outright; the
+                // .max(1) keeps the bound finite (and still sound, since
+                // the real run then truncates at `max_cycles`).
+                let eff = if self.kind[i] == EngineKind::Dma {
+                    (lane.bw / self.mem_amp[i]).max(1)
+                } else {
+                    lane.bw
+                };
+                issues += demand.div_ceil(eff);
+            }
+            let single = lane.hi - lane.lo == 1;
+            let lane_bound = if single && !self.cfg.one_hot_bypass && issues > 0 {
+                // A lone stream issues every other cycle.
+                2 * issues - 1
+            } else {
+                issues
+            };
+            loop_bound = loop_bound.max(lane_bound);
+        }
+
+        // Shared-fabric ceilings: all DMA demand crosses the NoC link and
+        // spends L2 bank bandwidth; cold misses spend DRAM bandwidth.
+        let mut dma_bytes = 0u64;
+        let mut dram_bytes = 0u64;
+        for i in 0..self.kind.len() {
+            if self.kind[i] != EngineKind::Dma {
+                continue;
+            }
+            let demand = self.stream_demand(i, firings_tile);
+            dma_bytes += demand;
+            if !self.is_write[i] {
+                let total = self.stream_total_bytes(i, firings_tile);
+                let cold = demand.min(self.stream_dram_left(i, sys, total));
+                dram_bytes += cold * self.mem_amp[i];
+            }
+        }
+        let noc_bw_tile = u64::from(sys.noc_bw_bytes).max(1);
+        loop_bound = loop_bound.max(dma_bytes.div_ceil(noc_bw_tile));
+        // Fractional carries start empty, so T cycles supply at most
+        // T * frac bytes; floor() keeps the bound sound against f64
+        // rounding.
+        let l2_bw_frac = sys.l2_bw_bytes() as f64 / tiles as f64;
+        if l2_bw_frac > 0.0 {
+            loop_bound = loop_bound.max((dma_bytes as f64 / l2_bw_frac) as u64);
+        }
+        let dram_bw_frac = sys.dram_bw_bytes() as f64 / tiles as f64;
+        if dram_bw_frac > 0.0 {
+            loop_bound = loop_bound.max((dram_bytes as f64 / dram_bw_frac) as u64);
+        }
+
+        // The flow loop always ticks at least once and never past the
+        // safety cap.
+        let cycles = loop_bound.max(1).min(self.cfg.max_cycles) + self.pipeline_fill(sys);
+        let ipc_upper = firings_tile as f64 * self.insts_per_firing / cycles as f64 * tiles as f64;
+        AnalyticBound { cycles, ipc_upper }
+    }
+}
+
+/// One-shot analytic lower bound on [`crate::simulate`]'s reported
+/// cycles for a scheduled mDFG on a system ADG.
+pub fn analytic_cycles(mdfg: &Mdfg, sched: &Schedule, sys: &SysAdg, cfg: &SimConfig) -> u64 {
+    SimBatch::new(mdfg, sched, &sys.adg, cfg)
+        .bound(&sys.sys)
+        .cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use overgen_adg::{mesh, MeshSpec};
+    use overgen_compiler::{lower, LowerChoices};
+    use overgen_ir::{expr, DataType, KernelBuilder, Suite};
+    use overgen_scheduler::schedule;
+
+    fn vecadd_mdfg(n: u64, unroll: u32) -> Mdfg {
+        let k = KernelBuilder::new("vecadd", Suite::Dsp, DataType::I64)
+            .array_input("a", n)
+            .array_input("b", n)
+            .array_output("c", n)
+            .loop_const("i", n)
+            .assign(
+                "c",
+                expr::idx("i"),
+                expr::load("a", expr::idx("i")) + expr::load("b", expr::idx("i")),
+            )
+            .build()
+            .unwrap();
+        lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bound_never_exceeds_simulated_cycles_across_a_grid() {
+        let mdfg = vecadd_mdfg(4096, 2);
+        let adg = mesh(&MeshSpec::default());
+        let sys0 = SysAdg::new(adg.clone(), SystemParams::default());
+        let sched = schedule(&mdfg, &sys0, None).unwrap();
+        let cfg = SimConfig::default();
+        let batch = SimBatch::new(&mdfg, &sched, &adg, &cfg);
+        for tiles in [1u32, 2, 4, 8, 16] {
+            for (banks, kb, noc, ch) in [
+                (2u32, 256u32, 32u32, 1u32),
+                (4, 512, 32, 1),
+                (8, 1024, 64, 2),
+                (16, 2048, 64, 4),
+            ] {
+                let sys = SystemParams {
+                    tiles,
+                    l2_banks: banks,
+                    l2_kb: kb,
+                    noc_bw_bytes: noc,
+                    dram_channels: ch,
+                };
+                let b = batch.bound(&sys);
+                let r = simulate(&mdfg, &sched, &SysAdg::new(adg.clone(), sys), &cfg);
+                assert!(
+                    b.cycles <= r.cycles,
+                    "bound {} > sim {} at tiles={tiles} banks={banks} kb={kb} noc={noc} ch={ch}",
+                    b.cycles,
+                    r.cycles
+                );
+                assert!(
+                    b.ipc_upper >= r.ipc,
+                    "ipc_upper {} < sim ipc {} at tiles={tiles}",
+                    b.ipc_upper,
+                    r.ipc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_when_compute_bound() {
+        // A wide DMA engine keeps the ports fed: the flow hits the
+        // compute II, and the analytic bound should land within the
+        // pipeline-fill-dominated ballpark rather than orders below.
+        let mdfg = vecadd_mdfg(16384, 2);
+        let spec = MeshSpec {
+            dma_bw: 64,
+            ..MeshSpec::default()
+        };
+        let sys = SysAdg::new(
+            mesh(&spec),
+            SystemParams {
+                tiles: 1,
+                l2_banks: 16,
+                l2_kb: 2048,
+                noc_bw_bytes: 128,
+                dram_channels: 4,
+            },
+        );
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        let cfg = SimConfig::default();
+        let lb = analytic_cycles(&mdfg, &sched, &sys, &cfg);
+        let r = simulate(&mdfg, &sched, &sys, &cfg);
+        assert!(lb <= r.cycles);
+        assert!(
+            lb as f64 >= r.cycles as f64 * 0.8,
+            "bound {lb} too loose vs {} on a compute-bound kernel",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn bound_respects_one_hot_bypass_config() {
+        let mdfg = vecadd_mdfg(4096, 1);
+        let adg = mesh(&MeshSpec::default());
+        let sys = SysAdg::new(adg.clone(), SystemParams::default());
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        let on = SimConfig::default();
+        let off = SimConfig {
+            one_hot_bypass: false,
+            ..Default::default()
+        };
+        let b_on = SimBatch::new(&mdfg, &sched, &adg, &on).bound(&sys.sys);
+        let b_off = SimBatch::new(&mdfg, &sched, &adg, &off).bound(&sys.sys);
+        assert!(b_off.cycles >= b_on.cycles);
+        // Both must stay below their own simulations.
+        assert!(b_on.cycles <= simulate(&mdfg, &sched, &sys, &on).cycles);
+        assert!(b_off.cycles <= simulate(&mdfg, &sched, &sys, &off).cycles);
+    }
+
+    #[test]
+    fn bound_caps_at_max_cycles_plus_fill() {
+        let mdfg = vecadd_mdfg(4096, 2);
+        let adg = mesh(&MeshSpec::default());
+        let sys = SysAdg::new(adg.clone(), SystemParams::default());
+        let sched = schedule(&mdfg, &sys, None).unwrap();
+        let cfg = SimConfig {
+            max_cycles: 8,
+            ..Default::default()
+        };
+        let lb = analytic_cycles(&mdfg, &sched, &sys, &cfg);
+        let r = simulate(&mdfg, &sched, &sys, &cfg);
+        assert!(r.truncated);
+        assert!(lb <= r.cycles, "bound {lb} > truncated sim {}", r.cycles);
+    }
+}

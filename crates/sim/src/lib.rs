@@ -46,8 +46,10 @@
 //! assert!(report.cycles > 0 && report.ipc > 0.0);
 //! ```
 
+mod analytic;
 mod flow;
 mod report;
 
-pub use flow::{simulate, SimConfig};
+pub use analytic::{analytic_cycles, AnalyticBound};
+pub use flow::{simulate, SimBatch, SimConfig};
 pub use report::SimReport;

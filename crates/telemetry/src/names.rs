@@ -31,6 +31,9 @@ pub const COUNTERS: &[&str] = &[
     "scheduler.repair.dirty_nodes",
     "scheduler.repair.fallback",
     "scheduler.repair.fast",
+    "sim.analytic.admitted",
+    "sim.analytic.pruned",
+    "sim.batch.reuse",
     "sim.engine_bw_default",
     "sim.truncated",
 ];

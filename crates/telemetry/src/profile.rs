@@ -52,6 +52,9 @@ pub enum Phase {
     SystemDse,
     /// Cycle-level simulation (bench/overlay execution, outside `Eval`).
     Simulate,
+    /// Closed-form analytic lower-bound pruning in the simulator-backed
+    /// system DSE.
+    Analytic,
     /// Performance estimation and fitness scoring.
     Objective,
     /// Umbrella: one uncached proposal evaluation end to end.
@@ -60,13 +63,14 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Validate,
         Phase::Compile,
         Phase::Schedule,
         Phase::Repair,
         Phase::SystemDse,
         Phase::Simulate,
+        Phase::Analytic,
         Phase::Objective,
         Phase::Eval,
     ];
@@ -90,6 +94,7 @@ impl Phase {
             Phase::Repair => "repair",
             Phase::SystemDse => "system-dse",
             Phase::Simulate => "simulate",
+            Phase::Analytic => "analytic",
             Phase::Objective => "objective",
             Phase::Eval => "eval",
         }

@@ -22,6 +22,11 @@
 #   profile      observability gates: profiler + heartbeat trace-invisible,
 #                metric names documented, golden phase table from a
 #                deterministic trace, >= 95% eval-time attribution
+#   sim          simulator fast-path gates: differential oracle (pruned +
+#                cached sweep vs exhaustive) across every workload, the
+#                analytic lower-bound property, oracle mode invisible in
+#                traces, and BENCH_sim.json holding >= 5x median eval
+#                speedup with winners identical to exhaustive search
 set -e
 
 stage_build() {
@@ -231,16 +236,68 @@ stage_profile() {
         "$PROF_TMP/dse.profile.json"
 }
 
+stage_sim() {
+    echo "== sim: differential oracle, pruned + cached sweep vs exhaustive =="
+    # OVERGEN_SIM_ORACLE=1 inside the suite runs a shadow exhaustive sweep
+    # (plain SimBatch::run, no pruning, no reuse cache) next to the real
+    # one and asserts identical winners on every workload.
+    cargo test -q --release --test sim_oracle
+
+    echo "== sim: analytic model is a true lower bound =="
+    cargo test -q --test properties analytic_bound_never_exceeds_simulated_cycles
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        SIM_TMP=$CHECK_TRACE_DIR/sim
+        mkdir -p "$SIM_TMP"
+    else
+        SIM_TMP=$(mktemp -d)
+        trap 'rm -rf "$SIM_TMP"' EXIT INT TERM
+    fi
+
+    echo "== sim: oracle shadow sweep invisible in the bench trace =="
+    # The shadow sweep must not emit telemetry: the deterministic
+    # (logical-clock) trace of the full benchmark has to be byte-identical
+    # with the oracle on and off. Timing in BENCH_sim.json legitimately
+    # differs, so only the traces are diffed; the gate below reads the
+    # oracle-off leg, whose timings are the real fast-path numbers.
+    OVERGEN_TRACE=1 OVERGEN_SIM_ORACLE=1 OVERGEN_RESULTS_DIR="$SIM_TMP/o1" \
+        cargo run -q --release -p overgen-bench --bin bench_sim >/dev/null
+    OVERGEN_TRACE=1 OVERGEN_SIM_ORACLE=0 OVERGEN_RESULTS_DIR="$SIM_TMP/o0" \
+        cargo run -q --release -p overgen-bench --bin bench_sim >/dev/null
+    diff "$SIM_TMP/o1/sim.trace.jsonl" "$SIM_TMP/o0/sim.trace.jsonl" \
+        || { echo "FAIL: oracle shadow sweep perturbed the trace"; exit 1; }
+
+    echo "== sim: >= 5x median eval speedup at unchanged winners =="
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_sim.json "$SIM_TMP/o0/BENCH_sim.json" \
+        min:summary.median_speedup=5 \
+        min:summary.winner_match_all=1 \
+        require:summary.pruned \
+        require:summary.reused \
+        || { echo "FAIL: simulator fast path regressed past the speedup/winner gate"; exit 1; }
+
+    echo "== sim: injected winner divergence must fail the gate =="
+    sed -e 's/"winner_match_all":true/"winner_match_all":false/' \
+        -e 's/"median_speedup":[0-9.eE+-]*/"median_speedup":1.2/' \
+        "$SIM_TMP/o0/BENCH_sim.json" > "$SIM_TMP/diverged.json"
+    if cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_sim.json "$SIM_TMP/diverged.json" \
+        min:summary.median_speedup=5 \
+        min:summary.winner_match_all=1 >/dev/null; then
+        echo "FAIL: bench-compare accepted a diverged winner"; exit 1
+    fi
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench objectives profile
+    set -- build test fmt clippy determinism checkpoint bench objectives profile sim
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim]..." >&2
         exit 2
         ;;
     esac

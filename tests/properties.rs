@@ -413,6 +413,61 @@ fn dse_results_carry_valid_schedules() {
     }
 }
 
+/// The analytic steady-state model is a true lower bound: for seeded
+/// random (kernel, schedule, system-grid-point) pairs, the closed-form
+/// cycle count never exceeds what the cycle-stepped simulator reports
+/// (and its IPC upper bound never undercuts the simulated IPC). This is
+/// the soundness property the system-DSE pruning rests on (DESIGN.md
+/// §12).
+#[test]
+fn analytic_bound_never_exceeds_simulated_cycles() {
+    use overgen_sim::{analytic_cycles, simulate, SimConfig};
+
+    let mut rng = Rng::seed_from_u64(0xA11A1);
+    let banks = [2u32, 4, 8, 16];
+    let kbs = [16u32, 256, 512, 1024, 2048];
+    let nocs = [16u32, 32, 64, 128];
+    let mut exercised = 0;
+    for tag in 0..20 {
+        let k = arb_kernel(&mut rng, tag);
+        let adg = mesh(&MeshSpec::general());
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sys0 = SysAdg::new(adg.clone(), SystemParams::default());
+        let Ok(sched) = schedule(&mdfg, &sys0, None) else {
+            continue; // not every random kernel fits; that is legal
+        };
+        for _ in 0..4 {
+            let sys = SystemParams {
+                tiles: rng.gen_range(1u32..=16),
+                l2_banks: banks[rng.gen_range(0usize..banks.len())],
+                l2_kb: kbs[rng.gen_range(0usize..kbs.len())],
+                noc_bw_bytes: nocs[rng.gen_range(0usize..nocs.len())],
+                dram_channels: rng.gen_range(1u32..=4),
+            };
+            let sys_adg = SysAdg::new(adg.clone(), sys);
+            let cfg = SimConfig::default();
+            let lb = analytic_cycles(&mdfg, &sched, &sys_adg, &cfg);
+            let r = simulate(&mdfg, &sched, &sys_adg, &cfg);
+            assert!(
+                lb <= r.cycles,
+                "{}: analytic {lb} > simulated {} at {sys:?}",
+                k.name(),
+                r.cycles
+            );
+            exercised += 1;
+        }
+    }
+    assert!(exercised >= 40, "only {exercised} pairs exercised");
+}
+
 // Gated: requires the `proptest-tests` feature AND restoring the proptest
 // dev-dependency in the root Cargo.toml (removed for offline builds).
 #[cfg(feature = "proptest-tests")]

@@ -9,25 +9,35 @@
 //!
 //! Both files are flattened to dotted numeric paths and every rule is
 //! checked against the candidate (relative rules also read the baseline).
-//! Exit status: 0 when every rule holds, 1 on any violation (the CI
-//! perf-regression gate keys off this), 2 on usage errors.
+//!
+//! Exit status distinguishes *why* the gate failed, so CI can treat a
+//! genuine regression differently from a missing baseline artifact:
+//!
+//! - `0` — every rule holds;
+//! - `1` — at least one rule violated (each `FAIL` line names the rule
+//!   that fired, e.g. `[min:summary.identity=1] ...`);
+//! - `2` — usage error (bad arguments or an unparseable rule);
+//! - `3` — baseline file missing, unreadable, or not valid JSON;
+//! - `4` — candidate file missing, unreadable, or not valid JSON.
 
 use overgen_bench::compare::{compare, Rule};
 use overgen_telemetry::json::{self, Value};
 
-fn load(path: &str) -> Value {
+/// Load one record; `role` is "baseline" or "candidate" and picks the
+/// exit code (3 or 4) so a wrapper can tell which side was absent.
+fn load(path: &str, role: &str, code: i32) -> Value {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("bench-compare: cannot read {path}: {e}");
-            std::process::exit(2);
+            eprintln!("bench-compare: cannot read {role} {path}: {e}");
+            std::process::exit(code);
         }
     };
     match json::parse(&text) {
         Ok(v) => v,
         Err(e) => {
-            eprintln!("bench-compare: {path} is not valid JSON: {e:?}");
-            std::process::exit(2);
+            eprintln!("bench-compare: {role} {path} is not valid JSON: {e:?}");
+            std::process::exit(code);
         }
     }
 }
@@ -39,8 +49,8 @@ fn main() {
         eprintln!("rules: min:PATH=V  max:PATH=V  max-drop:PATH=F  max-rise:PATH=F  require:PATH");
         std::process::exit(2);
     }
-    let baseline = load(&args[0]);
-    let candidate = load(&args[1]);
+    let baseline = load(&args[0], "baseline", 3);
+    let candidate = load(&args[1], "candidate", 4);
     let rules: Vec<Rule> = args[2..]
         .iter()
         .map(|s| match Rule::parse(s) {

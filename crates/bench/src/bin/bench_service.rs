@@ -1,0 +1,10 @@
+//! Measures the warm-cache speedup of the shared persistent evaluation
+//! store and verifies concurrent-vs-sequential job identity, recording
+//! both in `results/BENCH_service.json`.
+
+fn main() {
+    overgen_bench::run_experiment("service", || {
+        let report = overgen_bench::experiments::service::run();
+        overgen_bench::experiments::service::render(&report)
+    });
+}

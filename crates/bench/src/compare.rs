@@ -65,6 +65,19 @@ impl Rule {
     }
 }
 
+impl std::fmt::Display for Rule {
+    /// The CLI spelling, so a violation names the exact rule that fired.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rule::Min(p, v) => write!(f, "min:{p}={v}"),
+            Rule::Max(p, v) => write!(f, "max:{p}={v}"),
+            Rule::MaxDrop(p, v) => write!(f, "max-drop:{p}={v}"),
+            Rule::MaxRise(p, v) => write!(f, "max-rise:{p}={v}"),
+            Rule::Require(p) => write!(f, "require:{p}"),
+        }
+    }
+}
+
 /// Flatten a parsed JSON document into dotted numeric paths. Numbers map
 /// to themselves, booleans to 0/1, array elements get their index as a
 /// path segment; strings and nulls are not comparable and are dropped.
@@ -130,72 +143,75 @@ pub fn compare(baseline: &Value, candidate: &Value, rules: &[Rule]) -> Report {
         violations: Vec::new(),
     };
     for rule in rules {
-        check(rule, &base, &cand, &mut report);
+        match check(rule, &base, &cand) {
+            Ok(line) => report.passed.push(line),
+            // Name the exact rule that fired: CI logs show `[min:...=V]`
+            // without the reader having to map values back to the rule
+            // list the gate was invoked with.
+            Err(line) => report.violations.push(format!("[{rule}] {line}")),
+        }
     }
     report
 }
 
+/// One rule's verdict: `Ok` carries the passed-transcript line, `Err`
+/// the violation line (without the rule prefix `compare` adds).
 fn check(
     rule: &Rule,
     base: &BTreeMap<String, f64>,
     cand: &BTreeMap<String, f64>,
-    report: &mut Report,
-) {
+) -> Result<String, String> {
     let missing = |which: &str, path: &str| format!("{which} is missing path `{path}`");
     match rule {
         Rule::Require(path) => match cand.get(path) {
-            Some(v) => report.passed.push(format!("require {path} (= {v})")),
-            None => report.violations.push(missing("candidate", path)),
+            Some(v) => Ok(format!("require {path} (= {v})")),
+            None => Err(missing("candidate", path)),
         },
         Rule::Min(path, floor) => match cand.get(path) {
-            Some(v) if v >= floor => report.passed.push(format!("{path} = {v} >= min {floor}")),
-            Some(v) => report
-                .violations
-                .push(format!("{path} = {v} below floor {floor}")),
-            None => report.violations.push(missing("candidate", path)),
+            Some(v) if v >= floor => Ok(format!("{path} = {v} >= min {floor}")),
+            Some(v) => Err(format!("{path} = {v} below floor {floor}")),
+            None => Err(missing("candidate", path)),
         },
         Rule::Max(path, ceil) => match cand.get(path) {
-            Some(v) if v <= ceil => report.passed.push(format!("{path} = {v} <= max {ceil}")),
-            Some(v) => report
-                .violations
-                .push(format!("{path} = {v} above ceiling {ceil}")),
-            None => report.violations.push(missing("candidate", path)),
+            Some(v) if v <= ceil => Ok(format!("{path} = {v} <= max {ceil}")),
+            Some(v) => Err(format!("{path} = {v} above ceiling {ceil}")),
+            None => Err(missing("candidate", path)),
         },
         Rule::MaxDrop(path, frac) => match (base.get(path), cand.get(path)) {
             (Some(b), Some(c)) => {
                 let floor = b * (1.0 - frac);
                 if *c >= floor {
-                    report.passed.push(format!(
+                    Ok(format!(
                         "{path} = {c} within {:.0}% drop of baseline {b}",
                         frac * 100.0
-                    ));
+                    ))
                 } else {
-                    report.violations.push(format!(
+                    Err(format!(
                         "{path} dropped {b} -> {c}, beyond the {:.0}% band (floor {floor:.6})",
                         frac * 100.0
-                    ));
+                    ))
                 }
             }
-            (None, _) => report.violations.push(missing("baseline", path)),
-            (_, None) => report.violations.push(missing("candidate", path)),
+            (None, _) => Err(missing("baseline", path)),
+            (_, None) => Err(missing("candidate", path)),
         },
         Rule::MaxRise(path, frac) => match (base.get(path), cand.get(path)) {
             (Some(b), Some(c)) => {
                 let ceil = b * (1.0 + frac);
                 if *c <= ceil {
-                    report.passed.push(format!(
+                    Ok(format!(
                         "{path} = {c} within {:.0}% rise of baseline {b}",
                         frac * 100.0
-                    ));
+                    ))
                 } else {
-                    report.violations.push(format!(
+                    Err(format!(
                         "{path} rose {b} -> {c}, beyond the {:.0}% band (ceiling {ceil:.6})",
                         frac * 100.0
-                    ));
+                    ))
                 }
             }
-            (None, _) => report.violations.push(missing("baseline", path)),
-            (_, None) => report.violations.push(missing("candidate", path)),
+            (None, _) => Err(missing("baseline", path)),
+            (_, None) => Err(missing("candidate", path)),
         },
     }
 }
@@ -236,8 +252,9 @@ mod tests {
         .unwrap();
         let report = compare(&b, &c, &rules());
         assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
-        assert!(report.violations[0].contains("dse.fast_share"));
-        assert!(report.violations[1].contains("timing.median_speedup"));
+        // Each violation leads with the spelling of the rule that fired.
+        assert!(report.violations[0].starts_with("[min:dse.fast_share=0.5]"));
+        assert!(report.violations[1].starts_with("[max-drop:timing.median_speedup=0.5]"));
     }
 
     #[test]

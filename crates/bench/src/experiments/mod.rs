@@ -13,6 +13,7 @@ pub mod fig19;
 pub mod fig20;
 pub mod pareto;
 pub mod repair;
+pub mod service;
 pub mod sim;
 pub mod table1;
 pub mod table2;

@@ -129,6 +129,62 @@ pub(crate) fn hash_schedule(h: &mut StableHasher, s: &Schedule) {
     hash_placement(h, &s.placement);
 }
 
+/// Absorb a full mDFG variant into a fingerprint: identity, iteration
+/// shape, and every node and edge. Within one run the in-memory memo keys
+/// never need this (the variant set is fixed for the run's lifetime), but
+/// the persistent store is shared across tenants whose runs may agree on
+/// every memo-key ingredient while exploring different domains — the
+/// domain salt built from this hash is what keeps their entries apart
+/// (see `store.rs`).
+pub(crate) fn hash_mdfg(h: &mut StableHasher, m: &overgen_mdfg::Mdfg) {
+    use overgen_mdfg::MdfgNode;
+    h.write_str(m.name());
+    h.write_u64(u64::from(m.variant()));
+    h.write_u64(u64::from(m.unroll()));
+    h.write_f64(m.total_iterations());
+    h.write_u64(u64::from(m.sequential()));
+    h.write_u64(m.node_count() as u64);
+    for (_, node) in m.nodes() {
+        match node {
+            MdfgNode::Inst(i) => {
+                h.write_str("inst");
+                h.write_str(&format!("{:?}/{:?}", i.op, i.dtype));
+                h.write_u64(u64::from(i.lanes));
+            }
+            MdfgNode::InputStream(s) | MdfgNode::OutputStream(s) => {
+                h.write_str(if s.is_write { "out" } else { "in" });
+                h.write_str(&s.array);
+                h.write_u64(s.bytes_per_firing);
+                h.write_str(&format!("{:?}", s.pattern));
+                h.write_u64(u64::from(s.dims));
+                h.write_u64(u64::from(s.variable_tc));
+                h.write_u64(u64::from(s.broadcast));
+                h.write_f64(s.reuse.traffic_bytes);
+                h.write_f64(s.reuse.footprint_bytes);
+                h.write_f64(s.reuse.stationary);
+                match &s.reuse.recurrent {
+                    None => h.write_u64(0),
+                    Some(r) => {
+                        h.write_u64(1);
+                        h.write_u64(r.concurrent);
+                        h.write_u64(r.depth);
+                    }
+                }
+            }
+            MdfgNode::Array(a) => {
+                h.write_str("array");
+                h.write_str(&a.name);
+                h.write_u64(a.size_bytes);
+                h.write_str(&format!("{:?}", a.pref));
+            }
+        }
+    }
+    for (src, dst) in m.edges() {
+        h.write_u64(src.index() as u64);
+        h.write_u64(dst.index() as u64);
+    }
+}
+
 /// Absorb a scratchpad placement (sorted array names).
 pub(crate) fn hash_placement(h: &mut StableHasher, p: &Placement) {
     h.write_u64(p.spad_arrays.len() as u64);

@@ -313,11 +313,11 @@ impl Checkpoint {
 // (see module docs); `arr` builds raw JSON arrays the `Obj` builder
 // doesn't cover.
 
-fn hx(v: u64) -> String {
+pub(crate) fn hx(v: u64) -> String {
     json::quote(&format!("{v:x}"))
 }
 
-fn fx(v: f64) -> String {
+pub(crate) fn fx(v: f64) -> String {
     hx(v.to_bits())
 }
 
@@ -337,7 +337,7 @@ fn res_from_json(v: &Value) -> Result<Resources, String> {
     }
 }
 
-fn arr(items: impl IntoIterator<Item = String>) -> String {
+pub(crate) fn arr(items: impl IntoIterator<Item = String>) -> String {
     let mut out = String::from("[");
     for (i, s) in items.into_iter().enumerate() {
         if i > 0 {
@@ -349,11 +349,11 @@ fn arr(items: impl IntoIterator<Item = String>) -> String {
     out
 }
 
-fn get<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
+pub(crate) fn get<'a>(v: &'a Value, k: &str) -> Result<&'a Value, String> {
     v.get(k).ok_or_else(|| format!("missing field `{k}`"))
 }
 
-fn d_str(v: &Value) -> Result<&str, String> {
+pub(crate) fn d_str(v: &Value) -> Result<&str, String> {
     v.as_str().ok_or_else(|| "expected string".to_string())
 }
 
@@ -361,11 +361,11 @@ fn d_bool(v: &Value) -> Result<bool, String> {
     v.as_bool().ok_or_else(|| "expected bool".to_string())
 }
 
-fn d_u64(v: &Value) -> Result<u64, String> {
+pub(crate) fn d_u64(v: &Value) -> Result<u64, String> {
     u64::from_str_radix(d_str(v)?, 16).map_err(|e| format!("bad hex integer: {e}"))
 }
 
-fn d_f64(v: &Value) -> Result<f64, String> {
+pub(crate) fn d_f64(v: &Value) -> Result<f64, String> {
     Ok(f64::from_bits(d_u64(v)?))
 }
 
@@ -373,7 +373,7 @@ fn d_usize(v: &Value) -> Result<usize, String> {
     usize::try_from(d_u64(v)?).map_err(|e| format!("integer out of range: {e}"))
 }
 
-fn d_u32(v: &Value) -> Result<u32, String> {
+pub(crate) fn d_u32(v: &Value) -> Result<u32, String> {
     u32::try_from(d_u64(v)?).map_err(|e| format!("integer out of range: {e}"))
 }
 
@@ -381,14 +381,14 @@ fn d_u16(v: &Value) -> Result<u16, String> {
     u16::try_from(d_u64(v)?).map_err(|e| format!("integer out of range: {e}"))
 }
 
-fn d_arr(v: &Value) -> Result<&[Value], String> {
+pub(crate) fn d_arr(v: &Value) -> Result<&[Value], String> {
     match v {
         Value::Arr(a) => Ok(a),
         _ => Err("expected array".into()),
     }
 }
 
-fn d_pair(v: &Value) -> Result<(&Value, &Value), String> {
+pub(crate) fn d_pair(v: &Value) -> Result<(&Value, &Value), String> {
     match d_arr(v)? {
         [a, b] => Ok((a, b)),
         _ => Err("expected 2-element array".into()),
@@ -635,7 +635,7 @@ fn schedule_from_json(v: &Value) -> Result<Schedule, String> {
     })
 }
 
-fn eval_to_json(e: &EvalState) -> String {
+pub(crate) fn eval_to_json(e: &EvalState) -> String {
     let sys = Obj::new()
         .raw("tiles", &hx(u64::from(e.sys.tiles)))
         .raw("l2_banks", &hx(u64::from(e.sys.l2_banks)))
@@ -662,7 +662,7 @@ fn eval_to_json(e: &EvalState) -> String {
         .finish()
 }
 
-fn eval_from_json(v: &Value) -> Result<EvalState, String> {
+pub(crate) fn eval_from_json(v: &Value) -> Result<EvalState, String> {
     let sys = get(v, "sys")?;
     let schedules = d_arr(get(v, "schedules")?)?
         .iter()
@@ -984,6 +984,10 @@ fn config_from_json(v: &Value) -> Result<DseConfig, String> {
         max_proposals: None,
         max_wall_seconds: None,
         heartbeat: None,
+        // The shared store and cancellation flag are likewise runtime
+        // wiring, not exploration state.
+        store: None,
+        stop: None,
     })
 }
 

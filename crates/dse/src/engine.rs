@@ -114,6 +114,40 @@ pub struct DseConfig {
     /// stay byte-identical with the heartbeat on or off. Like the stop
     /// budgets, not persisted in checkpoints. `None` disables it.
     pub heartbeat: Option<HeartbeatConfig>,
+    /// Persistent shared evaluation store ([`crate::EvalStore`]), consulted
+    /// and fed on the in-memory caches' miss path when `cache` is on. A
+    /// store-served artifact is byte-identical to recomputation, so
+    /// results, counters, and traces are independent of store contents
+    /// (DESIGN.md §13). Not part of the config hash; not persisted in
+    /// checkpoints. `None` runs fully in-memory.
+    pub store: Option<std::sync::Arc<crate::EvalStore>>,
+    /// Cooperative cancellation flag for service-managed runs. When raised
+    /// the run stops at the next segment boundary with `stop_reason`
+    /// `"cancelled"`, finalizing a checkpoint when configured. Like the
+    /// stop budgets, not hashed and not persisted.
+    pub stop: Option<StopFlag>,
+}
+
+/// A sharable cooperative-cancellation flag for [`DseConfig::stop`]: cheap
+/// to clone, raised once, never lowered.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> StopFlag {
+        StopFlag::default()
+    }
+
+    /// Request a graceful stop at the next segment boundary.
+    pub fn raise(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Has a stop been requested?
+    pub fn raised(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
 }
 
 impl Default for DseConfig {
@@ -136,6 +170,8 @@ impl Default for DseConfig {
             max_proposals: None,
             max_wall_seconds: None,
             heartbeat: None,
+            store: None,
+            stop: None,
         }
     }
 }
@@ -710,6 +746,10 @@ impl Dse {
                 .is_some_and(|w| wall.elapsed().as_secs_f64() >= w)
             {
                 stop_reason = Some("wall_clock");
+                break;
+            }
+            if self.cfg.stop.as_ref().is_some_and(StopFlag::raised) {
+                stop_reason = Some("cancelled");
                 break;
             }
             let mut end = done + (exchange - done % exchange);

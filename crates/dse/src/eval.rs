@@ -83,18 +83,19 @@ pub(crate) struct EvalState {
 
 /// A memoized evaluation: outcome plus every side effect it produced, so
 /// replaying the trace and merging the registry makes a cache hit
-/// indistinguishable from re-running.
-struct CachedEval {
-    state: Option<EvalState>,
-    sim: f64,
-    trace: overgen_telemetry::CapturedTrace,
-    registry: Registry,
+/// indistinguishable from re-running. `pub(crate)` so the persistent
+/// store (`store.rs`) can serialize and rebuild whole artifacts.
+pub(crate) struct CachedEval {
+    pub(crate) state: Option<EvalState>,
+    pub(crate) sim: f64,
+    pub(crate) trace: overgen_telemetry::CapturedTrace,
+    pub(crate) registry: Registry,
 }
 
 /// A memoized system-DSE winner (no metrics: `system_dse` only traces).
-struct CachedSystem {
-    result: Option<(SystemParams, f64)>,
-    trace: overgen_telemetry::CapturedTrace,
+pub(crate) struct CachedSystem {
+    pub(crate) result: Option<(SystemParams, f64)>,
+    pub(crate) trace: overgen_telemetry::CapturedTrace,
 }
 
 /// Handles for the counters an evaluation updates, bound to the isolated
@@ -124,6 +125,9 @@ pub(crate) struct EvalPipeline<'a> {
     eval_cache: Memo<CachedEval>,
     sys_cache: Memo<CachedSystem>,
     cfg_hash: u64,
+    /// Domain discriminator folded into persistent-store keys only (the
+    /// full mDFG variant set; see [`EvalPipeline::new`]).
+    store_salt: u64,
     threads: usize,
     cache_enabled: bool,
     /// Phase-attribution profiler, captured from the constructing thread
@@ -156,6 +160,23 @@ impl<'a> EvalPipeline<'a> {
             ),
             None => (Memo::new(), Memo::new()),
         };
+        // The persistent store is shared across tenants whose memo keys
+        // can collide (two domains with identical config and seed ADG):
+        // salt store keys with the full variant set so entries never cross
+        // domain boundaries. In-memory keys stay unsalted — byte-stable
+        // with every pre-existing checkpoint and golden trace.
+        let store_salt = {
+            let mut h = StableHasher::new();
+            h.write_u64(mdfgs.len() as u64);
+            for (name, variants) in mdfgs {
+                h.write_str(name);
+                h.write_u64(variants.len() as u64);
+                for m in variants {
+                    crate::cache::hash_mdfg(&mut h, m);
+                }
+            }
+            h.finish()
+        };
         EvalPipeline {
             workloads,
             cfg,
@@ -170,6 +191,7 @@ impl<'a> EvalPipeline<'a> {
             eval_cache,
             sys_cache,
             cfg_hash,
+            store_salt,
             threads,
             cache_enabled: cfg.cache,
             profiler: current_profiler(),
@@ -178,6 +200,15 @@ impl<'a> EvalPipeline<'a> {
 
     pub(crate) fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Persistent-store key for an in-memory memo key: the memo key plus
+    /// the domain salt.
+    fn store_key(&self, memo_key: u64) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(self.store_salt);
+        h.write_u64(memo_key);
+        h.finish()
     }
 
     /// Start a phase timer when a profiler is installed (`None` otherwise,
@@ -239,7 +270,21 @@ impl<'a> EvalPipeline<'a> {
             for s in prior.values() {
                 hash_schedule(&mut h, s);
             }
-            let (cell, miss) = self.eval_cache.get_or_compute(h.finish(), run);
+            let key = h.finish();
+            // The persistent store sits strictly inside the in-memory miss
+            // path: a store-served artifact is byte-identical to
+            // recomputation, so per-job hit/miss counters and traces are
+            // unaffected by store contents (DESIGN.md §13).
+            let skey = self.store_key(key);
+            let with_store = || match self.cfg.store.as_deref() {
+                Some(st) => st.fetch_eval(skey).unwrap_or_else(|| {
+                    let c = run();
+                    st.publish_eval(skey, &c);
+                    c
+                }),
+                None => run(),
+            };
+            let (cell, miss) = self.eval_cache.get_or_compute(key, with_store);
             if miss {
                 self.cache_miss.inc();
             } else {
@@ -416,7 +461,18 @@ impl<'a> EvalPipeline<'a> {
                 h.write_u64(u64::from(variants[name]));
                 hash_placement(&mut h, &schedules[name].placement);
             }
-            let (cell, miss) = self.sys_cache.get_or_compute(h.finish(), run_system);
+            let key = h.finish();
+            // Same store-inside-miss-path contract as `evaluate` above.
+            let skey = self.store_key(key);
+            let with_store = || match self.cfg.store.as_deref() {
+                Some(st) => st.fetch_sys(skey).unwrap_or_else(|| {
+                    let c = run_system();
+                    st.publish_sys(skey, &c);
+                    c
+                }),
+                None => run_system(),
+            };
+            let (cell, miss) = self.sys_cache.get_or_compute(key, with_store);
             if miss {
                 self.cache_system_miss.inc();
             } else {

@@ -1,0 +1,856 @@
+//! The persistent, on-disk, content-addressed evaluation store.
+//!
+//! The in-memory [`Memo`](crate::cache) tables die with the process, so
+//! every run starts cold even when another tenant just evaluated the same
+//! domain. This module promotes memoized artifacts to disk: each entry is
+//! one *whole* cached evaluation — the [`EvalState`] outcome, the captured
+//! telemetry trace (as [`PortableOp`]s), and the isolated metric deltas —
+//! keyed by the exact ADG-fingerprint × config-hash keys the in-memory
+//! caches already use. Because an evaluation is a deterministic function
+//! of its key, and a cache hit replays the stored trace and merges the
+//! stored registry (see `eval.rs`), a store-served artifact is
+//! byte-for-byte indistinguishable from recomputation — the foundation of
+//! the cross-tenant determinism argument in DESIGN.md §13.
+//!
+//! ## On-disk layout
+//!
+//! One file per entry, named `eval-<key>.json` / `sys-<key>.json` under
+//! the store directory, each written via
+//! [`write_atomic`](overgen_telemetry::fs::write_atomic) and carrying a
+//! versioned header:
+//!
+//! ```json
+//! {"magic":"overgen-eval-store","version":1,"kind":"eval",
+//!  "key":"<hex u64>","payload":{...}}
+//! ```
+//!
+//! Content addressing makes multi-process races benign: two processes
+//! publishing the same key write identical bytes, different keys write
+//! different files, and the atomic rename means readers never observe a
+//! torn entry. There is no index file to merge or corrupt.
+//!
+//! ## Accounting determinism
+//!
+//! [`EvalStore::open`] snapshots the key set found on disk (the *warm*
+//! set). A lookup counts as a `hit` iff its key is in that snapshot, else
+//! as a `miss` — even when a sibling job published the entry seconds ago
+//! (the value is still served; such serves increment the separate,
+//! scheduling-dependent `shared_serves` counter). `hits`/`misses` are
+//! therefore a pure function of the open snapshot and each job's key
+//! stream, deterministic for any worker count and interleaving, and the
+//! `hits + misses == lookups` invariant holds across reloads.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use overgen_adg::SystemParams;
+use overgen_telemetry::fs::write_atomic;
+use overgen_telemetry::json::{self, Obj, Value};
+use overgen_telemetry::{names, CapturedTrace, FieldValue, MetricSnapshot, PortableOp, Registry};
+
+use crate::checkpoint::{
+    arr, d_arr, d_f64, d_pair, d_str, d_u32, d_u64, eval_from_json, eval_to_json, fx, get, hx,
+};
+use crate::eval::{CachedEval, CachedSystem};
+
+/// Store file-format magic.
+pub const STORE_MAGIC: &str = "overgen-eval-store";
+/// Store file-format version. Entries written by a different version are
+/// refused at load with [`StoreError::Version`].
+pub const STORE_VERSION: u64 = 1;
+
+/// Why the store could not be opened or an entry could not be read.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io(std::io::Error),
+    /// An entry file exists but does not decode as a store entry
+    /// (truncated, not JSON, wrong magic, missing or malformed fields).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to decode.
+        reason: String,
+    },
+    /// An entry was written by a different store-format version.
+    Version {
+        /// The offending file.
+        path: PathBuf,
+        /// Version found in the header.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { path, reason } => {
+                write!(f, "corrupt store entry {}: {reason}", path.display())
+            }
+            StoreError::Version {
+                path,
+                found,
+                expected,
+            } => write!(
+                f,
+                "store entry {} has version {found}, expected {expected}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Snapshot of the store's accounting counters; see the module docs for
+/// which are deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total lookups (`hits + misses` always).
+    pub lookups: u64,
+    /// Lookups whose key was on disk when the store was opened.
+    /// Deterministic per run for a fixed snapshot.
+    pub hits: u64,
+    /// Lookups whose key was not in the open snapshot. Deterministic.
+    pub misses: u64,
+    /// Entries inserted (and written to disk) by this store instance.
+    pub publishes: u64,
+    /// Miss-path lookups nevertheless served from memory because a
+    /// sibling job published the key after open. Scheduling-dependent —
+    /// excluded from all determinism claims.
+    pub shared_serves: u64,
+    /// Entries loaded from disk at open (the warm set size).
+    pub warm_entries: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    publishes: AtomicU64,
+    shared_serves: AtomicU64,
+}
+
+/// Entry kinds, doubling as the filename prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    Eval,
+    Sys,
+}
+
+impl Kind {
+    fn tag(self) -> &'static str {
+        match self {
+            Kind::Eval => "eval",
+            Kind::Sys => "sys",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Kind> {
+        match s {
+            "eval" => Some(Kind::Eval),
+            "sys" => Some(Kind::Sys),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded store entry, shared read-only between jobs. Serving clones
+/// the outcome and rebuilds the trace with fresh span tokens per use.
+enum Artifact {
+    Eval {
+        state: Option<crate::eval::EvalState>,
+        sim: f64,
+        ops: Vec<PortableOp>,
+        metrics: Vec<(&'static str, MetricSnapshot)>,
+    },
+    Sys {
+        result: Option<(SystemParams, f64)>,
+        ops: Vec<PortableOp>,
+    },
+}
+
+/// The persistent evaluation store. Open once per service (or bench run)
+/// and share the `Arc` across every job's [`DseConfig`](crate::DseConfig);
+/// all interior mutability is thread-safe.
+pub struct EvalStore {
+    dir: PathBuf,
+    /// Keys present on disk at open — the deterministic warm set.
+    snapshot: BTreeSet<(Kind, u64)>,
+    entries: Mutex<BTreeMap<(Kind, u64), Arc<Artifact>>>,
+    stats: StatsInner,
+}
+
+impl std::fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalStore")
+            .field("dir", &self.dir)
+            .field("warm_entries", &self.snapshot.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EvalStore {
+    /// Open (creating if needed) the store at `dir`, loading and decoding
+    /// every entry file found there. Any unreadable, truncated, corrupt,
+    /// or version-mismatched entry rejects the whole load with a typed
+    /// error — a shared cache that silently dropped entries would make
+    /// warm-hit accounting nondeterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, [`StoreError::Corrupt`] /
+    /// [`StoreError::Version`] on bad entries.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Arc<EvalStore>, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut entries = BTreeMap::new();
+        // Collect then sort: read_dir order is filesystem-dependent.
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| is_entry_file(p))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let text = std::fs::read_to_string(&path)?;
+            let (kind, key, artifact) = decode_entry(&path, &text)?;
+            entries.insert((kind, key), Arc::new(artifact));
+        }
+        let snapshot: BTreeSet<(Kind, u64)> = entries.keys().copied().collect();
+        Ok(Arc::new(EvalStore {
+            dir,
+            snapshot,
+            entries: Mutex::new(entries),
+            stats: StatsInner::default(),
+        }))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Current accounting counters.
+    pub fn stats(&self) -> StoreStats {
+        let lookups = self.stats.lookups.load(Ordering::Relaxed);
+        let hits = self.stats.hits.load(Ordering::Relaxed);
+        let misses = self.stats.misses.load(Ordering::Relaxed);
+        debug_assert_eq!(hits + misses, lookups);
+        StoreStats {
+            lookups,
+            hits,
+            misses,
+            publishes: self.stats.publishes.load(Ordering::Relaxed),
+            shared_serves: self.stats.shared_serves.load(Ordering::Relaxed),
+            warm_entries: self.snapshot.len() as u64,
+        }
+    }
+
+    /// Number of entries currently held (warm + published).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, kind: Kind, key: u64) -> Option<Arc<Artifact>> {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        let warm = self.snapshot.contains(&(kind, key));
+        if warm {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let found = self.entries.lock().unwrap().get(&(kind, key)).cloned();
+        if found.is_some() && !warm {
+            self.stats.shared_serves.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    fn publish(&self, kind: Kind, key: u64, artifact: Artifact, payload: String) {
+        use std::collections::btree_map::Entry;
+        match self.entries.lock().unwrap().entry((kind, key)) {
+            Entry::Occupied(_) => return, // same key => same content; keep first
+            Entry::Vacant(v) => {
+                v.insert(Arc::new(artifact));
+            }
+        }
+        self.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        let line = Obj::new()
+            .str("magic", STORE_MAGIC)
+            .u64("version", STORE_VERSION)
+            .str("kind", kind.tag())
+            .raw("key", &hx(key))
+            .raw("payload", &payload)
+            .finish();
+        let path = self.dir.join(format!("{}-{key:016x}.json", kind.tag()));
+        if let Err(e) = write_atomic(&path, format!("{line}\n").as_bytes()) {
+            eprintln!("warning: cannot write store entry {}: {e}", path.display());
+        }
+    }
+
+    /// Serve a full evaluation artifact, if stored.
+    pub(crate) fn fetch_eval(&self, key: u64) -> Option<CachedEval> {
+        let a = self.lookup(Kind::Eval, key)?;
+        let Artifact::Eval {
+            state,
+            sim,
+            ops,
+            metrics,
+        } = &*a
+        else {
+            unreachable!("eval key decoded as sys artifact");
+        };
+        let registry = Registry::new();
+        for (name, snap) in metrics {
+            registry.import(name, snap);
+        }
+        Some(CachedEval {
+            state: state.clone(),
+            sim: *sim,
+            trace: CapturedTrace::from_portable(ops),
+            registry,
+        })
+    }
+
+    /// Persist a freshly computed evaluation artifact.
+    pub(crate) fn publish_eval(&self, key: u64, c: &CachedEval) {
+        let ops = c.trace.to_portable();
+        let metrics = c.registry.export();
+        let payload = Obj::new()
+            .raw(
+                "state",
+                &c.state.as_ref().map_or("null".into(), eval_to_json),
+            )
+            .raw("sim", &fx(c.sim))
+            .raw("trace", &encode_ops(&ops))
+            .raw("metrics", &encode_metrics(&metrics))
+            .finish();
+        self.publish(
+            Kind::Eval,
+            key,
+            Artifact::Eval {
+                state: c.state.clone(),
+                sim: c.sim,
+                ops,
+                metrics,
+            },
+            payload,
+        );
+    }
+
+    /// Serve a system-DSE artifact, if stored.
+    pub(crate) fn fetch_sys(&self, key: u64) -> Option<CachedSystem> {
+        let a = self.lookup(Kind::Sys, key)?;
+        let Artifact::Sys { result, ops } = &*a else {
+            unreachable!("sys key decoded as eval artifact");
+        };
+        Some(CachedSystem {
+            result: *result,
+            trace: CapturedTrace::from_portable(ops),
+        })
+    }
+
+    /// Persist a freshly computed system-DSE artifact.
+    pub(crate) fn publish_sys(&self, key: u64, c: &CachedSystem) {
+        let ops = c.trace.to_portable();
+        let result = match &c.result {
+            Some((sys, score)) => Obj::new()
+                .raw("sys", &sys_to_json(sys))
+                .raw("score", &fx(*score))
+                .finish(),
+            None => "null".into(),
+        };
+        let payload = Obj::new()
+            .raw("result", &result)
+            .raw("trace", &encode_ops(&ops))
+            .finish();
+        self.publish(
+            Kind::Sys,
+            key,
+            Artifact::Sys {
+                result: c.result,
+                ops,
+            },
+            payload,
+        );
+    }
+}
+
+fn is_entry_file(p: &Path) -> bool {
+    let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+        return false;
+    };
+    (name.starts_with("eval-") || name.starts_with("sys-")) && name.ends_with(".json")
+}
+
+fn decode_entry(path: &Path, text: &str) -> Result<(Kind, u64, Artifact), StoreError> {
+    let corrupt = |reason: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    let v = json::parse(text.trim_end()).map_err(&corrupt)?;
+    let magic = get(&v, "magic")
+        .and_then(|m| d_str(m).map(str::to_string))
+        .map_err(&corrupt)?;
+    if magic != STORE_MAGIC {
+        return Err(corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = get(&v, "version")
+        .and_then(|x| x.as_u64().ok_or_else(|| "expected version".to_string()))
+        .map_err(&corrupt)?;
+    if version != STORE_VERSION {
+        return Err(StoreError::Version {
+            path: path.to_path_buf(),
+            found: version,
+            expected: STORE_VERSION,
+        });
+    }
+    (|| -> Result<(Kind, u64, Artifact), String> {
+        let kind = Kind::from_tag(d_str(get(&v, "kind")?)?)
+            .ok_or_else(|| "unknown entry kind".to_string())?;
+        let key = d_u64(get(&v, "key")?)?;
+        let payload = get(&v, "payload")?;
+        let artifact = match kind {
+            Kind::Eval => {
+                let state = match get(payload, "state")? {
+                    Value::Null => None,
+                    s => Some(eval_from_json(s)?),
+                };
+                let metrics = d_arr(get(payload, "metrics")?)?
+                    .iter()
+                    .map(|p| {
+                        let (name, snap) = d_pair(p)?;
+                        let name = d_str(name)?;
+                        let name = names::intern_metric(name)
+                            .ok_or_else(|| format!("undocumented metric name {name:?}"))?;
+                        Ok((name, decode_metric(snap)?))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Artifact::Eval {
+                    state,
+                    sim: d_f64(get(payload, "sim")?)?,
+                    ops: decode_ops(get(payload, "trace")?)?,
+                    metrics,
+                }
+            }
+            Kind::Sys => {
+                let result = match get(payload, "result")? {
+                    Value::Null => None,
+                    r => Some((sys_from_json(get(r, "sys")?)?, d_f64(get(r, "score")?)?)),
+                };
+                Artifact::Sys {
+                    result,
+                    ops: decode_ops(get(payload, "trace")?)?,
+                }
+            }
+        };
+        Ok((kind, key, artifact))
+    })()
+    .map_err(corrupt)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization of the telemetry halves of an artifact. Same hex-string
+// conventions as checkpoint.rs: u64 and f64 bit patterns survive exactly.
+
+fn sys_to_json(s: &SystemParams) -> String {
+    Obj::new()
+        .raw("tiles", &hx(u64::from(s.tiles)))
+        .raw("l2_banks", &hx(u64::from(s.l2_banks)))
+        .raw("l2_kb", &hx(u64::from(s.l2_kb)))
+        .raw("noc_bw", &hx(u64::from(s.noc_bw_bytes)))
+        .raw("dram", &hx(u64::from(s.dram_channels)))
+        .finish()
+}
+
+fn sys_from_json(v: &Value) -> Result<SystemParams, String> {
+    Ok(SystemParams {
+        tiles: d_u32(get(v, "tiles")?)?,
+        l2_banks: d_u32(get(v, "l2_banks")?)?,
+        l2_kb: d_u32(get(v, "l2_kb")?)?,
+        noc_bw_bytes: d_u32(get(v, "noc_bw")?)?,
+        dram_channels: d_u32(get(v, "dram")?)?,
+    })
+}
+
+fn encode_field(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(n) => format!("[\"u\",{}]", hx(*n)),
+        FieldValue::I64(n) => format!("[\"i\",{}]", hx(*n as u64)),
+        FieldValue::F64(n) => format!("[\"f\",{}]", fx(*n)),
+        FieldValue::Bool(b) => format!("[\"b\",{b}]"),
+        FieldValue::Str(s) => format!("[\"s\",{}]", json::quote(s)),
+    }
+}
+
+fn decode_field(v: &Value) -> Result<FieldValue, String> {
+    let (tag, val) = d_pair(v)?;
+    Ok(match d_str(tag)? {
+        "u" => FieldValue::U64(d_u64(val)?),
+        "i" => FieldValue::I64(d_u64(val)? as i64),
+        "f" => FieldValue::F64(d_f64(val)?),
+        "b" => FieldValue::Bool(val.as_bool().ok_or("expected bool")?),
+        "s" => FieldValue::Str(d_str(val)?.to_string()),
+        t => return Err(format!("unknown field tag {t:?}")),
+    })
+}
+
+fn encode_fields(fields: &[(String, FieldValue)]) -> String {
+    arr(fields
+        .iter()
+        .map(|(k, v)| format!("[{},{}]", json::quote(k), encode_field(v))))
+}
+
+fn decode_fields(v: &Value) -> Result<Vec<(String, FieldValue)>, String> {
+    d_arr(v)?
+        .iter()
+        .map(|p| {
+            let (k, f) = d_pair(p)?;
+            Ok((d_str(k)?.to_string(), decode_field(f)?))
+        })
+        .collect()
+}
+
+fn encode_ops(ops: &[PortableOp]) -> String {
+    arr(ops.iter().map(|op| match op {
+        PortableOp::Event { kind, fields } => {
+            format!("[\"e\",{},{}]", json::quote(kind), encode_fields(fields))
+        }
+        PortableOp::SpanOpen { slot } => format!("[\"o\",{}]", hx(*slot)),
+        PortableOp::SpanClose {
+            slot,
+            name,
+            rel_depth,
+            fields,
+        } => format!(
+            "[\"c\",{},{},{},{}]",
+            hx(*slot),
+            json::quote(name),
+            hx(*rel_depth),
+            encode_fields(fields)
+        ),
+        PortableOp::Metrics => "[\"m\"]".to_string(),
+    }))
+}
+
+fn decode_ops(v: &Value) -> Result<Vec<PortableOp>, String> {
+    d_arr(v)?
+        .iter()
+        .map(|op| {
+            let items = d_arr(op)?;
+            let tag = d_str(items.first().ok_or("empty op")?)?;
+            Ok(match (tag, &items[1..]) {
+                ("e", [kind, fields]) => PortableOp::Event {
+                    kind: d_str(kind)?.to_string(),
+                    fields: decode_fields(fields)?,
+                },
+                ("o", [slot]) => PortableOp::SpanOpen { slot: d_u64(slot)? },
+                ("c", [slot, name, depth, fields]) => PortableOp::SpanClose {
+                    slot: d_u64(slot)?,
+                    name: d_str(name)?.to_string(),
+                    rel_depth: d_u64(depth)?,
+                    fields: decode_fields(fields)?,
+                },
+                ("m", []) => PortableOp::Metrics,
+                _ => return Err(format!("malformed op with tag {tag:?}")),
+            })
+        })
+        .collect()
+}
+
+fn encode_metrics(metrics: &[(&'static str, MetricSnapshot)]) -> String {
+    arr(metrics.iter().map(|(name, snap)| {
+        let s = match snap {
+            MetricSnapshot::Counter(v) => format!("[\"c\",{}]", hx(*v)),
+            MetricSnapshot::Gauge(v) => format!("[\"g\",{}]", fx(*v)),
+            MetricSnapshot::Histogram {
+                buckets,
+                count,
+                sum,
+                max,
+            } => format!(
+                "[\"h\",{},{},{},{}]",
+                arr(buckets
+                    .iter()
+                    .map(|(i, n)| format!("[{},{}]", hx(u64::from(*i)), hx(*n)))),
+                hx(*count),
+                hx(*sum),
+                hx(*max)
+            ),
+        };
+        format!("[{},{s}]", json::quote(name))
+    }))
+}
+
+fn decode_metric(v: &Value) -> Result<MetricSnapshot, String> {
+    let items = d_arr(v)?;
+    let tag = d_str(items.first().ok_or("empty metric")?)?;
+    Ok(match (tag, &items[1..]) {
+        ("c", [v]) => MetricSnapshot::Counter(d_u64(v)?),
+        ("g", [v]) => MetricSnapshot::Gauge(d_f64(v)?),
+        ("h", [buckets, count, sum, max]) => MetricSnapshot::Histogram {
+            buckets: d_arr(buckets)?
+                .iter()
+                .map(|p| {
+                    let (i, n) = d_pair(p)?;
+                    Ok((d_u32(i)?, d_u64(n)?))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            count: d_u64(count)?,
+            sum: d_u64(sum)?,
+            max: d_u64(max)?,
+        },
+        _ => return Err(format!("malformed metric with tag {tag:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overgen_telemetry::{capture_isolated, event, install, replay, span, Collector};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("overgen-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A representative eval artifact: spans, an event with every field
+    /// kind, and metric deltas of all three kinds.
+    fn sample_eval() -> CachedEval {
+        let ((), trace, registry) = capture_isolated(|| {
+            let _s = span!("dse.iteration", iter = 3u64);
+            event!(
+                "dse.propose",
+                temp = 0.5f64,
+                note = "warm",
+                ok = true,
+                delta = -2i64
+            );
+            let reg = overgen_telemetry::current().unwrap().registry().clone();
+            reg.counter("dse.repairs").add(2);
+            reg.gauge("dse.heartbeat.progress").set(0.25);
+            reg.histogram("dse.repair_moved").record(5);
+        });
+        CachedEval {
+            state: None,
+            sim: 0.125,
+            trace,
+            registry,
+        }
+    }
+
+    fn sample_sys(score: f64) -> CachedSystem {
+        let ((), trace, _registry) = capture_isolated(|| {
+            event!("dse.system", tiles = 4u64);
+        });
+        CachedSystem {
+            result: Some((SystemParams::single_tile(), score)),
+            trace,
+        }
+    }
+
+    /// Replay a trace into a fresh ring collector and return the JSONL it
+    /// produces — the byte-level identity the cache-hit path relies on.
+    fn replay_jsonl(trace: &CapturedTrace) -> String {
+        let (c, ring) = Collector::ring(256);
+        let _g = install(c);
+        replay(trace);
+        ring.to_jsonl()
+    }
+
+    #[test]
+    fn entries_round_trip_across_reload() {
+        let dir = tmp("round-trip");
+        let e = sample_eval();
+        let s = sample_sys(2.5);
+        {
+            let st = EvalStore::open(&dir).unwrap();
+            st.publish_eval(0x42, &e);
+            st.publish_sys(7, &s);
+            let stats = st.stats();
+            assert_eq!(stats.publishes, 2);
+            assert_eq!(stats.warm_entries, 0);
+        }
+        let st = EvalStore::open(&dir).unwrap();
+        assert_eq!(st.stats().warm_entries, 2);
+        let e2 = st.fetch_eval(0x42).expect("eval entry survives reload");
+        assert!(e2.state.is_none());
+        assert_eq!(e2.sim, e.sim);
+        assert_eq!(replay_jsonl(&e2.trace), replay_jsonl(&e.trace));
+        assert_eq!(e2.registry.export(), e.registry.export());
+        let s2 = st.fetch_sys(7).expect("sys entry survives reload");
+        assert_eq!(s2.result, s.result);
+        assert_eq!(replay_jsonl(&s2.trace), replay_jsonl(&s.trace));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publishing_an_existing_key_is_a_no_op() {
+        let dir = tmp("idempotent");
+        let st = EvalStore::open(&dir).unwrap();
+        st.publish_eval(1, &sample_eval());
+        st.publish_eval(1, &sample_eval());
+        assert_eq!(st.stats().publishes, 1);
+        assert_eq!(st.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn accounting_is_deterministic_and_survives_reload() {
+        let dir = tmp("accounting");
+        {
+            let st = EvalStore::open(&dir).unwrap();
+            assert!(st.fetch_eval(1).is_none());
+            st.publish_eval(1, &sample_eval());
+            // Published after open: served, but still a deterministic miss.
+            assert!(st.fetch_eval(1).is_some());
+            let s = st.stats();
+            assert_eq!(
+                (s.lookups, s.hits, s.misses, s.shared_serves, s.publishes),
+                (2, 0, 2, 1, 1)
+            );
+        }
+        let st = EvalStore::open(&dir).unwrap();
+        assert!(st.fetch_eval(1).is_some(), "warm entry hits after reload");
+        assert!(st.fetch_eval(2).is_none());
+        let s = st.stats();
+        assert_eq!(
+            (s.lookups, s.hits, s.misses, s.shared_serves, s.warm_entries),
+            (2, 1, 1, 0, 1)
+        );
+        assert_eq!(s.hits + s.misses, s.lookups);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_rejected_as_corrupt() {
+        let dir = tmp("truncated");
+        {
+            let st = EvalStore::open(&dir).unwrap();
+            st.publish_eval(9, &sample_eval());
+        }
+        let path = dir.join(format!("eval-{:016x}.json", 9));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        match EvalStore::open(&dir) {
+            Err(StoreError::Corrupt { path: p, .. }) => assert_eq!(p, path),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_and_foreign_files_are_handled() {
+        let dir = tmp("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Files without an entry name are ignored entirely...
+        std::fs::write(dir.join("README.txt"), "not an entry").unwrap();
+        assert_eq!(EvalStore::open(&dir).unwrap().stats().warm_entries, 0);
+        // ...but anything claiming to be an entry must decode.
+        let entry = dir.join("eval-0000000000000001.json");
+        std::fs::write(&entry, "{oops").unwrap();
+        assert!(matches!(
+            EvalStore::open(&dir),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::write(
+            &entry,
+            r#"{"magic":"something-else","version":1,"kind":"eval","key":"1","payload":{}}"#,
+        )
+        .unwrap();
+        match EvalStore::open(&dir) {
+            Err(StoreError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("magic"), "reason was {reason:?}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let dir = tmp("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("sys-0000000000000003.json"),
+            format!(
+                "{{\"magic\":\"{STORE_MAGIC}\",\"version\":99,\"kind\":\"sys\",\
+                 \"key\":\"3\",\"payload\":{{}}}}"
+            ),
+        )
+        .unwrap();
+        match EvalStore::open(&dir) {
+            Err(StoreError::Version {
+                found, expected, ..
+            }) => assert_eq!((found, expected), (99, STORE_VERSION)),
+            other => panic!("expected Version, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undocumented_metric_name_is_rejected() {
+        let dir = tmp("metric-name");
+        {
+            let st = EvalStore::open(&dir).unwrap();
+            st.publish_eval(5, &sample_eval());
+        }
+        let path = dir.join(format!("eval-{:016x}.json", 5));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("dse.repairs", "dse.bogus_metric")).unwrap();
+        match EvalStore::open(&dir) {
+            Err(StoreError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("dse.bogus_metric"), "reason was {reason:?}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_race_safely_on_one_directory() {
+        let dir = tmp("race");
+        let a = EvalStore::open(&dir).unwrap();
+        let b = EvalStore::open(&dir).unwrap();
+        let e = sample_eval();
+        std::thread::scope(|s| {
+            for st in [&a, &b] {
+                let e = &e;
+                s.spawn(move || {
+                    for k in 0..16u64 {
+                        st.publish_eval(k, e);
+                    }
+                });
+            }
+        });
+        // Whatever the interleaving: same key, same content, atomic
+        // renames — so a fresh open decodes cleanly with one entry per key.
+        let fresh = EvalStore::open(&dir).unwrap();
+        assert_eq!(fresh.stats().warm_entries, 16);
+        for k in 0..16 {
+            let got = fresh.fetch_eval(k).expect("entry for every key");
+            assert_eq!(replay_jsonl(&got.trace), replay_jsonl(&e.trace));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

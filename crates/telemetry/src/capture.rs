@@ -64,6 +64,109 @@ impl CapturedTrace {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// Export to a serializable form: span tokens are process-global and
+    /// meaningless outside this process, so each distinct token is rewritten
+    /// to a dense per-trace `slot` (numbered in first-appearance order).
+    /// Replaying `from_portable(to_portable())` produces byte-identical
+    /// output to replaying the original trace.
+    pub fn to_portable(&self) -> Vec<PortableOp> {
+        let mut slots: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut slot_of = |token: u64| {
+            let next = slots.len() as u64;
+            *slots.entry(token).or_insert(next)
+        };
+        self.ops
+            .iter()
+            .map(|op| match op {
+                CaptureOp::Event { kind, fields } => PortableOp::Event {
+                    kind: kind.clone(),
+                    fields: fields.clone(),
+                },
+                CaptureOp::SpanOpen { token } => PortableOp::SpanOpen {
+                    slot: slot_of(*token),
+                },
+                CaptureOp::SpanClose {
+                    token,
+                    name,
+                    rel_depth,
+                    fields,
+                } => PortableOp::SpanClose {
+                    slot: slot_of(*token),
+                    name: name.clone(),
+                    rel_depth: *rel_depth,
+                    fields: fields.clone(),
+                },
+                CaptureOp::Metrics => PortableOp::Metrics,
+            })
+            .collect()
+    }
+
+    /// Rebuild a trace from portable ops, allocating a fresh process-global
+    /// token per slot so the rebuilt trace pairs spans like any other
+    /// capture and can be replayed concurrently with unrelated traces.
+    pub fn from_portable(ops: &[PortableOp]) -> CapturedTrace {
+        let mut tokens: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut token_of = |slot: u64| *tokens.entry(slot).or_insert_with(next_token);
+        CapturedTrace {
+            ops: ops
+                .iter()
+                .map(|op| match op {
+                    PortableOp::Event { kind, fields } => CaptureOp::Event {
+                        kind: kind.clone(),
+                        fields: fields.clone(),
+                    },
+                    PortableOp::SpanOpen { slot } => CaptureOp::SpanOpen {
+                        token: token_of(*slot),
+                    },
+                    PortableOp::SpanClose {
+                        slot,
+                        name,
+                        rel_depth,
+                        fields,
+                    } => CaptureOp::SpanClose {
+                        token: token_of(*slot),
+                        name: name.clone(),
+                        rel_depth: *rel_depth,
+                        fields: fields.clone(),
+                    },
+                    PortableOp::Metrics => CaptureOp::Metrics,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A serializable view of one captured operation; see
+/// [`CapturedTrace::to_portable`]. `slot` is the per-trace span-pair index
+/// that replaces the process-global token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortableOp {
+    /// A structured event.
+    Event {
+        /// Dotted event type.
+        kind: String,
+        /// Event fields in emission order.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// A span opened (consumes one clock tick at replay).
+    SpanOpen {
+        /// Per-trace pair index.
+        slot: u64,
+    },
+    /// A span closed.
+    SpanClose {
+        /// Per-trace pair index matching the open.
+        slot: u64,
+        /// Span name.
+        name: String,
+        /// Depth relative to the capture root.
+        rel_depth: u64,
+        /// Span fields.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// A full registry snapshot was requested.
+    Metrics,
 }
 
 /// Process-global span-token source. Tokens only pair opens with closes
@@ -334,5 +437,35 @@ mod tests {
         let ((), t) = capture(None, || emit_workload(0));
         assert!(t.is_empty());
         replay(&t); // no collector installed: must not panic
+    }
+
+    #[test]
+    fn portable_round_trip_replays_byte_identically() {
+        let ((), trace, _reg) = capture_isolated(|| {
+            event!("pre", f = 1.5f64, s = "x", neg = -3i64, b = true);
+            emit_workload(9);
+        });
+        let portable = trace.to_portable();
+        // Slots are dense and start at 0.
+        let max_slot = portable
+            .iter()
+            .filter_map(|op| match op {
+                PortableOp::SpanOpen { slot } | PortableOp::SpanClose { slot, .. } => Some(*slot),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        assert_eq!(max_slot, 1, "two distinct spans -> slots 0 and 1");
+        let rebuilt = CapturedTrace::from_portable(&portable);
+
+        let replay_to_jsonl = |t: &CapturedTrace| {
+            let (c, ring) = Collector::ring(64);
+            let _g = install(c);
+            replay(t);
+            ring.to_jsonl()
+        };
+        assert_eq!(replay_to_jsonl(&trace), replay_to_jsonl(&rebuilt));
+        // Exporting the rebuilt trace again yields the same portable ops.
+        assert_eq!(rebuilt.to_portable(), portable);
     }
 }

@@ -59,9 +59,9 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-pub use capture::{capture, capture_isolated, replay, CapturedTrace};
+pub use capture::{capture, capture_isolated, replay, CapturedTrace, PortableOp};
 pub use clock::{Clock, ClockMode};
-pub use metrics::{Counter, Gauge, Histogram, MetricKind, Registry};
+pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry};
 pub use profile::{
     current_profiler, install_profiler, CacheStats, Phase, PhaseTimer, ProfileSnapshot, Profiler,
 };

@@ -166,6 +166,35 @@ impl Histogram {
         self.0.max.fetch_max(other.max(), Ordering::Relaxed);
     }
 
+    /// Nonzero `(bucket index, count)` pairs in ascending bucket order —
+    /// the raw parts a [`MetricSnapshot::Histogram`] persists.
+    fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let v = b.load(Ordering::Relaxed);
+                (v != 0).then_some((i as u32, v))
+            })
+            .collect()
+    }
+
+    /// Fold raw parts back in: equivalent to [`Histogram::merge_from`] with
+    /// a histogram holding exactly these buckets, so `export` → `import`
+    /// reproduces merges bit-exactly. Out-of-range bucket indices are
+    /// ignored (they cannot arise from [`Histogram::nonzero_buckets`]).
+    fn add_parts(&self, buckets: &[(u32, u64)], count: u64, sum: u64, max: u64) {
+        for &(i, v) in buckets {
+            if let Some(b) = self.0.buckets.get(i as usize) {
+                b.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.0.count.fetch_add(count, Ordering::Relaxed);
+        self.0.sum.fetch_add(sum, Ordering::Relaxed);
+        self.0.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Approximate percentile (`p` in 0..=100): the lower bound of the
     /// bucket holding the p-th sample. Returns 0 for an empty histogram.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -203,6 +232,30 @@ pub enum MetricKind {
     Gauge,
     /// A log-linear [`Histogram`].
     Histogram,
+}
+
+/// A point-in-time value of one metric, detached from any registry — the
+/// serializable unit behind [`Registry::export`]/[`Registry::import`].
+/// Everything is lossless: counter/gauge values verbatim, histograms as
+/// raw bucket counts, so an exported-then-imported registry merges
+/// bit-identically to merging the original.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value (persist via `to_bits` to keep -0.0/NaN payloads).
+    Gauge(f64),
+    /// Histogram raw parts.
+    Histogram {
+        /// Nonzero `(bucket index, count)` pairs, ascending.
+        buckets: Vec<(u32, u64)>,
+        /// Total sample count.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Largest sample.
+        max: u64,
+    },
 }
 
 /// A named-metric registry. Cloning is cheap (shared storage).
@@ -334,6 +387,55 @@ impl Registry {
         match m.get(name) {
             Some(Metric::Counter(c)) => c.get(),
             _ => 0,
+        }
+    }
+
+    /// Snapshot every metric into a portable value, sorted by name.
+    pub fn export(&self) -> Vec<(&'static str, MetricSnapshot)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .map(|(name, metric)| {
+                let snap = match metric {
+                    Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                    Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricSnapshot::Histogram {
+                        buckets: h.nonzero_buckets(),
+                        count: h.count(),
+                        sum: h.sum(),
+                        max: h.max(),
+                    },
+                };
+                (*name, snap)
+            })
+            .collect()
+    }
+
+    /// Fold one exported metric back in with [`Registry::merge_from`]
+    /// semantics: counters add, gauges take the value, histograms merge
+    /// bucket-wise. The name must be `'static` — loaders re-intern through
+    /// the documented lists in [`crate::names`] instead of leaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different metric kind.
+    pub fn import(&self, name: &'static str, snap: &MetricSnapshot) {
+        match snap {
+            MetricSnapshot::Counter(v) => {
+                if *v != 0 {
+                    self.counter(name).add(*v);
+                }
+            }
+            MetricSnapshot::Gauge(v) => self.gauge(name).set(*v),
+            MetricSnapshot::Histogram {
+                buckets,
+                count,
+                sum,
+                max,
+            } => {
+                if *count != 0 || !buckets.is_empty() {
+                    self.histogram(name).add_parts(buckets, *count, *sum, *max);
+                }
+            }
         }
     }
 }
@@ -516,6 +618,36 @@ mod tests {
         h.record(1);
         assert_eq!(h.percentile(0.0), 1);
         assert!(h.percentile(100.0) >= u64::MAX / 2);
+    }
+
+    #[test]
+    fn export_import_round_trip_equals_merge_from() {
+        let src = Registry::new();
+        src.counter("c").add(7);
+        src.gauge("g").set(-2.25);
+        for v in [1u64, 31, 32, 100_000, u64::MAX / 3] {
+            src.histogram("h").record(v);
+        }
+        // Reference: merge the live registry.
+        let direct = Registry::new();
+        direct.merge_from(&src);
+        // Round trip: export, import into a fresh registry.
+        let via_export = Registry::new();
+        for (name, snap) in src.export() {
+            via_export.import(name, &snap);
+        }
+        assert_eq!(via_export.snapshot_json(), direct.snapshot_json());
+        let h_direct = direct.histogram("h");
+        let h_rt = via_export.histogram("h");
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h_rt.percentile(p), h_direct.percentile(p));
+        }
+        // Importing twice applies the delta twice, like merge_from.
+        for (name, snap) in src.export() {
+            via_export.import(name, &snap);
+        }
+        assert_eq!(via_export.counter_value("c"), 14);
+        assert_eq!(via_export.histogram("h").count(), 10);
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub const COUNTERS: &[&str] = &[
     "scheduler.repair.dirty_nodes",
     "scheduler.repair.fallback",
     "scheduler.repair.fast",
+    "service.jobs.cancelled",
+    "service.jobs.completed",
+    "service.jobs.failed",
+    "service.jobs.submitted",
+    "service.store.hits",
+    "service.store.lookups",
+    "service.store.misses",
+    "service.store.publishes",
+    "service.store.shared_serves",
+    "service.store.warm_entries",
     "sim.analytic.admitted",
     "sim.analytic.pruned",
     "sim.batch.reuse",
@@ -73,6 +83,8 @@ pub const EVENTS: &[&str] = &[
     "sched.fail",
     "sched.placed",
     "sched.repaired",
+    "service.job.done",
+    "service.job.start",
     "sim.done",
     "sim.engine_bw_default",
     "sim.truncated",
@@ -115,6 +127,21 @@ pub fn is_documented_span(name: &str) -> bool {
     SPANS.binary_search(&name).is_ok()
 }
 
+/// Re-intern a runtime metric name against the documented lists: returns
+/// the canonical `&'static str` for a documented counter, gauge, or
+/// histogram name, or `None` for anything undocumented. Loaders of
+/// persisted registries use this to recover the `'static` names
+/// [`crate::Registry`] requires without leaking, and get corruption
+/// rejection of unknown names for free.
+pub fn intern_metric(name: &str) -> Option<&'static str> {
+    for list in [COUNTERS, GAUGES, HISTOGRAMS] {
+        if let Ok(i) = list.binary_search(&name) {
+            return Some(list[i]);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +177,23 @@ mod tests {
         assert!(!is_documented_event("span")); // reserved meta-type
         assert!(is_documented_span("sched.place"));
         assert!(!is_documented_span("sched.placed")); // that's an event
+    }
+
+    #[test]
+    fn intern_metric_returns_canonical_statics() {
+        let owned = String::from("dse.cache.hit");
+        assert_eq!(intern_metric(&owned), Some("dse.cache.hit"));
+        assert_eq!(
+            intern_metric("dse.heartbeat.progress"),
+            Some("dse.heartbeat.progress")
+        );
+        assert_eq!(intern_metric("dse.repair_moved"), Some("dse.repair_moved"));
+        assert_eq!(
+            intern_metric("service.store.hits"),
+            Some("service.store.hits")
+        );
+        assert_eq!(intern_metric("no.such.metric"), None);
+        assert_eq!(intern_metric("dse.propose"), None, "events are not metrics");
     }
 
     #[test]

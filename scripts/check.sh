@@ -27,6 +27,12 @@
 #                analytic lower-bound property, oracle mode invisible in
 #                traces, and BENCH_sim.json holding >= 5x median eval
 #                speedup with winners identical to exhaustive search
+#   service      multi-tenant job-server gates: the persistent-store unit
+#                suite, the cross-tenant differential suite at 1 and 4
+#                workers, and BENCH_service.json holding >= 2x median
+#                warm-cache speedup with concurrent-vs-sequential job
+#                artifacts byte-identical (plus a synthetic-divergence
+#                negative test of the gate itself)
 set -e
 
 stage_build() {
@@ -288,16 +294,66 @@ stage_sim() {
     fi
 }
 
+stage_service() {
+    echo "== service: persistent store edge cases (corruption, versioning, races) =="
+    cargo test -q --release -p overgen-dse store::
+
+    echo "== service: cross-tenant differential suite at 1 and 4 workers =="
+    # The suite compares workers=1 vs 4 internally; running it under both
+    # per-job thread defaults also covers the job-level parallelism axis.
+    OVERGEN_DSE_THREADS=1 cargo test -q --release --test service_determinism
+    OVERGEN_DSE_THREADS=4 cargo test -q --release --test service_determinism
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        SVC_TMP=$CHECK_TRACE_DIR/service
+        mkdir -p "$SVC_TMP"
+    else
+        SVC_TMP=$(mktemp -d)
+        trap 'rm -rf "$SVC_TMP"' EXIT INT TERM
+    fi
+
+    echo "== service: >= 2x warm-cache speedup, concurrent == sequential =="
+    OVERGEN_RESULTS_DIR="$SVC_TMP" cargo run -q --release -p overgen-bench \
+        --bin bench_service >/dev/null
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_service.json "$SVC_TMP/BENCH_service.json" \
+        min:summary.median_warm_speedup=2 \
+        min:summary.identity=1 \
+        min:store.hits=1 \
+        max:store.misses=0 \
+        require:store.warm_entries \
+        || { echo "FAIL: service benchmark regressed past the speedup/identity gate"; exit 1; }
+
+    echo "== service: injected artifact divergence must fail the gate =="
+    sed -e 's/"identity":true/"identity":false/' \
+        -e 's/"median_warm_speedup":[0-9.eE+-]*/"median_warm_speedup":1.1/' \
+        "$SVC_TMP/BENCH_service.json" > "$SVC_TMP/diverged.json"
+    if cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_service.json "$SVC_TMP/diverged.json" \
+        min:summary.median_warm_speedup=2 \
+        min:summary.identity=1 >/dev/null; then
+        echo "FAIL: bench-compare accepted diverged service artifacts"; exit 1
+    fi
+
+    echo "== service: a missing baseline must exit 3, not read as a pass =="
+    rc=0
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        "$SVC_TMP/no-such-baseline.json" "$SVC_TMP/BENCH_service.json" \
+        min:summary.identity=1 >/dev/null 2>&1 || rc=$?
+    [ "$rc" -eq 3 ] \
+        || { echo "FAIL: bench-compare must exit 3 on a missing baseline (got $rc)"; exit 1; }
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench objectives profile sim
+    set -- build test fmt clippy determinism checkpoint bench objectives profile sim service
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim | service) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim|service]..." >&2
         exit 2
         ;;
     esac

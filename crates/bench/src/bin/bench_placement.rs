@@ -1,0 +1,9 @@
+//! Sweeps tile counts through the spatial placement model on every paper
+//! workload and records the winners in `results/BENCH_placement.json`.
+
+fn main() {
+    overgen_bench::run_experiment("placement", || {
+        let report = overgen_bench::experiments::placement::run();
+        overgen_bench::experiments::placement::render(&report)
+    });
+}

@@ -12,6 +12,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod pareto;
+pub mod placement;
 pub mod repair;
 pub mod service;
 pub mod sim;

@@ -29,7 +29,10 @@ use overgen_adg::{
 use overgen_compiler::CompileOptions;
 use overgen_ir::{DataType, FuCap, Kernel, Op};
 use overgen_mdfg::MdfgNodeId;
-use overgen_model::{FpgaDevice, PerfEstimate, Placement, Resources};
+use overgen_model::{
+    ClockRegionGrid, FpgaDevice, PerfEstimate, Placement, PlacementMetrics, PlacerKind, Resources,
+    XCVU9P,
+};
 use overgen_scheduler::Schedule;
 use overgen_telemetry::json::{self, Obj, Value};
 use overgen_telemetry::{Rng, SpanGuard};
@@ -38,14 +41,16 @@ use overgen_model::DeviceBudget;
 
 use crate::engine::{stat_delta, ChainState, Dse, DseConfig, DseError, DseResult, DseStats};
 use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
-use crate::objective::{GeomeanIpcWeights, Objective};
+use crate::objective::{GeomeanIpcWeights, Objective, PlacementObjective};
 use crate::system::{SystemDseBackend, SystemDseConfig};
 
 const MAGIC: &str = "overgen-dse-checkpoint";
 // Version history: 1 = original format; 2 = pluggable objectives (top-level
 // objective header, `objective` config field, per-eval fitness + resource
-// vector, per-chain Pareto frontier, `infeasible` stat).
-const VERSION: u64 = 2;
+// vector, per-chain Pareto frontier, `infeasible` stat); 3 = spatial
+// placement (per-eval `placement` metrics, three-element Pareto points,
+// `placement_aware` objective serialization).
+const VERSION: u64 = 3;
 
 /// Periodic checkpointing policy for a DSE run.
 #[derive(Debug, Clone)]
@@ -659,7 +664,32 @@ pub(crate) fn eval_to_json(e: &EvalState) -> String {
         .raw("objective", &fx(e.objective))
         .raw("fitness", &fx(e.fitness))
         .raw("resources", &res_to_json(&e.resources))
+        .raw("placement", &place_to_json(&e.placement))
         .finish()
+}
+
+fn place_to_json(p: &Option<PlacementMetrics>) -> String {
+    match p {
+        None => "null".into(),
+        Some(m) => Obj::new()
+            .raw("wirelength", &fx(m.wirelength))
+            .raw("congestion", &fx(m.congestion))
+            .raw("slr_crossings", &hx(m.slr_crossings))
+            .raw("fmax_mhz", &fx(m.fmax_mhz))
+            .finish(),
+    }
+}
+
+fn place_from_json(v: &Value) -> Result<Option<PlacementMetrics>, String> {
+    if matches!(v, Value::Null) {
+        return Ok(None);
+    }
+    Ok(Some(PlacementMetrics {
+        wirelength: d_f64(get(v, "wirelength")?)?,
+        congestion: d_f64(get(v, "congestion")?)?,
+        slr_crossings: d_u64(get(v, "slr_crossings")?)?,
+        fmax_mhz: d_f64(get(v, "fmax_mhz")?)?,
+    }))
 }
 
 pub(crate) fn eval_from_json(v: &Value) -> Result<EvalState, String> {
@@ -691,6 +721,7 @@ pub(crate) fn eval_from_json(v: &Value) -> Result<EvalState, String> {
         objective: d_f64(get(v, "objective")?)?,
         fitness: d_f64(get(v, "fitness")?)?,
         resources: res_from_json(get(v, "resources")?)?,
+        placement: place_from_json(get(v, "placement")?)?,
     })
 }
 
@@ -715,11 +746,14 @@ fn chain_to_json(c: &ChainState) -> String {
         )
         .raw(
             "pareto",
-            &arr(c
-                .pareto
-                .points()
-                .iter()
-                .map(|p| format!("[{},{}]", fx(p.ipc), res_to_json(&p.resources)))),
+            &arr(c.pareto.points().iter().map(|p| {
+                format!(
+                    "[{},{},{}]",
+                    fx(p.ipc),
+                    res_to_json(&p.resources),
+                    place_to_json(&p.placement)
+                )
+            })),
         )
         .finish()
 }
@@ -741,10 +775,13 @@ fn chain_from_json(v: &Value) -> Result<ChainState, String> {
         d_arr(get(v, "pareto")?)?
             .iter()
             .map(|p| {
-                let (ipc, res) = d_pair(p)?;
+                let [ipc, res, place] = d_arr(p)? else {
+                    return Err("expected a 3-element Pareto point".into());
+                };
                 Ok(ParetoPoint {
                     ipc: d_f64(ipc)?,
                     resources: res_from_json(res)?,
+                    placement: place_from_json(place)?,
                 })
             })
             .collect::<Result<Vec<_>, String>>()?,
@@ -809,6 +846,27 @@ fn objective_to_json(o: &Objective) -> String {
             .raw("soft_penalty", &fx(b.soft_penalty))
             .finish(),
         Objective::IpcPerLut => obj.finish(),
+        Objective::PlacementAware(p) => {
+            let device = Obj::new()
+                .str("name", p.grid.device.name)
+                .raw(
+                    "total",
+                    &arr(p.grid.device.total.to_array().iter().map(|&v| fx(v))),
+                )
+                .finish();
+            let grid = Obj::new()
+                .raw("device", &device)
+                .raw("cols", &hx(u64::from(p.grid.cols)))
+                .raw("rows", &hx(u64::from(p.grid.rows)))
+                .raw("rows_per_slr", &hx(u64::from(p.grid.rows_per_slr)))
+                .finish();
+            obj.str("placer", p.placer.name())
+                .raw("grid", &grid)
+                .raw("wirelength_penalty", &fx(p.wirelength_penalty))
+                .raw("wirelength_scale", &fx(p.wirelength_scale))
+                .raw("base_mhz", &fx(p.base_mhz))
+                .finish()
+        }
     }
 }
 
@@ -850,6 +908,41 @@ fn objective_from_json(v: &Value) -> Result<Objective, String> {
             Objective::ConstrainedIpc(budget)
         }
         "ipc_per_lut" => Objective::IpcPerLut,
+        "placement_aware" => {
+            let placer_name = d_str(get(v, "placer")?)?;
+            let placer = PlacerKind::from_name(placer_name)
+                .ok_or_else(|| format!("unknown placer `{placer_name}`"))?;
+            let g = get(v, "grid")?;
+            let dev = get(g, "device")?;
+            let dev_name = d_str(get(dev, "name")?)?;
+            let total: [f64; 4] = match d_arr(get(dev, "total")?)? {
+                [a, b, c, d] => [d_f64(a)?, d_f64(b)?, d_f64(c)?, d_f64(d)?],
+                _ => return Err("expected 4 device resource totals".into()),
+            };
+            let total = Resources::from_array(total);
+            // Same static-name policy as devices in the config: reuse the
+            // builtin when it matches, otherwise leak the (tiny) name.
+            let device = if dev_name == XCVU9P.name && total.to_array() == XCVU9P.total.to_array() {
+                XCVU9P
+            } else {
+                FpgaDevice {
+                    name: Box::leak(dev_name.to_string().into_boxed_str()),
+                    total,
+                }
+            };
+            Objective::PlacementAware(PlacementObjective {
+                placer,
+                grid: ClockRegionGrid {
+                    device,
+                    cols: d_u32(get(g, "cols")?)?,
+                    rows: d_u32(get(g, "rows")?)?,
+                    rows_per_slr: d_u32(get(g, "rows_per_slr")?)?,
+                },
+                wirelength_penalty: d_f64(get(v, "wirelength_penalty")?)?,
+                wirelength_scale: d_f64(get(v, "wirelength_scale")?)?,
+                base_mhz: d_f64(get(v, "base_mhz")?)?,
+            })
+        }
         k => return Err(format!("unknown objective kind `{k}`")),
     })
 }
@@ -1122,6 +1215,31 @@ mod tests {
         let resumed = ck.resume(vec![vecadd()]).unwrap();
         assert_eq!(full.objective.to_bits(), resumed.objective.to_bits());
         assert_eq!(full.pareto, resumed.pareto);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn placement_aware_objective_round_trips() {
+        let path = tmp("placement-roundtrip");
+        let cfg = DseConfig {
+            objective: Objective::PlacementAware(PlacementObjective::default()),
+            ..small_cfg(path.clone())
+        };
+        let full = Dse::new(vec![vecadd()], cfg).run().unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(ck.config().objective.kind(), "placement_aware");
+        let mut re = ck.to_json();
+        re.push('\n');
+        assert_eq!(on_disk, re, "load -> save must be lossless");
+        let resumed = ck.resume(vec![vecadd()]).unwrap();
+        assert_eq!(full.objective.to_bits(), resumed.objective.to_bits());
+        assert_eq!(full.pareto, resumed.pareto);
+        assert!(
+            full.pareto.points().iter().all(|p| p.placement.is_some()),
+            "a placement-aware run must carry placement metrics through \
+             the checkpoint"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -574,6 +574,7 @@ impl Dse {
         let seed_pareto = ParetoFront::from_points([ParetoPoint {
             ipc: seed_state.objective,
             resources: seed_state.resources,
+            placement: seed_state.placement,
         }]);
         let mut master = Rng::seed_from_u64(self.cfg.seed);
         let states: Vec<ChainState> = (0..chains)
@@ -933,6 +934,7 @@ impl Dse {
             st.pareto.insert(ParetoPoint {
                 ipc: prop.objective,
                 resources: prop.resources,
+                placement: prop.placement,
             });
 
             let delta = prop.fitness - st.cur.fitness;

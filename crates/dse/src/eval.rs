@@ -34,7 +34,10 @@ use overgen_telemetry::{
 use overgen_adg::{Adg, StableHasher, SysAdg, SystemParams};
 use overgen_ir::Kernel;
 use overgen_mdfg::Mdfg;
-use overgen_model::{accelerator_resources, Placement, ResourceModel, Resources, TimeModel};
+use overgen_model::{
+    accelerator_resources, Placement, PlacementMetrics, PlacementReport, ResourceModel, Resources,
+    TimeModel,
+};
 use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint};
 
 use crate::cache::{hash_placement, hash_schedule, Memo};
@@ -63,6 +66,10 @@ pub struct EvalReport {
     pub variants: BTreeMap<String, u32>,
     /// Merged footprint of the mutations that produced this proposal.
     pub footprint: ScheduleFootprint,
+    /// Spatial placement of the winning system configuration. `Some` only
+    /// under a placement-aware objective; `None` keeps default-config
+    /// evaluations placement-invisible.
+    pub placement: Option<PlacementReport>,
 }
 
 /// Outcome of evaluating one design point, as the annealer keeps it.
@@ -79,6 +86,9 @@ pub(crate) struct EvalState {
     pub(crate) fitness: f64,
     /// Accelerator resource vector, kept for Pareto tracking.
     pub(crate) resources: Resources,
+    /// Placement quality axes (placement-aware objectives only), kept for
+    /// three-axis Pareto tracking.
+    pub(crate) placement: Option<PlacementMetrics>,
 }
 
 /// A memoized evaluation: outcome plus every side effect it produced, so
@@ -490,6 +500,33 @@ impl<'a> EvalPipeline<'a> {
             return (None, sim);
         };
 
+        // Spatial placement of the winning system configuration, only when
+        // the objective asks for it: the default path takes no timer, no
+        // counters, and no events here, keeping its traces byte-identical.
+        let placement = self.cfg.objective.placement().map(|p| {
+            let _place_timer = self.phase(Phase::Place, footprint.name());
+            let rep = p
+                .placer
+                .placer()
+                .place(&SysAdg::new(adg.clone(), sys), &resources, &p.grid);
+            eval_collector.registry().counter("dse.place.runs").inc();
+            eval_collector
+                .registry()
+                .counter("dse.place.slr_crossings")
+                .add(rep.slr_crossings);
+            event!(
+                "dse.place",
+                placer = p.placer.name(),
+                tiles = u64::from(sys.tiles),
+                span = u64::from(rep.span),
+                wirelength = rep.wirelength,
+                congestion = rep.congestion,
+                slr_crossings = rep.slr_crossings,
+                fmax_mhz = rep.fmax_mhz,
+            );
+            rep
+        });
+
         // Performance estimate: per-workload IPC (with the schedule's
         // balance penalty) folded into the weighted geomean — the primary
         // objective of §V-A.
@@ -527,6 +564,7 @@ impl<'a> EvalPipeline<'a> {
             schedules,
             variants,
             footprint,
+            placement,
         };
         let fitness = self.cfg.objective.fitness(&report);
         (
@@ -537,6 +575,7 @@ impl<'a> EvalPipeline<'a> {
                 objective: report.ipc,
                 fitness,
                 resources: report.resources,
+                placement: report.placement.as_ref().map(PlacementReport::metrics),
             }),
             sim,
         )
@@ -621,7 +660,9 @@ impl<'a> EvalPipeline<'a> {
     }
 }
 
-/// One point on the IPC-vs-resources trade-off frontier.
+/// One point on the trade-off frontier: IPC against the four accelerator
+/// resource channels, plus — under a placement-aware objective — the
+/// placement quality axes (wirelength, congestion, SLR crossings).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ParetoPoint {
@@ -629,24 +670,62 @@ pub struct ParetoPoint {
     pub ipc: f64,
     /// Accelerator-tile resource vector of the design.
     pub resources: Resources,
+    /// Placement quality of the design. `None` on default-objective runs,
+    /// where the frontier stays the historical two-axis IPC/resources
+    /// trade-off.
+    pub placement: Option<PlacementMetrics>,
 }
 
 impl ParetoPoint {
-    /// `self` dominates `other` when it is no worse on every axis
-    /// (IPC maximized, all four resource channels minimized) and strictly
-    /// better on at least one.
+    /// A two-axis point (no placement), as every pre-placement caller
+    /// built them.
+    pub fn new(ipc: f64, resources: Resources) -> ParetoPoint {
+        ParetoPoint {
+            ipc,
+            resources,
+            placement: None,
+        }
+    }
+
+    /// `self` dominates `other` when it is no worse on every axis (IPC
+    /// maximized; resource channels and — when both points carry them —
+    /// placement wirelength/congestion/SLR-crossings minimized) and
+    /// strictly better on at least one. Points without placement metrics
+    /// compare exactly as before, so default-objective frontiers are
+    /// unchanged.
     fn dominates(&self, other: &ParetoPoint) -> bool {
-        let no_worse = self.ipc >= other.ipc
+        let mut no_worse = self.ipc >= other.ipc
             && self.resources.lut <= other.resources.lut
             && self.resources.ff <= other.resources.ff
             && self.resources.bram <= other.resources.bram
             && self.resources.dsp <= other.resources.dsp;
-        let better = self.ipc > other.ipc
+        let mut better = self.ipc > other.ipc
             || self.resources.lut < other.resources.lut
             || self.resources.ff < other.resources.ff
             || self.resources.bram < other.resources.bram
             || self.resources.dsp < other.resources.dsp;
+        if let (Some(a), Some(b)) = (&self.placement, &other.placement) {
+            no_worse &= a.wirelength <= b.wirelength
+                && a.congestion <= b.congestion
+                && a.slr_crossings <= b.slr_crossings;
+            better |= a.wirelength < b.wirelength
+                || a.congestion < b.congestion
+                || a.slr_crossings < b.slr_crossings;
+        }
         no_worse && better
+    }
+
+    /// Canonical ordering of the placement axes: wirelength, congestion,
+    /// then crossings ascending; placement-free points tie.
+    fn placement_cmp(&self, other: &ParetoPoint) -> std::cmp::Ordering {
+        match (&self.placement, &other.placement) {
+            (Some(a), Some(b)) => a
+                .wirelength
+                .total_cmp(&b.wirelength)
+                .then(a.congestion.total_cmp(&b.congestion))
+                .then(a.slr_crossings.cmp(&b.slr_crossings)),
+            _ => std::cmp::Ordering::Equal,
+        }
     }
 }
 
@@ -693,6 +772,7 @@ impl ParetoFront {
                 .then(a.resources.ff.total_cmp(&b.resources.ff))
                 .then(a.resources.bram.total_cmp(&b.resources.bram))
                 .then(a.resources.dsp.total_cmp(&b.resources.dsp))
+                .then(a.placement_cmp(b))
         });
         true
     }
@@ -724,14 +804,26 @@ mod tests {
     use super::*;
 
     fn pt(ipc: f64, lut: f64, bram: f64) -> ParetoPoint {
-        ParetoPoint {
+        ParetoPoint::new(
             ipc,
-            resources: Resources {
+            Resources {
                 lut,
                 ff: lut * 1.2,
                 bram,
                 dsp: 8.0,
             },
+        )
+    }
+
+    fn place_pt(ipc: f64, lut: f64, wirelength: f64, congestion: f64, slr: u64) -> ParetoPoint {
+        ParetoPoint {
+            placement: Some(PlacementMetrics {
+                wirelength,
+                congestion,
+                slr_crossings: slr,
+                fmax_mhz: 100.0,
+            }),
+            ..pt(ipc, lut, 100.0)
         }
     }
 
@@ -770,6 +862,37 @@ mod tests {
         for w in fwd.points().windows(2) {
             assert!(w[0].ipc >= w[1].ipc);
         }
+    }
+
+    /// The third axis: identical IPC and resources with better placement
+    /// must dominate, and a placement trade-off must coexist.
+    #[test]
+    fn placement_is_a_dominance_axis() {
+        let mut f = ParetoFront::new();
+        assert!(f.insert(place_pt(10.0, 50_000.0, 20.0, 0.9, 4)));
+        // Same IPC/area, strictly better placement: replaces.
+        assert!(f.insert(place_pt(10.0, 50_000.0, 12.0, 0.7, 2)));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].placement.unwrap().slr_crossings, 2);
+        // Worse placement but better IPC: a genuine trade-off, coexists.
+        assert!(f.insert(place_pt(12.0, 50_000.0, 30.0, 1.1, 6)));
+        assert_eq!(f.len(), 2);
+        // Worse on every axis including placement: rejected.
+        assert!(!f.insert(place_pt(9.0, 60_000.0, 40.0, 1.2, 8)));
+        // Canonical order is deterministic regardless of insertion order.
+        let rev = ParetoFront::from_points(f.points().iter().rev().copied());
+        assert_eq!(f, rev);
+    }
+
+    /// Placement-free points (default objective) compare exactly as
+    /// before: the new axis contributes nothing when absent.
+    #[test]
+    fn placement_free_points_keep_two_axis_semantics() {
+        let mut f = ParetoFront::new();
+        f.insert(pt(10.0, 50_000.0, 100.0));
+        assert!(!f.insert(pt(10.0, 50_000.0, 100.0)));
+        assert!(f.insert(pt(10.0, 45_000.0, 100.0)));
+        assert_eq!(f.len(), 1);
     }
 
     #[test]

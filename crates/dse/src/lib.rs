@@ -61,10 +61,14 @@ pub use checkpoint::{Checkpoint, CheckpointConfig};
 pub use engine::{Dse, DseConfig, DseError, DseResult, DseStats, StopFlag};
 pub use eval::{EvalReport, ParetoFront, ParetoPoint};
 pub use heartbeat::HeartbeatConfig;
-pub use objective::{GeomeanIpcWeights, Objective};
-// Re-exported so `Objective::ConstrainedIpc(DeviceBudget::vcu118())` needs
-// only this crate.
-pub use overgen_model::DeviceBudget;
+pub use objective::{GeomeanIpcWeights, Objective, PlacementObjective};
+// Re-exported so `Objective::ConstrainedIpc(DeviceBudget::vcu118())` and
+// `Objective::PlacementAware(PlacementObjective::default())` need only
+// this crate.
+pub use overgen_model::{
+    ClockRegionGrid, DeviceBudget, GridCell, PlacementMetrics, PlacementReport, Placer, PlacerKind,
+    SimpleGridPlacer,
+};
 pub use store::{EvalStore, StoreError, StoreStats, STORE_MAGIC, STORE_VERSION};
 pub use system::{system_dse, system_dse_sim, SystemDseBackend, SystemDseConfig};
 pub use transforms::{capability_pruning, collapse_node, random_mutation, Mutation, TransformCtx};

@@ -28,7 +28,7 @@
 //!   has an opportunity cost.
 
 use overgen_adg::StableHasher;
-use overgen_model::{DeviceBudget, Resources};
+use overgen_model::{ClockRegionGrid, DeviceBudget, PlacerKind, Resources};
 
 use crate::eval::EvalReport;
 
@@ -58,6 +58,49 @@ impl Default for GeomeanIpcWeights {
     }
 }
 
+/// Configuration of the placement-aware objective: which placer runs,
+/// which grid it places onto, and how placement quality scales fitness.
+///
+/// Fitness is
+/// `ipc * (fmax_mhz / base_mhz) * (1 - wirelength_penalty * min(wirelength / wirelength_scale, 1))`
+/// where `fmax_mhz` comes from the [`PlacementReport`] and already folds
+/// in congestion (through the shared clock curve) and SLR crossings, so
+/// an over-congested or die-straddling design pays directly in fitness,
+/// and NoC wirelength adds the same mild pressure the default objective
+/// applies to LUTs.
+///
+/// [`PlacementReport`]: overgen_model::PlacementReport
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PlacementObjective {
+    /// The placer to run on every admitted evaluation.
+    pub placer: PlacerKind,
+    /// The clock-region/SLR grid to place onto.
+    pub grid: ClockRegionGrid,
+    /// Maximum fitness discount for NoC wirelength pressure (mirrors
+    /// [`GeomeanIpcWeights::lut_penalty`]).
+    pub wirelength_penalty: f64,
+    /// Wirelength (clock-region hops) at which the discount saturates.
+    /// Calibrated to 64 — roughly a 16-tile design with every link
+    /// spanning a quarter of the VCU118 grid.
+    pub wirelength_scale: f64,
+    /// Reference clock dividing the placement `fmax_mhz`: at `base_mhz`
+    /// the clock factor is neutral (the paper's overlays target 100 MHz).
+    pub base_mhz: f64,
+}
+
+impl Default for PlacementObjective {
+    fn default() -> Self {
+        PlacementObjective {
+            placer: PlacerKind::SimpleGrid,
+            grid: ClockRegionGrid::vcu118(),
+            wirelength_penalty: 0.05,
+            wirelength_scale: 64.0,
+            base_mhz: 100.0,
+        }
+    }
+}
+
 /// The fitness policy of a DSE run. See the module docs for the shipped
 /// policies. Serialization (checkpoints) is keyed by [`Objective::kind`],
 /// which is stable across releases.
@@ -72,6 +115,10 @@ pub enum Objective {
     ConstrainedIpc(DeviceBudget),
     /// Area efficiency: weighted-geomean IPC per kilo-LUT.
     IpcPerLut,
+    /// Placement-aware IPC: every evaluation is placed onto the modeled
+    /// clock-region grid and congestion, SLR crossings, and NoC
+    /// wirelength scale fitness through the achievable clock.
+    PlacementAware(PlacementObjective),
 }
 
 impl Default for Objective {
@@ -87,6 +134,16 @@ impl Objective {
             Objective::WeightedGeomeanIpc(_) => "weighted_geomean_ipc",
             Objective::ConstrainedIpc(_) => "constrained_ipc",
             Objective::IpcPerLut => "ipc_per_lut",
+            Objective::PlacementAware(_) => "placement_aware",
+        }
+    }
+
+    /// The placement configuration, when this objective requires the
+    /// evaluation pipeline to run a placer.
+    pub fn placement(&self) -> Option<&PlacementObjective> {
+        match self {
+            Objective::PlacementAware(p) => Some(p),
+            _ => None,
         }
     }
 
@@ -118,6 +175,19 @@ impl Objective {
             }
             Objective::ConstrainedIpc(budget) => report.ipc * budget.soft_factor(&report.resources),
             Objective::IpcPerLut => report.ipc * 1.0e3 / report.resources.lut.max(1.0),
+            Objective::PlacementAware(p) => match &report.placement {
+                Some(place) => {
+                    report.ipc
+                        * (place.fmax_mhz / p.base_mhz)
+                        * (1.0
+                            - p.wirelength_penalty
+                                * (place.wirelength / p.wirelength_scale).min(1.0))
+                }
+                // Unreachable through the pipeline (a placement-aware run
+                // places every admitted evaluation); score plain IPC for
+                // library callers building reports by hand.
+                None => report.ipc,
+            },
         }
     }
 
@@ -141,6 +211,20 @@ impl Objective {
                 h.write_f64(b.soft_penalty);
             }
             Objective::IpcPerLut => {}
+            Objective::PlacementAware(p) => {
+                h.write_str(p.placer.name());
+                h.write_str(p.grid.device.name);
+                h.write_f64(p.grid.device.total.lut);
+                h.write_f64(p.grid.device.total.ff);
+                h.write_f64(p.grid.device.total.bram);
+                h.write_f64(p.grid.device.total.dsp);
+                h.write_u64(u64::from(p.grid.cols));
+                h.write_u64(u64::from(p.grid.rows));
+                h.write_u64(u64::from(p.grid.rows_per_slr));
+                h.write_f64(p.wirelength_penalty);
+                h.write_f64(p.wirelength_scale);
+                h.write_f64(p.base_mhz);
+            }
         }
     }
 }
@@ -163,6 +247,7 @@ mod tests {
             schedules: BTreeMap::new(),
             variants: BTreeMap::new(),
             footprint: ScheduleFootprint::Pure,
+            placement: None,
         }
     }
 
@@ -323,6 +408,63 @@ mod tests {
         assert_eq!(d.stats.infeasible, 0);
     }
 
+    /// Congestion and SLR crossings reduce fitness through the placement
+    /// clock, and wirelength through the direct discount — the
+    /// placement-aware analogue of the default LUT-pressure test.
+    #[test]
+    fn placement_aware_fitness_penalizes_bad_placement() {
+        use overgen_model::{PlacementReport, Placer, SimpleGridPlacer};
+
+        let obj = Objective::PlacementAware(PlacementObjective::default());
+        let place = |fmax: f64, wl: f64| {
+            let mut r = report(
+                10.0,
+                Resources {
+                    lut: 50_000.0,
+                    ..Resources::ZERO
+                },
+            );
+            r.placement = Some(PlacementReport {
+                cells: Vec::new(),
+                hub: overgen_model::GridCell { col: 3, row: 7 },
+                span: 1,
+                wirelength: wl,
+                congestion: 0.5,
+                slr_crossings: 0,
+                fmax_mhz: fmax,
+            });
+            r
+        };
+        // At the 100 MHz base with zero wirelength, fitness is plain IPC.
+        assert_eq!(obj.fitness(&place(100.0, 0.0)), 10.0);
+        // A slower clock scales fitness down proportionally...
+        assert_eq!(obj.fitness(&place(50.0, 0.0)), 5.0);
+        // ...and wirelength adds the saturating discount.
+        assert!(obj.fitness(&place(100.0, 32.0)) < 10.0);
+        assert_eq!(
+            obj.fitness(&place(100.0, 64.0)),
+            obj.fitness(&place(100.0, 640.0))
+        );
+        // The shipped placer exists and self-identifies.
+        assert_eq!(SimpleGridPlacer.name(), PlacerKind::SimpleGrid.name());
+    }
+
+    #[test]
+    fn placement_aware_objective_runs_and_fills_a_three_axis_frontier() {
+        let cfg = crate::DseConfig {
+            objective: Objective::PlacementAware(PlacementObjective::default()),
+            ..quick_cfg(15)
+        };
+        let r = crate::Dse::new(vec![fir()], cfg).run().unwrap();
+        assert!(r.objective > 0.0);
+        assert!(!r.pareto.is_empty());
+        for p in r.pareto.points() {
+            let m = p.placement.expect("placement-aware points carry metrics");
+            assert!(m.fmax_mhz >= 40.0 && m.fmax_mhz < 160.0);
+            assert!(m.congestion > 0.0);
+        }
+    }
+
     #[test]
     fn ipc_per_lut_objective_runs() {
         let cfg = crate::DseConfig {
@@ -349,7 +491,12 @@ mod tests {
             lut_penalty: 0.1,
             ..Default::default()
         }));
-        let all = [a, b, c, d, e];
+        let f = hash(&Objective::PlacementAware(PlacementObjective::default()));
+        let g = hash(&Objective::PlacementAware(PlacementObjective {
+            wirelength_penalty: 0.1,
+            ..Default::default()
+        }));
+        let all = [a, b, c, d, e, f, g];
         for (i, x) in all.iter().enumerate() {
             for y in &all[i + 1..] {
                 assert_ne!(x, y);

@@ -58,8 +58,9 @@ use crate::eval::{CachedEval, CachedSystem};
 /// Store file-format magic.
 pub const STORE_MAGIC: &str = "overgen-eval-store";
 /// Store file-format version. Entries written by a different version are
-/// refused at load with [`StoreError::Version`].
-pub const STORE_VERSION: u64 = 1;
+/// refused at load with [`StoreError::Version`]. Version history: 1 =
+/// original; 2 = per-eval `placement` metrics (spatial placement).
+pub const STORE_VERSION: u64 = 2;
 
 /// Why the store could not be opened or an entry could not be read.
 #[derive(Debug)]

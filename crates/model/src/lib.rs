@@ -27,6 +27,7 @@ pub mod dataset;
 pub mod estimate;
 pub mod mlp;
 pub mod perf;
+pub mod placement;
 pub mod resources;
 pub mod synthesis;
 pub mod time;
@@ -38,7 +39,14 @@ pub use estimate::{
 };
 pub use mlp::{Mlp, TrainConfig, TrainReport};
 pub use perf::{estimate_ipc, weighted_geomean_ipc, Level, PerfEstimate, Placement};
-pub use resources::{DeviceBudget, FpgaDevice, ResourceBreakdown, Resources, Utilization, XCVU9P};
+pub use placement::{
+    noc_wirelength, ClockRegionGrid, GridCell, PlacementMetrics, PlacementReport, Placer,
+    PlacerKind, SimpleGridPlacer,
+};
+pub use resources::{
+    fmax_curve, DeviceBudget, FpgaDevice, ResourceBreakdown, Resources, Utilization,
+    FMAX_FLOOR_MHZ, XCVU9P,
+};
 pub use synthesis::{
     features_of, synthesize, synthesize_post_pnr, ComponentFeatures, ComponentKind, SynthesisRun,
 };

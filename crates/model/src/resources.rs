@@ -180,11 +180,35 @@ impl FpgaDevice {
 
     /// Achievable clock in MHz as a function of utilization: congestion on
     /// a nearly-full multi-die device costs frequency (§VI-D; the paper's
-    /// quad-tile design closes at 92.87 MHz).
+    /// quad-tile design closes at 92.87 MHz). See [`fmax_curve`].
     pub fn fmax_mhz(&self, used: &Resources) -> f64 {
-        let u = self.utilization(used).limiting().min(1.2);
-        (160.0 - 75.0 * u).max(40.0)
+        fmax_curve(self.utilization(used).limiting())
     }
+}
+
+/// The clock floor of the utilization/congestion curve: no design is
+/// modeled below 40 MHz — past that point it simply fails timing closure
+/// rather than running slower.
+pub const FMAX_FLOOR_MHZ: f64 = 40.0;
+
+/// The shared utilization-to-clock curve behind [`FpgaDevice::fmax_mhz`]
+/// and the placement model's congestion clock: `160 − 75·u` MHz up to full
+/// utilization (unchanged from the original calibration, so in-budget
+/// designs keep their historical clocks), then a 300 MHz-per-unit cliff —
+/// routing an over-subscribed device deteriorates much faster than filling
+/// one — clamped at [`FMAX_FLOOR_MHZ`].
+///
+/// The historical curve clamped `u` at 1.2 *before* the floor, so its
+/// minimum was 70 MHz and the 40 MHz floor was unreachable: a device
+/// packed 20% over capacity was modeled at a cheerful 70 MHz. The cliff
+/// slope makes the floor bind from `u = 1.15` up.
+pub fn fmax_curve(u: f64) -> f64 {
+    let mhz = if u <= 1.0 {
+        160.0 - 75.0 * u
+    } else {
+        85.0 - 300.0 * (u - 1.0)
+    };
+    mhz.max(FMAX_FLOOR_MHZ)
 }
 
 /// A hard per-accelerator resource budget for constraint-aware DSE
@@ -403,6 +427,30 @@ mod tests {
         // paper's quad-tile closes around 93 MHz at ~90% LUT
         let f = XCVU9P.fmax_mhz(&big);
         assert!(f > 80.0 && f < 100.0, "fmax {f}");
+    }
+
+    /// Pins the shared clock curve at the three calibration points. The
+    /// over-capacity cliff is the regression target: the pre-fix curve
+    /// clamped utilization at 1.2 before applying the floor, so `u = 1.2`
+    /// returned 70 MHz and `.max(40.0)` was dead code.
+    #[test]
+    fn fmax_curve_is_pinned_and_the_floor_binds() {
+        assert_eq!(fmax_curve(0.5), 122.5);
+        assert_eq!(fmax_curve(1.0), 85.0);
+        assert_eq!(fmax_curve(1.2), FMAX_FLOOR_MHZ);
+        // The device method agrees with the shared curve.
+        let over = Resources {
+            lut: XCVU9P.total.lut * 1.2,
+            ..Resources::ZERO
+        };
+        assert_eq!(XCVU9P.fmax_mhz(&over), FMAX_FLOOR_MHZ);
+        // The cliff is continuous-ish at the knee and monotone past it;
+        // the floor binds from the crossover near u = 1.15 onward (1.15
+        // itself sits within one ulp of the floor, so pin just past it).
+        assert!(fmax_curve(1.0) >= fmax_curve(1.01));
+        assert!(fmax_curve(1.1) > fmax_curve(1.15));
+        assert_eq!(fmax_curve(1.16), FMAX_FLOOR_MHZ);
+        assert_eq!(fmax_curve(5.0), FMAX_FLOOR_MHZ);
     }
 
     #[test]

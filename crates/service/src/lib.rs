@@ -197,6 +197,37 @@ impl Shared {
     fn counter(&self, name: &'static str) -> overgen_telemetry::Counter {
         self.registry.counter(name)
     }
+
+    /// The single terminal-transition point. Applies `apply` (which must
+    /// leave the entry in a terminal status) under the caller's jobs lock,
+    /// then performs the terminal accounting — the matching
+    /// `service.jobs.*` counter and a `done` broadcast — so every path a
+    /// job can end through (worker completion, worker failure,
+    /// worker-observed cancellation, queued-job cancellation) accounts
+    /// identically. Callers pass their held guard in; the transition and
+    /// the status read are atomic, and the lock is dropped before the
+    /// counter bump and notify.
+    fn finish(
+        &self,
+        mut jobs: std::sync::MutexGuard<'_, BTreeMap<JobId, JobEntry>>,
+        id: JobId,
+        apply: impl FnOnce(&mut JobEntry),
+    ) {
+        let j = jobs.get_mut(&id).expect("finishing job exists");
+        apply(j);
+        debug_assert!(
+            j.status.terminal(),
+            "finish() must end in a terminal status"
+        );
+        let counter = match j.status {
+            JobStatus::Done => "service.jobs.completed",
+            JobStatus::Failed => "service.jobs.failed",
+            _ => "service.jobs.cancelled",
+        };
+        drop(jobs);
+        self.counter(counter).inc();
+        self.done.notify_all();
+    }
 }
 
 /// Final per-job record in a [`ServiceReport`].
@@ -360,13 +391,18 @@ impl JobServer {
         };
         match j.status {
             JobStatus::Queued => {
-                j.status = JobStatus::Cancelled;
-                drop(jobs);
-                self.shared.counter("service.jobs.cancelled").inc();
-                self.shared.done.notify_all();
+                // The transition happens under the lock we already hold, so
+                // a worker dequeuing the id concurrently sees `Cancelled`
+                // (not `Queued`) and skips it — the accounting below is the
+                // only one this job gets.
+                self.shared
+                    .finish(jobs, id, |j| j.status = JobStatus::Cancelled);
                 true
             }
             JobStatus::Running => {
+                // The worker observes the raised flag at the next segment
+                // boundary and performs the terminal accounting through the
+                // same `finish` path in `run_job`.
                 j.stop.raise();
                 true
             }
@@ -455,9 +491,8 @@ fn run_job(shared: &Shared, id: JobId) {
     let dir = shared.root.join("jobs").join(&req.name);
     let outcome = execute(shared, &dir, req, stop.clone());
 
-    let mut jobs = shared.jobs.lock().unwrap();
-    let j = jobs.get_mut(&id).expect("running job exists");
-    match outcome {
+    let jobs = shared.jobs.lock().unwrap();
+    shared.finish(jobs, id, |j| match outcome {
         Ok(result) => {
             j.status = if stop.raised() && !result.completed {
                 JobStatus::Cancelled
@@ -470,15 +505,7 @@ fn run_job(shared: &Shared, id: JobId) {
             j.status = JobStatus::Failed;
             j.error = Some(msg);
         }
-    }
-    let counter = match j.status {
-        JobStatus::Done => "service.jobs.completed",
-        JobStatus::Failed => "service.jobs.failed",
-        _ => "service.jobs.cancelled",
-    };
-    drop(jobs);
-    shared.counter(counter).inc();
-    shared.done.notify_all();
+    });
 }
 
 /// Run the DSE under a per-job deterministic collector and persist the

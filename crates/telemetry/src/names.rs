@@ -25,6 +25,8 @@ pub const COUNTERS: &[&str] = &[
     "dse.intact",
     "dse.invalid",
     "dse.iterations",
+    "dse.place.runs",
+    "dse.place.slr_crossings",
     "dse.repairs",
     "sched.attempts",
     "sched.backtracks",
@@ -75,6 +77,7 @@ pub const EVENTS: &[&str] = &[
     "dse.eval.infeasible",
     "dse.exchange",
     "dse.invalid",
+    "dse.place",
     "dse.propose",
     "dse.reject",
     "dse.repair",

@@ -55,6 +55,9 @@ pub enum Phase {
     /// Closed-form analytic lower-bound pruning in the simulator-backed
     /// system DSE.
     Analytic,
+    /// Spatial placement onto the modeled clock-region grid (only under a
+    /// placement-aware objective; absent from default-config profiles).
+    Place,
     /// Performance estimation and fitness scoring.
     Objective,
     /// Umbrella: one uncached proposal evaluation end to end.
@@ -63,7 +66,7 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Validate,
         Phase::Compile,
         Phase::Schedule,
@@ -71,17 +74,19 @@ impl Phase {
         Phase::SystemDse,
         Phase::Simulate,
         Phase::Analytic,
+        Phase::Place,
         Phase::Objective,
         Phase::Eval,
     ];
 
     /// Phases nested inside [`Phase::Eval`]; their sum is the "attributed"
     /// share of total evaluation time.
-    pub const EVAL_INNER: [Phase; 5] = [
+    pub const EVAL_INNER: [Phase; 6] = [
         Phase::Validate,
         Phase::Schedule,
         Phase::Repair,
         Phase::SystemDse,
+        Phase::Place,
         Phase::Objective,
     ];
 
@@ -95,6 +100,7 @@ impl Phase {
             Phase::SystemDse => "system-dse",
             Phase::Simulate => "simulate",
             Phase::Analytic => "analytic",
+            Phase::Place => "place",
             Phase::Objective => "objective",
             Phase::Eval => "eval",
         }

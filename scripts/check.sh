@@ -33,6 +33,14 @@
 #                warm-cache speedup with concurrent-vs-sequential job
 #                artifacts byte-identical (plus a synthetic-divergence
 #                negative test of the gate itself)
+#   placement    spatial-placement gates: the placement property + golden
+#                suite (default-objective runs byte-identical with the
+#                stage present, placement-aware runs deterministic across
+#                thread counts), the placer unit suite, and
+#                BENCH_placement.json holding sweep-direction-stable
+#                winners with the congestion/wirelength medians inside the
+#                tolerance bands (plus a synthetic-violation negative test
+#                of the gate itself)
 set -e
 
 stage_build() {
@@ -344,16 +352,55 @@ stage_service() {
         || { echo "FAIL: bench-compare must exit 3 on a missing baseline (got $rc)"; exit 1; }
 }
 
+stage_placement() {
+    echo "== placement: placer unit suite =="
+    cargo test -q --release -p overgen-model placement
+
+    echo "== placement: property + golden suite (default runs untouched) =="
+    cargo test -q --release --test placement
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        PL_TMP=$CHECK_TRACE_DIR/placement
+        mkdir -p "$PL_TMP"
+    else
+        PL_TMP=$(mktemp -d)
+        trap 'rm -rf "$PL_TMP"' EXIT INT TERM
+    fi
+
+    echo "== placement: sweep-stable winners inside the tolerance bands =="
+    OVERGEN_RESULTS_DIR="$PL_TMP" cargo run -q --release -p overgen-bench \
+        --bin bench_placement >/dev/null
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_placement.json "$PL_TMP/BENCH_placement.json" \
+        min:summary.winner_stable=1 \
+        max:summary.max_congestion=1.2 \
+        require:summary.median_congestion \
+        require:summary.median_wirelength \
+        require:summary.mean_fmax_mhz \
+        || { echo "FAIL: placement benchmark regressed past the stability/congestion gate"; exit 1; }
+
+    echo "== placement: injected winner instability must fail the gate =="
+    sed -e 's/"winner_stable":1/"winner_stable":0/' \
+        -e 's/"max_congestion":[0-9.eE+-]*/"max_congestion":9.9/' \
+        "$PL_TMP/BENCH_placement.json" > "$PL_TMP/unstable.json"
+    if cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_placement.json "$PL_TMP/unstable.json" \
+        min:summary.winner_stable=1 \
+        max:summary.max_congestion=1.2 >/dev/null; then
+        echo "FAIL: bench-compare accepted unstable placement winners"; exit 1
+    fi
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench objectives profile sim service
+    set -- build test fmt clippy determinism checkpoint bench objectives profile sim service placement
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim | service) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim | service | placement) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim|service]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim|service|placement]..." >&2
         exit 2
         ;;
     esac

@@ -263,6 +263,48 @@ fn cancelling_a_running_job_stops_it_gracefully() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Regression (PR 9): a running job cancelled through the `StopFlag`
+/// must receive exactly the same terminal accounting as a queued-job
+/// cancel — `wait()` unblocks with `Cancelled`, and the
+/// `service.jobs.cancelled` counter reads exactly 1 (not 0, which would
+/// mean the worker skipped the accounting; not 2, which would mean
+/// `cancel` and the worker both accounted).
+#[test]
+fn running_job_cancel_accounts_terminally_exactly_once() {
+    let root = temp_root("cancel-accounting");
+    let server = JobServer::start(ServiceConfig {
+        root: root.clone(),
+        workers: 1,
+        store: false,
+    })
+    .unwrap();
+    let id = server
+        .submit(JobRequest {
+            name: "long".to_string(),
+            kernels: vec![workloads::by_name("fir").unwrap()],
+            config: DseConfig {
+                exchange_interval: 5, // frequent segment boundaries
+                ..job_config(20_000, 69)
+            },
+        })
+        .unwrap();
+    while server.status(id) == Some(JobStatus::Queued) {
+        std::thread::yield_now();
+    }
+    assert!(server.cancel(id));
+    assert_eq!(server.wait(id), Some(JobStatus::Cancelled));
+    let reg = server.registry();
+    assert_eq!(
+        reg.counter_value("service.jobs.cancelled"),
+        1,
+        "a running-job cancel must be accounted exactly once"
+    );
+    assert_eq!(reg.counter_value("service.jobs.completed"), 0);
+    assert_eq!(reg.counter_value("service.jobs.failed"), 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn submission_rejects_bad_and_duplicate_names() {
     let root = temp_root("names");

@@ -1,0 +1,10 @@
+//! Benchmarks the rewrite engine — fast-path share with inferred
+//! footprints, compound-proposal amortization, and the release-mode
+//! inference oracle — and records it in `results/BENCH_rewrite.json`.
+
+fn main() {
+    overgen_bench::run_experiment("rewrite", || {
+        let report = overgen_bench::experiments::rewrite::run();
+        overgen_bench::experiments::rewrite::render(&report)
+    });
+}

@@ -14,6 +14,7 @@ pub mod fig20;
 pub mod pareto;
 pub mod placement;
 pub mod repair;
+pub mod rewrite;
 pub mod service;
 pub mod sim;
 pub mod table1;

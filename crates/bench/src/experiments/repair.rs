@@ -159,6 +159,7 @@ fn timing_chain() -> (Vec<f64>, usize, usize, f64, f64) {
         let opts = RepairOptions {
             incremental: true,
             footprint: Some(footprint),
+            scope: None,
         };
         let mut repair_s = 0.0;
         let mut full_s = 0.0;

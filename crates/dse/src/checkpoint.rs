@@ -49,8 +49,9 @@ const MAGIC: &str = "overgen-dse-checkpoint";
 // objective header, `objective` config field, per-eval fitness + resource
 // vector, per-chain Pareto frontier, `infeasible` stat); 3 = spatial
 // placement (per-eval `placement` metrics, three-element Pareto points,
-// `placement_aware` objective serialization).
-const VERSION: u64 = 3;
+// `placement_aware` objective serialization); 4 = rewrite engine
+// (`compound` config field for compound rule proposals).
+const VERSION: u64 = 4;
 
 /// Periodic checkpointing policy for a DSE run.
 #[derive(Debug, Clone)]
@@ -996,6 +997,7 @@ fn config_to_json(cfg: &DseConfig) -> String {
         .raw("chains", &hx(cfg.chains as u64))
         .raw("exchange_interval", &hx(cfg.exchange_interval as u64))
         .bool("cache", cfg.cache)
+        .raw("compound", &hx(cfg.compound as u64))
         .bool("repair", cfg.repair)
         .raw("checkpoint", &ck)
         .finish()
@@ -1069,6 +1071,7 @@ fn config_from_json(v: &Value) -> Result<DseConfig, String> {
         chains: d_usize(get(v, "chains")?)?,
         exchange_interval: d_usize(get(v, "exchange_interval")?)?,
         cache: d_bool(get(v, "cache")?)?,
+        compound: d_usize(get(v, "compound")?)?,
         repair: d_bool(get(v, "repair")?)?,
         checkpoint,
         // Stop budgets and monitoring are per-invocation, never persisted:
@@ -1215,6 +1218,32 @@ mod tests {
         let resumed = ck.resume(vec![vecadd()]).unwrap();
         assert_eq!(full.objective.to_bits(), resumed.objective.to_bits());
         assert_eq!(full.pareto, resumed.pareto);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compound_config_round_trips() {
+        let path = tmp("compound-roundtrip");
+        let cfg = DseConfig {
+            compound: 3,
+            ..small_cfg(path.clone())
+        };
+        let full = Dse::new(vec![vecadd()], cfg).run().unwrap();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        let ck = Checkpoint::load(&path).unwrap();
+        assert_eq!(
+            ck.config().compound,
+            3,
+            "compound cap must survive the round trip — a resume that \
+             silently fell back to single-rule proposals would replay a \
+             different RNG stream"
+        );
+        let mut re = ck.to_json();
+        re.push('\n');
+        assert_eq!(on_disk, re, "load -> save must be lossless");
+        let resumed = ck.resume(vec![vecadd()]).unwrap();
+        assert_eq!(full.objective.to_bits(), resumed.objective.to_bits());
+        assert_eq!(full.stats, resumed.stats);
         std::fs::remove_file(&path).ok();
     }
 

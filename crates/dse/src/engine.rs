@@ -44,8 +44,9 @@ use crate::eval::{EvalPipeline, EvalState, ParetoFront, ParetoPoint};
 use crate::heartbeat::{Heartbeat, HeartbeatConfig};
 use crate::objective::Objective;
 use crate::pool::fan_out;
+use crate::rewrite::{AdgDelta, RuleSet};
 use crate::system::SystemDseConfig;
-use crate::transforms::{random_mutation, TransformCtx};
+use crate::transforms::TransformCtx;
 
 /// DSE configuration.
 #[derive(Debug, Clone)]
@@ -86,6 +87,16 @@ pub struct DseConfig {
     pub exchange_interval: usize,
     /// Memoize evaluations and system-DSE winners by ADG fingerprint.
     pub cache: bool,
+    /// Compound proposals: maximum rewrite rules chained into one
+    /// proposal step. `1` (the default) applies exactly one rule per step
+    /// and is bit-identical to the historical single-mutation dispatch;
+    /// `K > 1` draws 1..=K rules per step — the first from the full
+    /// registry, follow-ups from the benign (non-removing) subset — with
+    /// their deltas and inferred footprints merged into the proposal and
+    /// the rule chain folded into evaluation cache keys. Folded into the
+    /// config hash (only when enabled, so default hashes are unchanged)
+    /// and persisted in checkpoints.
+    pub compound: usize,
     /// Take the incremental repair fast path when a mutation's dirty set is
     /// empty (the default). When `false` (env `OVERGEN_REPAIR=0` in the
     /// bench harness), eligible repairs run a silent full placement and
@@ -165,6 +176,7 @@ impl Default for DseConfig {
             chains: 1,
             exchange_interval: 25,
             cache: true,
+            compound: 1,
             repair: true,
             checkpoint: None,
             max_proposals: None,
@@ -493,6 +505,12 @@ impl Dse {
                 h.write_str("backend:simulate");
                 h.write_u64(u64::from(prune));
             }
+        }
+        // Same conditional-fold contract for compound proposals: the
+        // default (off, = 1) keeps historical hashes.
+        if cfg.compound > 1 {
+            h.write_str("compound");
+            h.write_u64(cfg.compound as u64);
         }
         h.finish()
     }
@@ -884,24 +902,46 @@ impl Dse {
             let mut prop_schedules: Vec<Schedule> = st.cur.schedules.values().cloned().collect();
             let mut kinds = String::new();
             let mut footprint = ScheduleFootprint::Pure;
+            let mut delta = AdgDelta::new((it * self.cfg.mutations_per_step) as u64);
             {
                 // "ADG* is constructed using a combination of random and
                 // schedule-preserving transformations" (§V-A): preserving
                 // guidance applies to most mutations, but some stay fully
                 // random so the annealer can restructure used hardware.
-                for _ in 0..self.cfg.mutations_per_step {
+                let rules = RuleSet::legacy();
+                for step in 0..self.cfg.mutations_per_step {
                     let preserving = self.cfg.schedule_preserving && st.rng.gen_bool(0.7);
                     let mut ctx = TransformCtx {
                         cap_pool: &caps,
                         schedules: &mut prop_schedules,
                         preserving,
                     };
-                    let (m, fp) = random_mutation(&mut prop_adg, &mut ctx, &mut st.rng);
-                    footprint = footprint.merge(fp);
+                    let epoch = (it * self.cfg.mutations_per_step + step) as u64;
                     if !kinds.is_empty() {
                         kinds.push(',');
                     }
-                    kinds.push_str(m.kind());
+                    if self.cfg.compound > 1 {
+                        let apps = rules.apply_compound(
+                            &mut prop_adg,
+                            &mut ctx,
+                            &mut st.rng,
+                            epoch,
+                            self.cfg.compound,
+                        );
+                        for (i, app) in apps.iter().enumerate() {
+                            footprint = footprint.merge(app.inferred);
+                            if i > 0 {
+                                kinds.push('+');
+                            }
+                            kinds.push_str(app.mutation.kind());
+                            delta.absorb(&app.delta);
+                        }
+                    } else {
+                        let app = rules.apply_random(&mut prop_adg, &mut ctx, &mut st.rng, epoch);
+                        footprint = footprint.merge(app.inferred);
+                        kinds.push_str(app.mutation.kind());
+                        delta.absorb(&app.delta);
+                    }
                     if preserving {
                         kinds.push('*');
                     }
@@ -920,7 +960,14 @@ impl Dse {
                 .into_iter()
                 .map(|s| (s.mdfg_name.clone(), s))
                 .collect();
-            let (state, sim) = pipe.evaluate(&prop_adg, &prior, footprint);
+            // The proposal's merged delta feeds repair classification (an
+            // empty scope skips the dirty-set scan); the rule chain keys
+            // the evaluation cache only in compound mode, so default-run
+            // cache keys stay historical.
+            let scope = delta.scope();
+            let rule_trace = (self.cfg.compound > 1).then_some(kinds.as_str());
+            let (state, sim) =
+                pipe.evaluate_with(&prop_adg, &prior, footprint, Some(&scope), rule_trace);
             st.sim_seconds += sim;
             let Some(prop) = state else {
                 counters.invalid.inc();

@@ -38,7 +38,9 @@ use overgen_model::{
     accelerator_resources, Placement, PlacementMetrics, PlacementReport, ResourceModel, Resources,
     TimeModel,
 };
-use overgen_scheduler::{repair_with, RepairOptions, RepairOutcome, Schedule, ScheduleFootprint};
+use overgen_scheduler::{
+    repair_with, RepairOptions, RepairOutcome, RepairScope, Schedule, ScheduleFootprint,
+};
 
 use crate::cache::{hash_placement, hash_schedule, Memo};
 use crate::engine::DseConfig;
@@ -253,13 +255,31 @@ impl<'a> EvalPipeline<'a> {
         prior: &BTreeMap<String, Schedule>,
         footprint: ScheduleFootprint,
     ) -> (Option<EvalState>, f64) {
+        self.evaluate_with(adg, prior, footprint, None, None)
+    }
+
+    /// [`Evaluator::evaluate`] with the rewrite engine's extras: a
+    /// recorded [`RepairScope`] (an empty one lets repair skip its full
+    /// decision scan) and, for compound proposals, the rule trace string
+    /// folded into the cache key — compound proposals carry their rule
+    /// chain in `dse.propose` events, so two proposals that differ only
+    /// in how they were composed must not share a cached trace. Default
+    /// (single-rule) runs pass `None` and keep historical cache keys.
+    pub(crate) fn evaluate_with(
+        &self,
+        adg: &Adg,
+        prior: &BTreeMap<String, Schedule>,
+        footprint: ScheduleFootprint,
+        scope: Option<&RepairScope>,
+        rule_trace: Option<&str>,
+    ) -> (Option<EvalState>, f64) {
         let run = || {
             // Umbrella phase: one uncached evaluation end to end. Cache
             // hits never reach here; their cost is reconstructed via the
             // cache-adjustment factor in the profile report.
             let _eval_timer = self.phase(Phase::Eval, footprint.name());
             let (out, trace, registry) =
-                capture_isolated(|| self.evaluate_uncached(adg, prior, footprint));
+                capture_isolated(|| self.evaluate_uncached(adg, prior, footprint, scope));
             let (state, sim) = out;
             CachedEval {
                 state,
@@ -276,6 +296,10 @@ impl<'a> EvalPipeline<'a> {
             // events, so two proposals that differ only in footprint must
             // not share a cached trace.
             h.write_u64(u64::from(footprint.code()));
+            if let Some(trace) = rule_trace {
+                h.write_str("rules");
+                h.write_str(trace);
+            }
             h.write_u64(prior.len() as u64);
             for s in prior.values() {
                 hash_schedule(&mut h, s);
@@ -325,6 +349,7 @@ impl<'a> EvalPipeline<'a> {
         adg: &Adg,
         prior: &BTreeMap<String, Schedule>,
         footprint: ScheduleFootprint,
+        scope: Option<&RepairScope>,
     ) -> (Option<EvalState>, f64) {
         let mut sim = 0.0f64;
         let validate_timer = self.phase(Phase::Validate, footprint.name());
@@ -374,7 +399,7 @@ impl<'a> EvalPipeline<'a> {
                 .as_ref()
                 .map(|p| p.hot_timer("workload", k.name()));
             let out = capture(Some(&eval_collector), || {
-                self.schedule_workload(k, &sys_probe, prior, footprint, &counters)
+                self.schedule_workload(k, &sys_probe, prior, footprint, scope, &counters)
             });
             drop(hot);
             out
@@ -596,6 +621,7 @@ impl<'a> EvalPipeline<'a> {
         sys_probe: &SysAdg,
         prior: &BTreeMap<String, Schedule>,
         footprint: ScheduleFootprint,
+        scope: Option<&RepairScope>,
         counters: &EvalCounters,
     ) -> (Option<(u32, Schedule)>, f64) {
         let adg_nodes = sys_probe.adg.node_count();
@@ -607,6 +633,7 @@ impl<'a> EvalPipeline<'a> {
         let opts = RepairOptions {
             incremental: self.cfg.repair,
             footprint: Some(footprint),
+            scope: scope.cloned(),
         };
         let mut repair_failed_variant = None;
         if let Some(p) = prior.get(name) {

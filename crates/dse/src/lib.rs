@@ -53,6 +53,7 @@ mod eval;
 mod heartbeat;
 mod objective;
 mod pool;
+mod rewrite;
 mod store;
 mod system;
 mod transforms;
@@ -68,6 +69,9 @@ pub use objective::{GeomeanIpcWeights, Objective, PlacementObjective};
 pub use overgen_model::{
     ClockRegionGrid, DeviceBudget, GridCell, PlacementMetrics, PlacementReport, Placer, PlacerKind,
     SimpleGridPlacer,
+};
+pub use rewrite::{
+    infer_footprint, kind_name, AdgDelta, Application, RecordedAdg, Rule, RuleOutcome, RuleSet,
 };
 pub use store::{EvalStore, StoreError, StoreStats, STORE_MAGIC, STORE_VERSION};
 pub use system::{system_dse, system_dse_sim, SystemDseBackend, SystemDseConfig};

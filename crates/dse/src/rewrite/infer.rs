@@ -1,0 +1,114 @@
+//! Mechanical footprint inference from recorded deltas.
+//!
+//! The legacy mutation table hand-classified every mutation into a
+//! [`ScheduleFootprint`]; here the class falls out of the [`AdgDelta`] the
+//! rule actually produced, consulted against the schedules *after* the
+//! application (so a collapse that patched its routes in place correctly
+//! classifies as remove-unused, not structural):
+//!
+//! - attribute writes       → at least [`ScheduleFootprint::Attribute`];
+//! - added nodes or edges   → at least [`ScheduleFootprint::Additive`];
+//! - removed nodes or edges → [`ScheduleFootprint::Structural`] when any
+//!   removed entity is referenced by a live schedule,
+//!   [`ScheduleFootprint::RemoveUnused`] otherwise;
+//! - an empty delta         → [`ScheduleFootprint::Pure`].
+//!
+//! Classes merge to the worst, exactly as proposals merge footprints. A
+//! removed edge is checked against the schedules' used-*edge* set, which
+//! can never exceed the legacy used-*node* check: every edge a route uses
+//! has both endpoints in the route, so its endpoints are used nodes.
+
+use std::collections::BTreeSet;
+
+use overgen_adg::NodeId;
+use overgen_scheduler::{Schedule, ScheduleFootprint};
+
+use super::delta::AdgDelta;
+use super::Mutation;
+
+/// `applied` unless the mutation degenerated to a no-op.
+pub(crate) fn footprint_of(m: &Mutation, applied: ScheduleFootprint) -> ScheduleFootprint {
+    if *m == Mutation::Noop {
+        ScheduleFootprint::Pure
+    } else {
+        applied
+    }
+}
+
+/// Severity of removing `victim`: [`ScheduleFootprint::RemoveUnused`] when
+/// no live schedule references it, [`ScheduleFootprint::Structural`]
+/// otherwise.
+pub(crate) fn removal_footprint(schedules: &[Schedule], victim: NodeId) -> ScheduleFootprint {
+    if used_nodes(schedules).contains(&victim) {
+        ScheduleFootprint::Structural
+    } else {
+        ScheduleFootprint::RemoveUnused
+    }
+}
+
+/// Every ADG node some live schedule assigns to or routes through.
+pub(crate) fn used_nodes(schedules: &[Schedule]) -> BTreeSet<NodeId> {
+    let mut s = BTreeSet::new();
+    for sched in schedules {
+        s.extend(sched.used_adg_nodes());
+    }
+    s
+}
+
+/// Every ADG edge some live schedule routes over.
+pub(crate) fn used_edges(schedules: &[Schedule]) -> BTreeSet<(NodeId, NodeId)> {
+    let mut s = BTreeSet::new();
+    for sched in schedules {
+        s.extend(sched.used_adg_edges());
+    }
+    s
+}
+
+/// Infer the [`ScheduleFootprint`] of an application from its recorded
+/// delta and the live schedules as they stand *after* the application.
+pub fn infer_footprint(delta: &AdgDelta, schedules: &[Schedule]) -> ScheduleFootprint {
+    let mut fp = ScheduleFootprint::Pure;
+    if !delta.touched_attrs.is_empty() {
+        fp = fp.merge(ScheduleFootprint::Attribute);
+    }
+    if !delta.added_nodes.is_empty() || !delta.added_edges.is_empty() {
+        fp = fp.merge(ScheduleFootprint::Additive);
+    }
+    if !delta.removed_nodes.is_empty() || !delta.removed_edges.is_empty() {
+        let used_n = used_nodes(schedules);
+        let used_e = used_edges(schedules);
+        let structural = delta.removed_nodes.iter().any(|n| used_n.contains(n))
+            || delta.removed_edges.iter().any(|e| used_e.contains(e));
+        fp = fp.merge(if structural {
+            ScheduleFootprint::Structural
+        } else {
+            ScheduleFootprint::RemoveUnused
+        });
+    }
+    fp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_delta_is_pure() {
+        assert_eq!(
+            infer_footprint(&AdgDelta::new(0), &[]),
+            ScheduleFootprint::Pure
+        );
+    }
+
+    #[test]
+    fn classes_merge_to_the_worst() {
+        let mut d = AdgDelta::new(0);
+        d.touched_attrs.insert(NodeId::from_index(3));
+        assert_eq!(infer_footprint(&d, &[]), ScheduleFootprint::Attribute);
+        d.added_nodes.insert(NodeId::from_index(4));
+        assert_eq!(infer_footprint(&d, &[]), ScheduleFootprint::Additive);
+        d.removed_nodes.insert(NodeId::from_index(5));
+        // No schedules reference node 5, so removal is remove-unused.
+        assert_eq!(infer_footprint(&d, &[]), ScheduleFootprint::RemoveUnused);
+    }
+}

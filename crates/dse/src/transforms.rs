@@ -1,78 +1,22 @@
 //! ADG transformations: random mutations plus the schedule-preserving
 //! transformations of §V-B.
+//!
+//! The mutation machinery itself now lives in [`crate::rewrite`] — a
+//! registry of declarative rules with recorded deltas and mechanically
+//! inferred footprints. This module keeps the historical public surface
+//! ([`random_mutation`], [`collapse_node`], [`capability_pruning`],
+//! [`Mutation`], [`TransformCtx`]) as thin shims over the rule engine; the
+//! RNG stream and results are bit-identical to the legacy hand-rolled
+//! dispatch.
 
 use overgen_telemetry::Rng;
 
-use overgen_adg::{Adg, AdgNode, InPortNode, NodeId, NodeKind, OutPortNode, PeNode, SwitchNode};
-use overgen_ir::FuCap;
+use overgen_adg::{Adg, NodeId};
 use overgen_scheduler::{Schedule, ScheduleFootprint};
 
-/// Context a mutation may consult: the capability pool relevant to the
-/// domain and (optionally) the live schedules for preserving transforms.
-pub struct TransformCtx<'a> {
-    /// Capabilities the domain's kernels actually use (mutation pool).
-    pub cap_pool: &'a [FuCap],
-    /// Live schedules (for schedule-preserving guidance); empty slice when
-    /// preserving transformations are disabled.
-    pub schedules: &'a mut [Schedule],
-    /// Whether schedule-preserving transformations are enabled.
-    pub preserving: bool,
-}
+pub use crate::rewrite::{Mutation, TransformCtx};
 
-/// What a mutation did (for logging / statistics).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Mutation {
-    /// Added a PE with the given capability count.
-    AddPe,
-    /// Removed a PE.
-    RemovePe,
-    /// Added a switch splitting an edge.
-    AddSwitch,
-    /// Removed a switch (collapsed when preserving).
-    RemoveSwitch,
-    /// Added a fabric edge.
-    AddEdge,
-    /// Removed a fabric edge.
-    RemoveEdge,
-    /// Added a capability to a PE.
-    AddCap,
-    /// Pruned unused capabilities (preserving) or removed a random one.
-    RemoveCap,
-    /// Doubled / halved a port width.
-    ResizePort,
-    /// Doubled / halved a scratchpad capacity or bandwidth.
-    ResizeSpad,
-    /// Doubled / halved an engine bandwidth.
-    ResizeEngineBw,
-    /// Removed a stream engine.
-    RemoveEngine,
-    /// Changed a PE's delay-FIFO depth.
-    ResizeDelayFifo,
-    /// Nothing applicable (identity).
-    Noop,
-}
-
-impl Mutation {
-    /// Stable lowercase name for telemetry events.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Mutation::AddPe => "add_pe",
-            Mutation::RemovePe => "remove_pe",
-            Mutation::AddSwitch => "add_switch",
-            Mutation::RemoveSwitch => "remove_switch",
-            Mutation::AddEdge => "add_edge",
-            Mutation::RemoveEdge => "remove_edge",
-            Mutation::AddCap => "add_cap",
-            Mutation::RemoveCap => "remove_cap",
-            Mutation::ResizePort => "resize_port",
-            Mutation::ResizeSpad => "resize_spad",
-            Mutation::ResizeEngineBw => "resize_engine_bw",
-            Mutation::RemoveEngine => "remove_engine",
-            Mutation::ResizeDelayFifo => "resize_delay_fifo",
-            Mutation::Noop => "noop",
-        }
-    }
-}
+use crate::rewrite::{AdgDelta, RecordedAdg, RuleSet};
 
 /// Apply one random mutation to `adg`, preserving schedules when
 /// `ctx.preserving` (routes in `ctx.schedules` are rewritten in place).
@@ -84,229 +28,17 @@ impl Mutation {
 /// footprint travels with the proposal into the evaluation cache key and
 /// the repair engine's trace events; repair never trusts it for
 /// correctness.
+///
+/// Since the rewrite refactor the footprint is *inferred* from the
+/// application's recorded delta rather than hand-classified; the ported
+/// rules infer exactly the legacy classes.
 pub fn random_mutation(
     adg: &mut Adg,
     ctx: &mut TransformCtx<'_>,
     rng: &mut Rng,
 ) -> (Mutation, ScheduleFootprint) {
-    let choice = rng.gen_range(0..14u32);
-    match choice {
-        0 => add_pe(adg, ctx, rng),
-        1 => remove_pe(adg, ctx, rng),
-        2 => add_switch(adg, rng),
-        3 => remove_switch(adg, ctx, rng),
-        4 => add_edge(adg, rng),
-        5 => remove_edge(adg, ctx, rng),
-        6 => add_cap(adg, ctx, rng),
-        7 => {
-            let m = if ctx.preserving {
-                capability_pruning(adg, ctx.schedules)
-            } else {
-                remove_random_cap(adg, rng)
-            };
-            let fp = footprint_of(&m, ScheduleFootprint::Attribute);
-            (m, fp)
-        }
-        8 => resize_port(adg, ctx, rng),
-        9 => resize_spad(adg, rng),
-        10 => resize_engine_bw(adg, rng),
-        11 => add_engine(adg, rng),
-        12 => remove_engine(adg, ctx, rng),
-        _ => resize_delay_fifo(adg, rng),
-    }
-}
-
-/// `applied` unless the mutation degenerated to a no-op.
-fn footprint_of(m: &Mutation, applied: ScheduleFootprint) -> ScheduleFootprint {
-    if *m == Mutation::Noop {
-        ScheduleFootprint::Pure
-    } else {
-        applied
-    }
-}
-
-/// Severity of removing `victim`: [`ScheduleFootprint::RemoveUnused`] when
-/// no live schedule references it, [`ScheduleFootprint::Structural`]
-/// otherwise.
-fn removal_footprint(schedules: &[Schedule], victim: NodeId) -> ScheduleFootprint {
-    if used_nodes(schedules).contains(&victim) {
-        ScheduleFootprint::Structural
-    } else {
-        ScheduleFootprint::RemoveUnused
-    }
-}
-
-/// Add a memory stream engine (scratchpad or extra DMA) wired to every
-/// port — the §IV spatial-memory design space: "multiple smaller
-/// scratchpads or a single unified scratchpad".
-fn add_engine(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    let node = if rng.gen_bool(0.6) {
-        AdgNode::Spad(overgen_adg::SpadNode {
-            capacity_kb: [8u32, 16, 32, 64][rng.gen_range(0..4usize)],
-            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3usize)],
-            indirect: rng.gen_bool(0.4),
-        })
-    } else {
-        AdgNode::Dma(overgen_adg::DmaNode {
-            bw_bytes: [16u16, 32, 64][rng.gen_range(0..3usize)],
-        })
-    };
-    let is_spad = matches!(node, AdgNode::Spad(_));
-    let e = adg.add_node(node);
-    for ip in adg.nodes_of_kind(NodeKind::InPort) {
-        let _ = adg.add_edge(e, ip);
-    }
-    for op in adg.nodes_of_kind(NodeKind::OutPort) {
-        let _ = adg.add_edge(op, e);
-    }
-    let m = if is_spad {
-        Mutation::ResizeSpad
-    } else {
-        Mutation::ResizeEngineBw
-    };
-    (m, ScheduleFootprint::Additive)
-}
-
-/// Remove an unused (when preserving) extra engine; always keeps at least
-/// one DMA.
-fn remove_engine(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let mut engines = adg.nodes_of_kind(NodeKind::Spad);
-    let dmas = adg.nodes_of_kind(NodeKind::Dma);
-    if dmas.len() > 1 {
-        engines.extend(dmas);
-    }
-    if ctx.preserving {
-        let used: std::collections::BTreeSet<NodeId> = ctx
-            .schedules
-            .iter()
-            .flat_map(|s| s.stream_engines.values().copied())
-            .chain(
-                ctx.schedules
-                    .iter()
-                    .flat_map(|s| s.assignment.values().copied()),
-            )
-            .collect();
-        engines.retain(|e| !used.contains(e));
-    }
-    let Some(victim) = pick(&engines, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let fp = removal_footprint(ctx.schedules, victim);
-    adg.remove_node(victim);
-    (Mutation::RemoveEngine, fp)
-}
-
-fn pick<T: Copy>(v: &[T], rng: &mut Rng) -> Option<T> {
-    if v.is_empty() {
-        None
-    } else {
-        Some(v[rng.gen_range(0..v.len())])
-    }
-}
-
-fn used_nodes(schedules: &[Schedule]) -> std::collections::BTreeSet<NodeId> {
-    let mut s = std::collections::BTreeSet::new();
-    for sched in schedules {
-        s.extend(sched.used_adg_nodes());
-    }
-    s
-}
-
-fn used_edges(schedules: &[Schedule]) -> std::collections::BTreeSet<(NodeId, NodeId)> {
-    let mut s = std::collections::BTreeSet::new();
-    for sched in schedules {
-        s.extend(sched.used_adg_edges());
-    }
-    s
-}
-
-fn add_pe(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let switches = adg.nodes_of_kind(NodeKind::Switch);
-    let (Some(sin), Some(sout)) = (pick(&switches, rng), pick(&switches, rng)) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    // Sample 1-4 capabilities from the pool.
-    let n = rng.gen_range(1..=4usize.min(ctx.cap_pool.len().max(1)));
-    let caps: Vec<FuCap> = (0..n).filter_map(|_| pick(ctx.cap_pool, rng)).collect();
-    if caps.is_empty() {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    }
-    let pe = adg.add_node(AdgNode::Pe(PeNode::with_caps(caps)));
-    let _ = adg.add_edge(sin, pe);
-    let _ = adg.add_edge(pe, sout);
-    (Mutation::AddPe, ScheduleFootprint::Additive)
-}
-
-fn remove_pe(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let mut pes = adg.nodes_of_kind(NodeKind::Pe);
-    if ctx.preserving {
-        let used = used_nodes(ctx.schedules);
-        pes.retain(|p| !used.contains(p));
-    }
-    if pes.len() <= 1 {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    }
-    let Some(victim) = pick(&pes, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let fp = removal_footprint(ctx.schedules, victim);
-    adg.remove_node(victim);
-    (Mutation::RemovePe, fp)
-}
-
-fn add_switch(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    // Split a switch-to-switch edge with a new switch.
-    let edges: Vec<(NodeId, NodeId)> = adg
-        .edges()
-        .filter(|(a, b)| {
-            adg.kind(*a) == Some(NodeKind::Switch) && adg.kind(*b) == Some(NodeKind::Switch)
-        })
-        .collect();
-    let Some((a, b)) = pick(&edges, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let sw = adg.add_node(AdgNode::Switch(SwitchNode {}));
-    let _ = adg.add_edge(a, sw);
-    let _ = adg.add_edge(sw, b);
-    // keep the original edge: extra routing flexibility
-    (Mutation::AddSwitch, ScheduleFootprint::Additive)
-}
-
-fn remove_switch(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let switches = adg.nodes_of_kind(NodeKind::Switch);
-    if switches.len() <= 2 {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    }
-    let Some(victim) = pick(&switches, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    if ctx.preserving {
-        // A collapse patches every route through the victim in place, so
-        // even a *used* switch removal preserves the live schedules.
-        let m = collapse_node(adg, ctx.schedules, victim);
-        let fp = footprint_of(&m, ScheduleFootprint::RemoveUnused);
-        (m, fp)
-    } else {
-        let fp = removal_footprint(ctx.schedules, victim);
-        adg.remove_node(victim);
-        (Mutation::RemoveSwitch, fp)
-    }
+    let app = RuleSet::legacy().apply_random(adg, ctx, rng, 0);
+    (app.mutation, app.inferred)
 }
 
 /// Node collapsing (§V-B, Figure 7a): delete a routing node and add direct
@@ -314,269 +46,29 @@ fn remove_switch(
 /// routes. Edge-delay preservation (Figure 7b) bumps the delay-FIFO depth
 /// of destination PEs whose operand paths shortened.
 pub fn collapse_node(adg: &mut Adg, schedules: &mut [Schedule], victim: NodeId) -> Mutation {
-    if adg.kind(victim) != Some(NodeKind::Switch) {
-        return Mutation::Noop;
-    }
-    // Collect (prev, next) pairs of routes through the victim.
-    let mut bridges: Vec<(NodeId, NodeId)> = Vec::new();
-    let mut shortened_dsts: Vec<NodeId> = Vec::new();
-    for sched in schedules.iter_mut() {
-        for path in sched.routes.values_mut() {
-            while let Some(pos) = path.iter().position(|n| *n == victim) {
-                if pos == 0 || pos + 1 >= path.len() {
-                    // victim at an end: route is broken beyond repair here
-                    // (cannot happen for switches, which are interior).
-                    break;
-                }
-                let prev = path[pos - 1];
-                let next = path[pos + 1];
-                bridges.push((prev, next));
-                path.remove(pos);
-                if let Some(dst) = path.last().copied() {
-                    shortened_dsts.push(dst);
-                }
-            }
-        }
-    }
-    adg.remove_node(victim);
-    for (a, b) in bridges {
-        // Direct hardware connection preserving the route (ignore
-        // duplicates).
-        let _ = adg.add_edge(a, b);
-    }
-    // Edge-delay preservation: operand paths into these PEs shortened by
-    // one hop; grow their delay FIFOs so balance is maintained.
-    for dst in shortened_dsts {
-        if let Some(pe) = adg.node_mut(dst).and_then(AdgNode::as_pe_mut) {
-            pe.delay_fifo_depth = pe.delay_fifo_depth.saturating_add(1).min(16);
-        }
-    }
-    Mutation::RemoveSwitch
-}
-
-fn add_edge(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    let fabric: Vec<NodeId> = adg
-        .nodes()
-        .filter(|(_, n)| n.kind().is_fabric())
-        .map(|(id, _)| id)
-        .collect();
-    for _ in 0..8 {
-        let (Some(a), Some(b)) = (pick(&fabric, rng), pick(&fabric, rng)) else {
-            return (Mutation::Noop, ScheduleFootprint::Pure);
-        };
-        if a != b && adg.add_edge(a, b).is_ok() {
-            return (Mutation::AddEdge, ScheduleFootprint::Additive);
-        }
-    }
-    (Mutation::Noop, ScheduleFootprint::Pure)
-}
-
-fn remove_edge(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let mut edges: Vec<(NodeId, NodeId)> = adg
-        .edges()
-        .filter(|(a, b)| {
-            adg.kind(*a) == Some(NodeKind::Switch) && adg.kind(*b) == Some(NodeKind::Switch)
-        })
-        .collect();
-    if ctx.preserving {
-        let used = used_edges(ctx.schedules);
-        edges.retain(|e| !used.contains(e));
-    }
-    let Some((a, b)) = pick(&edges, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let fp = if used_edges(ctx.schedules).contains(&(a, b)) {
-        ScheduleFootprint::Structural
-    } else {
-        ScheduleFootprint::RemoveUnused
-    };
-    adg.remove_edge(a, b);
-    (Mutation::RemoveEdge, fp)
-}
-
-fn add_cap(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let pes = adg.nodes_of_kind(NodeKind::Pe);
-    let (Some(pe), Some(cap)) = (pick(&pes, rng), pick(ctx.cap_pool, rng)) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
-        p.caps.insert(cap);
-        (Mutation::AddCap, ScheduleFootprint::Attribute)
-    } else {
-        (Mutation::Noop, ScheduleFootprint::Pure)
-    }
-}
-
-fn remove_random_cap(adg: &mut Adg, rng: &mut Rng) -> Mutation {
-    let pes = adg.nodes_of_kind(NodeKind::Pe);
-    let Some(pe) = pick(&pes, rng) else {
-        return Mutation::Noop;
-    };
-    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
-        if p.caps.len() > 1 {
-            let caps: Vec<FuCap> = p.caps.iter().copied().collect();
-            let c = caps[rng.gen_range(0..caps.len())];
-            p.caps.remove(&c);
-            return Mutation::RemoveCap;
-        }
-    }
-    Mutation::Noop
+    let mut delta = AdgDelta::new(0);
+    let mut recorded = RecordedAdg::new(adg, &mut delta);
+    crate::rewrite::collapse_recorded(&mut recorded, schedules, victim)
 }
 
 /// Module-capability pruning (§V-B): drop a capability no mapped schedule
 /// needs. Schedules only record hardware ids, so pruning is restricted to
 /// PEs no schedule touches at all — and proceeds one capability at a time
-/// (one random cap of one random unused PE per invocation), giving the
-/// annealer the chance to reject harmful prunes instead of devastating the
+/// (one cap of one unused PE per invocation), giving the annealer the
+/// chance to reject harmful prunes instead of devastating the
 /// spare-capacity pool in one step.
 pub fn capability_pruning(adg: &mut Adg, schedules: &[Schedule]) -> Mutation {
-    let used = used_nodes(schedules);
-    let mut candidates: Vec<(NodeId, FuCap)> = Vec::new();
-    for pe in adg.nodes_of_kind(NodeKind::Pe) {
-        if used.contains(&pe) {
-            continue;
-        }
-        if let Some(p) = adg.node(pe).and_then(AdgNode::as_pe) {
-            if p.caps.len() > 1 {
-                // drop the most expensive spare capability first
-                if let Some(c) = p.caps.iter().copied().max_by_key(cheapness) {
-                    candidates.push((pe, c));
-                }
-            }
-        }
-    }
-    // deterministic pick: the globally most expensive spare capability
-    let Some((pe, cap)) = candidates.into_iter().max_by_key(|(_, c)| cheapness(c)) else {
-        return Mutation::Noop;
-    };
-    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
-        p.caps.remove(&cap);
-        Mutation::RemoveCap
-    } else {
-        Mutation::Noop
-    }
-}
-
-/// Order key: cheaper capabilities first.
-fn cheapness(c: &FuCap) -> (u8, u32) {
-    let class = match c.op.class() {
-        overgen_ir::OpClass::Logic => 0,
-        overgen_ir::OpClass::AddLike => 1,
-        overgen_ir::OpClass::MulLike => 2,
-        overgen_ir::OpClass::DivLike => 3,
-    };
-    (class, c.dtype.bits())
-}
-
-fn resize_port(
-    adg: &mut Adg,
-    ctx: &mut TransformCtx<'_>,
-    rng: &mut Rng,
-) -> (Mutation, ScheduleFootprint) {
-    let mut ports = adg.nodes_of_kind(NodeKind::InPort);
-    ports.extend(adg.nodes_of_kind(NodeKind::OutPort));
-    let Some(port) = pick(&ports, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let grow = rng.gen_bool(0.5);
-    let shrink_blocked = ctx.preserving && used_nodes(ctx.schedules).contains(&port);
-    match adg.node_mut(port) {
-        Some(AdgNode::InPort(InPortNode { width_bytes, .. }))
-        | Some(AdgNode::OutPort(OutPortNode { width_bytes, .. })) => {
-            if grow {
-                *width_bytes = (*width_bytes * 2).min(64);
-            } else if !shrink_blocked && *width_bytes > 2 {
-                *width_bytes /= 2;
-            } else {
-                return (Mutation::Noop, ScheduleFootprint::Pure);
-            }
-            (Mutation::ResizePort, ScheduleFootprint::Attribute)
-        }
-        _ => (Mutation::Noop, ScheduleFootprint::Pure),
-    }
-}
-
-fn resize_spad(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    let spads = adg.nodes_of_kind(NodeKind::Spad);
-    let Some(sp) = pick(&spads, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let grow = rng.gen_bool(0.5);
-    if let Some(AdgNode::Spad(s)) = adg.node_mut(sp) {
-        if grow {
-            s.capacity_kb = (s.capacity_kb * 2).min(512);
-        } else if s.capacity_kb > 2 {
-            s.capacity_kb /= 2;
-        }
-        if rng.gen_bool(0.2) {
-            s.indirect = !s.indirect;
-        }
-        (Mutation::ResizeSpad, ScheduleFootprint::Attribute)
-    } else {
-        (Mutation::Noop, ScheduleFootprint::Pure)
-    }
-}
-
-fn resize_engine_bw(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    let mut engines = adg.nodes_of_kind(NodeKind::Dma);
-    engines.extend(adg.nodes_of_kind(NodeKind::Spad));
-    engines.extend(adg.nodes_of_kind(NodeKind::Gen));
-    engines.extend(adg.nodes_of_kind(NodeKind::Rec));
-    let Some(e) = pick(&engines, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    let grow = rng.gen_bool(0.5);
-    let node = adg.node_mut(e);
-    let bw: Option<&mut u16> = match node {
-        Some(AdgNode::Dma(d)) => Some(&mut d.bw_bytes),
-        Some(AdgNode::Spad(s)) => Some(&mut s.bw_bytes),
-        Some(AdgNode::Gen(g)) => Some(&mut g.bw_bytes),
-        Some(AdgNode::Rec(r)) => Some(&mut r.bw_bytes),
-        _ => None,
-    };
-    if let Some(bw) = bw {
-        if grow {
-            *bw = (*bw * 2).min(128);
-        } else if *bw > 4 {
-            *bw /= 2;
-        }
-        (Mutation::ResizeEngineBw, ScheduleFootprint::Attribute)
-    } else {
-        (Mutation::Noop, ScheduleFootprint::Pure)
-    }
-}
-
-fn resize_delay_fifo(adg: &mut Adg, rng: &mut Rng) -> (Mutation, ScheduleFootprint) {
-    let pes = adg.nodes_of_kind(NodeKind::Pe);
-    let Some(pe) = pick(&pes, rng) else {
-        return (Mutation::Noop, ScheduleFootprint::Pure);
-    };
-    if let Some(p) = adg.node_mut(pe).and_then(AdgNode::as_pe_mut) {
-        if rng.gen_bool(0.5) {
-            p.delay_fifo_depth = p.delay_fifo_depth.saturating_add(1).min(16);
-        } else if p.delay_fifo_depth > 1 {
-            p.delay_fifo_depth -= 1;
-        }
-        (Mutation::ResizeDelayFifo, ScheduleFootprint::Attribute)
-    } else {
-        (Mutation::Noop, ScheduleFootprint::Pure)
-    }
+    let mut delta = AdgDelta::new(0);
+    let mut recorded = RecordedAdg::new(adg, &mut delta);
+    crate::rewrite::capability_pruning_recorded(&mut recorded, schedules)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
+    use overgen_adg::{mesh, MeshSpec, NodeKind, SysAdg, SystemParams};
     use overgen_compiler::{lower, LowerChoices};
-    use overgen_ir::{expr, DataType, KernelBuilder, Op, Suite};
+    use overgen_ir::{expr, DataType, FuCap, KernelBuilder, Op, Suite};
     use overgen_scheduler::schedule;
 
     fn pool() -> Vec<FuCap> {
@@ -666,34 +158,6 @@ mod tests {
     }
 
     #[test]
-    fn preserving_remove_pe_spares_used_ones() {
-        let (_mdfg, mut sys, sched) = scheduled_setup();
-        let used = sched.used_adg_nodes();
-        let caps = pool();
-        let mut schedules = vec![sched];
-        let mut ctx = TransformCtx {
-            cap_pool: &caps,
-            schedules: &mut schedules,
-            preserving: true,
-        };
-        let mut rng = Rng::seed_from_u64(3);
-        for _ in 0..100 {
-            remove_pe(&mut sys.adg, &mut ctx, &mut rng);
-        }
-        for pe in used {
-            if sys.adg.kind(pe) == Some(NodeKind::Pe)
-                || ctx.schedules[0].assignment.values().any(|a| *a == pe)
-            {
-                assert!(sys.adg.contains(pe) || sys.adg.kind(pe).is_none());
-            }
-        }
-        // every PE referenced by the schedule still exists
-        for (_, hw) in ctx.schedules[0].assignment.iter() {
-            assert!(sys.adg.contains(*hw));
-        }
-    }
-
-    #[test]
     fn capability_pruning_shrinks_unused_pes_only() {
         let (_mdfg, mut sys, sched) = scheduled_setup();
         let used = sched.used_adg_nodes();
@@ -716,39 +180,5 @@ mod tests {
                 assert_eq!(n.caps.len(), 3, "used PE was pruned");
             }
         }
-    }
-
-    #[test]
-    fn footprints_track_mutation_severity() {
-        let (_mdfg, sys, sched) = scheduled_setup();
-        let used_pe = sched.assignment.values().copied().next().unwrap();
-        assert_eq!(
-            removal_footprint(std::slice::from_ref(&sched), used_pe),
-            ScheduleFootprint::Structural
-        );
-        let used = sched.used_adg_nodes();
-        let unused_pe = sys
-            .adg
-            .nodes_of_kind(NodeKind::Pe)
-            .into_iter()
-            .find(|p| !used.contains(p))
-            .expect("default mesh has spare PEs");
-        assert_eq!(
-            removal_footprint(std::slice::from_ref(&sched), unused_pe),
-            ScheduleFootprint::RemoveUnused
-        );
-        // A degenerated mutation is always Pure, whatever its class.
-        assert_eq!(
-            footprint_of(&Mutation::Noop, ScheduleFootprint::Structural),
-            ScheduleFootprint::Pure
-        );
-    }
-
-    #[test]
-    fn cheapness_ordering() {
-        assert!(
-            cheapness(&FuCap::new(Op::And, DataType::I8))
-                < cheapness(&FuCap::new(Op::Div, DataType::F64))
-        );
     }
 }

@@ -47,5 +47,5 @@ mod types;
 
 pub use footprint::ScheduleFootprint;
 pub use place::schedule;
-pub use repair::{repair, repair_with, RepairOptions, RepairOutcome};
+pub use repair::{repair, repair_with, RepairOptions, RepairOutcome, RepairScope};
 pub use types::{Schedule, ScheduleError};

@@ -28,11 +28,19 @@ pub const COUNTERS: &[&str] = &[
     "dse.place.runs",
     "dse.place.slr_crossings",
     "dse.repairs",
+    "dse.rewrite.applied",
+    "dse.rewrite.compound",
+    "dse.rewrite.inferred_additive",
+    "dse.rewrite.inferred_attribute",
+    "dse.rewrite.inferred_pure",
+    "dse.rewrite.inferred_remove_unused",
+    "dse.rewrite.inferred_structural",
     "sched.attempts",
     "sched.backtracks",
     "scheduler.repair.dirty_nodes",
     "scheduler.repair.fallback",
     "scheduler.repair.fast",
+    "scheduler.repair.scoped",
     "service.jobs.cancelled",
     "service.jobs.completed",
     "service.jobs.failed",

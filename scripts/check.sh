@@ -41,6 +41,14 @@
 #                winners with the congestion/wirelength medians inside the
 #                tolerance bands (plus a synthetic-violation negative test
 #                of the gate itself)
+#   rewrite      rewrite-engine gates: the rule/delta/inference unit
+#                suite, the golden equivalence suite (compound off
+#                byte-identical to the pre-rewrite pins, compound on
+#                deterministic across threads/cache/resume), and
+#                BENCH_rewrite.json holding the repair fast-path share at
+#                its hand-classified baseline in both compound modes with
+#                a clean release-mode inference oracle (plus a synthetic-
+#                regression negative test of the gate itself)
 set -e
 
 stage_build() {
@@ -391,16 +399,55 @@ stage_placement() {
     fi
 }
 
+stage_rewrite() {
+    echo "== rewrite: rule / delta / inference unit suite =="
+    cargo test -q --release -p overgen-dse rewrite
+
+    echo "== rewrite: golden + compound equivalence suite =="
+    cargo test -q --release --test rewrite_equivalence
+
+    if [ -n "${CHECK_TRACE_DIR:-}" ]; then
+        RW_TMP=$CHECK_TRACE_DIR/rewrite
+        mkdir -p "$RW_TMP"
+    else
+        RW_TMP=$(mktemp -d)
+        trap 'rm -rf "$RW_TMP"' EXIT INT TERM
+    fi
+
+    echo "== rewrite: fast-path share and inference oracle inside the gate =="
+    OVERGEN_RESULTS_DIR="$RW_TMP" cargo run -q --release -p overgen-bench \
+        --bin bench_rewrite >/dev/null
+    cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_rewrite.json "$RW_TMP/BENCH_rewrite.json" \
+        min:summary.fast_share_off=0.83 \
+        min:summary.fast_share_on=0.83 \
+        max:summary.oracle_weaker=0 \
+        require:summary.per_application_speedup \
+        require:compound_on.compound_proposals \
+        || { echo "FAIL: rewrite benchmark regressed past the share/oracle gate"; exit 1; }
+
+    echo "== rewrite: injected share regression must fail the gate =="
+    sed -e 's/"fast_share_off":[0-9.eE+-]*/"fast_share_off":0.1/g' \
+        -e 's/"oracle_weaker":[0-9]*/"oracle_weaker":7/' \
+        "$RW_TMP/BENCH_rewrite.json" > "$RW_TMP/regressed.json"
+    if cargo run -q --release -p overgen-bench --bin bench-compare -- \
+        results/BENCH_rewrite.json "$RW_TMP/regressed.json" \
+        min:summary.fast_share_off=0.83 \
+        max:summary.oracle_weaker=0 >/dev/null; then
+        echo "FAIL: bench-compare accepted a regressed rewrite record"; exit 1
+    fi
+}
+
 if [ $# -eq 0 ]; then
-    set -- build test fmt clippy determinism checkpoint bench objectives profile sim service placement
+    set -- build test fmt clippy determinism checkpoint bench objectives profile sim service placement rewrite
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim | service | placement) "stage_$stage" ;;
+    build | test | fmt | clippy | determinism | checkpoint | bench | objectives | profile | sim | service | placement | rewrite) "stage_$stage" ;;
     *)
         echo "unknown stage: $stage" >&2
-        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim|service|placement]..." >&2
+        echo "usage: $0 [build|test|fmt|clippy|determinism|checkpoint|bench|objectives|profile|sim|service|placement|rewrite]..." >&2
         exit 2
         ;;
     esac

@@ -7,7 +7,9 @@ use std::collections::BTreeMap;
 
 use overgen_adg::{mesh, MeshSpec, SysAdg, SystemParams};
 use overgen_compiler::{lower, CompileOptions, LowerChoices};
-use overgen_dse::{random_mutation, Dse, DseConfig, ParetoFront, ParetoPoint, TransformCtx};
+use overgen_dse::{
+    random_mutation, AdgDelta, Dse, DseConfig, ParetoFront, ParetoPoint, RuleSet, TransformCtx,
+};
 use overgen_ir::{expr, DataType, Kernel, KernelBuilder, Suite};
 use overgen_mdfg::Mdfg;
 use overgen_scheduler::{
@@ -233,6 +235,7 @@ fn incremental_repair_equals_full_replacement() {
         let opts = |incremental| RepairOptions {
             incremental,
             footprint: Some(footprint),
+            scope: None,
         };
         let fast = repair_with(&prior, &mdfg, &mutated, &opts(true));
         let full = repair_with(&prior, &mdfg, &mutated, &opts(false));
@@ -253,6 +256,129 @@ fn incremental_repair_equals_full_replacement() {
                 "repair modes disagree on schedulability: fast={:?} full={:?}",
                 a.is_ok(),
                 b.is_ok()
+            ),
+        }
+    }
+    assert!(compared >= 10, "only {compared} repairs compared");
+}
+
+/// The rewrite engine's inference contract: for any seeded sequence of
+/// random rule applications, the footprint inferred from the recorded
+/// delta is never weaker than the rule's legacy hand classification —
+/// i.e. a repair driven by the inferred class always scans at least as
+/// much as the hand-maintained one would have.
+#[test]
+fn inferred_footprint_dominates_hand_classification() {
+    let mut rng = Rng::seed_from_u64(0xF007);
+    let set = RuleSet::legacy();
+    let mut applied = 0;
+    for tag in 0..16 {
+        let k = arb_kernel(&mut rng, tag);
+        let cap_pool = Dse::cap_pool(std::slice::from_ref(&k));
+        let base = mesh(&MeshSpec::general());
+        let sys = SysAdg::new(base.clone(), SystemParams::default());
+        let mdfg = lower(&k, 0, &LowerChoices::default()).unwrap();
+        let Ok(prior) = schedule(&mdfg, &sys, None) else {
+            continue;
+        };
+        let mut adg = base;
+        let mut schedules = vec![prior];
+        for step in 0..12u64 {
+            let preserving = rng.gen_bool(0.5);
+            let mut ctx = TransformCtx {
+                cap_pool: &cap_pool,
+                schedules: &mut schedules,
+                preserving,
+            };
+            let app = set.apply_random(&mut adg, &mut ctx, &mut rng, step);
+            assert!(
+                app.inferred >= app.hand,
+                "rule {} inferred {:?} weaker than hand {:?}",
+                app.rule,
+                app.inferred,
+                app.hand
+            );
+            // A pure inference must come from an empty recorded delta —
+            // that pair is what licenses the scheduler's scoped exit.
+            if app.inferred == ScheduleFootprint::Pure {
+                assert!(app.delta.is_empty(), "pure inference from non-empty delta");
+            }
+            applied += 1;
+        }
+    }
+    assert!(applied >= 100, "only {applied} rule applications checked");
+}
+
+/// Repair driven by the delta-derived scope must be observationally
+/// identical to the unscoped incremental repair *and* to a full forced
+/// re-placement: same outcome class, bit-identical schedule.
+#[test]
+fn scoped_repair_equals_unscoped_and_full_reschedule() {
+    let mut rng = Rng::seed_from_u64(0x5C0B);
+    let set = RuleSet::legacy();
+    let mut compared = 0;
+    for tag in 0..32 {
+        let k = arb_kernel(&mut rng, tag);
+        let cap_pool = Dse::cap_pool(std::slice::from_ref(&k));
+        let base = mesh(&MeshSpec::general());
+        let sys = SysAdg::new(base.clone(), SystemParams::default());
+        let mdfg = lower(
+            &k,
+            0,
+            &LowerChoices {
+                unroll: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let Ok(prior) = schedule(&mdfg, &sys, None) else {
+            continue;
+        };
+
+        let mut adg = base;
+        let mut schedules = vec![prior];
+        let mut footprint = ScheduleFootprint::Pure;
+        let mut delta = AdgDelta::new(0);
+        for step in 0..rng.gen_range(1u64..=4) {
+            let preserving = rng.gen_bool(0.7);
+            let mut ctx = TransformCtx {
+                cap_pool: &cap_pool,
+                schedules: &mut schedules,
+                preserving,
+            };
+            let app = set.apply_random(&mut adg, &mut ctx, &mut rng, step);
+            footprint = footprint.merge(app.inferred);
+            delta.absorb(&app.delta);
+        }
+        let prior = schedules.pop().unwrap();
+        let mutated = SysAdg::new(adg, SystemParams::default());
+        if mutated.validate().is_err() {
+            continue;
+        }
+
+        let opts = |incremental, scope| RepairOptions {
+            incremental,
+            footprint: Some(footprint),
+            scope,
+        };
+        let scoped = repair_with(&prior, &mdfg, &mutated, &opts(true, Some(delta.scope())));
+        let unscoped = repair_with(&prior, &mdfg, &mutated, &opts(true, None));
+        let full = repair_with(&prior, &mdfg, &mutated, &opts(false, None));
+        match (scoped, unscoped, full) {
+            (Ok((ss, so)), Ok((us, uo)), Ok((fs, fo))) => {
+                assert_eq!(so, uo, "scope changed the outcome classification");
+                assert_eq!(ss, us, "scoped repair != unscoped repair");
+                assert_eq!(so, fo, "incremental outcome != full outcome");
+                assert_eq!(ss, fs, "scoped repair != full re-placement");
+                assert_schedule_valid(&ss, &mdfg, &mutated);
+                compared += 1;
+            }
+            (Err(_), Err(_), Err(_)) => {} // all three agree the mapping is dead
+            (a, b, c) => panic!(
+                "repair modes disagree on schedulability: scoped={:?} unscoped={:?} full={:?}",
+                a.is_ok(),
+                b.is_ok(),
+                c.is_ok()
             ),
         }
     }

@@ -1,0 +1,218 @@
+//! The refactor-equivalence contract for the rewrite-rule engine:
+//! with compound proposals off (the default, `compound: 1`), the DSE's
+//! results **and** its deterministic JSONL traces are byte-identical to
+//! the pre-rewrite engine — the same four golden digests pinned by
+//! `objective_equivalence.rs`, captured before mutations were rebuilt as
+//! declarative rules with recorded deltas and inferred footprints.
+//!
+//! With compound proposals on (`compound: 3`), the trajectory legally
+//! diverges (extra RNG draws per proposal), but it must still be
+//! deterministic: thread-count independent, cache-transparent, and
+//! checkpoint/resume-stable. Those runs are pinned by fresh goldens
+//! captured at the introduction of the feature.
+
+use overgen_compiler::CompileOptions;
+use overgen_dse::{Checkpoint, CheckpointConfig, Dse, DseConfig, DseResult};
+use overgen_telemetry::Collector;
+use overgen_workloads as workloads;
+
+fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn fold_u64(h: u64, v: u64) -> u64 {
+    fnv1a64(&v.to_le_bytes(), h)
+}
+
+/// Same digest as `objective_equivalence.rs`: everything a pre-refactor
+/// `DseResult` carried.
+fn result_digest(r: &DseResult) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fold_u64(h, r.objective.to_bits());
+    h = fold_u64(h, r.sys_adg.fingerprint());
+    h = fold_u64(h, r.history.len() as u64);
+    for (t, o) in &r.history {
+        h = fold_u64(h, t.to_bits());
+        h = fold_u64(h, o.to_bits());
+    }
+    for (name, v) in &r.variants {
+        h = fnv1a64(name.as_bytes(), h);
+        h = fold_u64(h, u64::from(*v));
+    }
+    for v in [
+        r.stats.iterations,
+        r.stats.accepted,
+        r.stats.invalid,
+        r.stats.full_schedules,
+        r.stats.repairs,
+        r.stats.intact,
+        r.stats.cache_hits,
+        r.stats.cache_misses,
+        r.stats.repair_fast,
+        r.stats.repair_fallback,
+    ] {
+        h = fold_u64(h, v as u64);
+    }
+    h
+}
+
+fn trace_digest(trace: &str) -> u64 {
+    fnv1a64(trace.as_bytes(), 0xcbf2_9ce4_8422_2325)
+}
+
+/// The exact run configuration of `objective_equivalence.rs`'s goldens,
+/// parameterized over the compound-proposal cap.
+fn golden_cfg(threads: usize, cache: bool, compound: usize) -> DseConfig {
+    DseConfig {
+        iterations: 24,
+        seed: 0xB0B5_CA7E,
+        threads,
+        chains: 2,
+        exchange_interval: 8,
+        cache,
+        compound,
+        compile: CompileOptions {
+            max_unroll: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn run(cfg: DseConfig) -> (DseResult, String) {
+    let (collector, ring) = Collector::ring(1 << 18);
+    let _install = overgen_telemetry::install(collector);
+    let domain = vec![workloads::by_name("fir").unwrap()];
+    let result = Dse::new(domain, cfg).run().unwrap();
+    (result, ring.to_jsonl())
+}
+
+// Captured on the tree immediately before the rewrite-engine refactor —
+// identical constants to `objective_equivalence.rs`. A drift here means
+// a ported rule's RNG draw sequence, a recorded delta, or an inferred
+// footprint no longer reproduces its legacy hand-rolled mutation.
+const GOLDEN_RESULT_CACHE: u64 = 0xec61d8114f3cb3ad;
+const GOLDEN_TRACE_CACHE: u64 = 0xb61ade7abb564cdb;
+const GOLDEN_RESULT_NOCACHE: u64 = 0x4604efe105b411dc;
+const GOLDEN_TRACE_NOCACHE: u64 = 0xd6ef98dbfbaf1d5e;
+
+// Captured at the introduction of compound proposals (`compound: 3`,
+// otherwise the golden config). New surface, so fresh pins: they hold
+// the compound trajectory deterministic across threads, cache modes,
+// and checkpoint/resume.
+const GOLDEN_RESULT_COMPOUND_CACHE: u64 = 0x8f09eafbde585634;
+const GOLDEN_TRACE_COMPOUND_CACHE: u64 = 0x7f4a5231ff7eddd1;
+const GOLDEN_RESULT_COMPOUND_NOCACHE: u64 = 0x163b3b86079ab225;
+const GOLDEN_TRACE_COMPOUND_NOCACHE: u64 = 0x7f4a5231ff7eddd1;
+
+#[test]
+fn rule_engine_is_byte_identical_to_hand_rolled_mutations() {
+    for (threads, cache, want_r, want_t) in [
+        (1, true, GOLDEN_RESULT_CACHE, GOLDEN_TRACE_CACHE),
+        (4, true, GOLDEN_RESULT_CACHE, GOLDEN_TRACE_CACHE),
+        (1, false, GOLDEN_RESULT_NOCACHE, GOLDEN_TRACE_NOCACHE),
+        (4, false, GOLDEN_RESULT_NOCACHE, GOLDEN_TRACE_NOCACHE),
+    ] {
+        let (r, trace) = run(golden_cfg(threads, cache, 1));
+        assert_eq!(
+            result_digest(&r),
+            want_r,
+            "result drifted from pre-rewrite golden (threads={threads} cache={cache})"
+        );
+        assert_eq!(
+            trace_digest(&trace),
+            want_t,
+            "trace drifted from pre-rewrite golden (threads={threads} cache={cache})"
+        );
+    }
+}
+
+#[test]
+fn compound_proposals_are_deterministic_across_threads_and_cache() {
+    for (threads, cache, want_r, want_t) in [
+        (
+            1,
+            true,
+            GOLDEN_RESULT_COMPOUND_CACHE,
+            GOLDEN_TRACE_COMPOUND_CACHE,
+        ),
+        (
+            4,
+            true,
+            GOLDEN_RESULT_COMPOUND_CACHE,
+            GOLDEN_TRACE_COMPOUND_CACHE,
+        ),
+        (
+            1,
+            false,
+            GOLDEN_RESULT_COMPOUND_NOCACHE,
+            GOLDEN_TRACE_COMPOUND_NOCACHE,
+        ),
+        (
+            4,
+            false,
+            GOLDEN_RESULT_COMPOUND_NOCACHE,
+            GOLDEN_TRACE_COMPOUND_NOCACHE,
+        ),
+    ] {
+        let (r, trace) = run(golden_cfg(threads, cache, 3));
+        assert_eq!(
+            result_digest(&r),
+            want_r,
+            "compound result drifted (threads={threads} cache={cache}): {:#x}",
+            result_digest(&r)
+        );
+        assert_eq!(
+            trace_digest(&trace),
+            want_t,
+            "compound trace drifted (threads={threads} cache={cache}): {:#x}",
+            trace_digest(&trace)
+        );
+    }
+}
+
+#[test]
+fn compound_checkpoint_resume_reproduces_the_full_run() {
+    let path =
+        std::env::temp_dir().join(format!("overgen-rewrite-equiv-{}.json", std::process::id()));
+    // Compound config, interrupted at proposal 16 of 24 and resumed: the
+    // merged result must digest identically to the uninterrupted run —
+    // i.e. the `compound` field survives the checkpoint round trip and
+    // the rewrite engine's RNG stream re-synchronizes on resume.
+    let cut = Dse::new(
+        vec![workloads::by_name("fir").unwrap()],
+        DseConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.clone(),
+                interval: 8,
+            }),
+            max_proposals: Some(16),
+            ..golden_cfg(1, true, 3)
+        },
+    )
+    .run()
+    .unwrap();
+    assert!(!cut.completed);
+    let ck = Checkpoint::load(&path).unwrap();
+    let mut resumed_cfg = ck;
+    assert_eq!(
+        resumed_cfg.config_mut().compound,
+        3,
+        "compound cap lost in the checkpoint round trip"
+    );
+    resumed_cfg.config_mut().checkpoint = None;
+    let resumed = resumed_cfg
+        .resume(vec![workloads::by_name("fir").unwrap()])
+        .unwrap();
+    assert!(resumed.completed);
+    assert_eq!(
+        result_digest(&resumed),
+        GOLDEN_RESULT_COMPOUND_CACHE,
+        "interrupted-then-resumed compound run drifted from the golden"
+    );
+    std::fs::remove_file(&path).ok();
+}
